@@ -1,0 +1,135 @@
+//! Criterion microbenchmarks of the core data structures and algorithms:
+//! the max-min rate allocator, ring construction, the FFA solver, the
+//! event queue, and an end-to-end testbed collective — the hot paths of
+//! every experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mccs_collectives::op::all_reduce_sum;
+use mccs_collectives::{CollectiveSchedule, RingOrder};
+use mccs_control::flow_policy::{ffa, JobFlows};
+use mccs_control::{optimal_rings, ChannelPolicy};
+use mccs_netsim::maxmin::{allocate, FlowDemand};
+use mccs_netsim::{FlowSpec, Network};
+use mccs_sim::{Bandwidth, Bytes, EventQueue, Nanos, Rng};
+use mccs_topology::presets::{self, SpineLeafConfig};
+use mccs_topology::GpuId;
+use std::sync::Arc;
+
+fn bench_maxmin(c: &mut Criterion) {
+    // 200 flows over 64 links, random 4-link paths.
+    let mut rng = Rng::seed_from(1);
+    let caps: Vec<Bandwidth> = (0..64).map(|_| Bandwidth::gbps(100.0)).collect();
+    let flows: Vec<FlowDemand> = (0..200)
+        .map(|_| {
+            let links = (0..4).map(|_| rng.index(64)).collect();
+            FlowDemand::fair(links, None)
+        })
+        .collect();
+    c.bench_function("maxmin/200flows-64links", |b| {
+        b.iter(|| allocate(std::hint::black_box(&flows), std::hint::black_box(&caps)))
+    });
+}
+
+fn bench_ring_builder(c: &mut Criterion) {
+    let topo = presets::spine_leaf(&SpineLeafConfig::paper_large_scale());
+    let gpus: Vec<GpuId> = (0..256).map(|i| GpuId(i * 3)).collect();
+    c.bench_function("ring/optimal-256gpus", |b| {
+        b.iter(|| optimal_rings(&topo, std::hint::black_box(&gpus), ChannelPolicy::Fixed(4)))
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let topo = presets::testbed();
+    let ring = RingOrder::new((0..8).map(GpuId).collect());
+    let rings = [ring.clone(), ring];
+    c.bench_function("schedule/8gpu-2ch", |b| {
+        b.iter(|| {
+            CollectiveSchedule::ring(
+                &topo,
+                all_reduce_sum(),
+                Bytes::mib(128),
+                std::hint::black_box(&rings),
+            )
+        })
+    });
+}
+
+fn bench_ffa_solver(c: &mut Criterion) {
+    // The §6.5 rescheduling cost the paper quotes (<1 ms for a 32-GPU
+    // job): solve FFA for 8 concurrent 32-GPU jobs at once.
+    let topo = presets::spine_leaf(&SpineLeafConfig::paper_large_scale());
+    let jobs: Vec<JobFlows> = (0..8)
+        .map(|j| {
+            let gpus: Vec<GpuId> = (0..32).map(|i| GpuId(j * 32 + i)).collect();
+            let rings = optimal_rings(&topo, &gpus, ChannelPolicy::Fixed(4));
+            JobFlows::from_rings(&topo, &rings, 0)
+        })
+        .collect();
+    c.bench_function("ffa/8jobs-32gpus", |b| {
+        b.iter(|| ffa(&topo, std::hint::black_box(&jobs)))
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("eventqueue/push-pop-10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = Rng::seed_from(3);
+                (0..10_000u64)
+                    .map(|i| (Nanos::from_nanos(rng.below(1 << 30)), i))
+                    .collect::<Vec<_>>()
+            },
+            |items| {
+                let mut q = EventQueue::new();
+                for (t, v) in items {
+                    q.schedule(t, v);
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_netsim_collective(c: &mut Criterion) {
+    // Full flow-level simulation of one 8-flow collective on the testbed.
+    let topo = Arc::new(presets::testbed());
+    c.bench_function("netsim/8flow-collective", |b| {
+        b.iter(|| {
+            let mut net = Network::new(Arc::clone(&topo));
+            for i in 0..4u32 {
+                net.start_flow(
+                    Nanos::ZERO,
+                    FlowSpec::ecmp(
+                        mccs_topology::NicId(i),
+                        mccs_topology::NicId(i + 4),
+                        Bytes::mib(32),
+                        u64::from(i),
+                    ),
+                );
+                net.start_flow(
+                    Nanos::ZERO,
+                    FlowSpec::ecmp(
+                        mccs_topology::NicId(i + 4),
+                        mccs_topology::NicId(i),
+                        Bytes::mib(32),
+                        u64::from(i) + 8,
+                    ),
+                );
+            }
+            let done = net.advance_to(Nanos::from_secs(10));
+            assert_eq!(done.len(), 8);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_maxmin,
+    bench_ring_builder,
+    bench_schedule,
+    bench_ffa_solver,
+    bench_event_queue,
+    bench_netsim_collective
+);
+criterion_main!(benches);

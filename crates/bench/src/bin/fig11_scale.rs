@@ -1,0 +1,66 @@
+//! Figure 11 — CDF of per-job AllReduce-completion speedup vs random
+//! rings on the 768-GPU cluster, for OR and OR+FFA, under random and
+//! compact placement.
+//!
+//! 50 ResNet-50 jobs (100 MB gradients) of 16 or 32 GPUs arrive as a
+//! Poisson process (λ = 200 ms); each experiment runs `runs` times
+//! (paper: 5) and speedups aggregate over all jobs of all runs.
+//!
+//! Run: `cargo run --release -p mccs-bench --bin fig11_scale [runs]`
+
+use mccs_bench::report::{cdf_rows, print_csv};
+use mccs_bench::scale::{plan_jobs, run_scale, speedups, ScaleConfig, ScaleVariant};
+use mccs_sim::stats::{cdf_points, Summary};
+use mccs_topology::presets::{spine_leaf, SpineLeafConfig};
+use mccs_workloads::Placement;
+use std::sync::Arc;
+
+fn main() {
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("== Figure 11: at-scale speedup CDFs ({runs} runs/panel) ==");
+    println!("cluster: 16 spines x 24 leaves x 4 hosts x 8 GPUs = 768 GPUs, 200G links\n");
+    let topo = Arc::new(spine_leaf(&SpineLeafConfig::paper_large_scale()));
+
+    for placement in [Placement::Random, Placement::Compact] {
+        let label = match placement {
+            Placement::Random => "random placement",
+            Placement::Compact => "compact placement",
+        };
+        println!("--- {label} ---");
+        let mut or_speedups = Vec::new();
+        let mut orffa_speedups = Vec::new();
+        for run in 0..runs {
+            let cfg = ScaleConfig::paper(placement, 0xF16 + run);
+            let plan = plan_jobs(&topo, &cfg);
+            let random = run_scale(Arc::clone(&topo), &plan, ScaleVariant::RandomRing, &cfg);
+            let or = run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRing, &cfg);
+            let orffa =
+                run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRingFfa, &cfg);
+            or_speedups.extend(speedups(&random, &or));
+            orffa_speedups.extend(speedups(&random, &orffa));
+        }
+        let or_mean = Summary::new(or_speedups.iter().copied()).mean();
+        let orffa_mean = Summary::new(orffa_speedups.iter().copied()).mean();
+        println!("OR mean speedup:     {or_mean:.2}x");
+        println!("OR+FFA mean speedup: {orffa_mean:.2}x\n");
+        print_csv(
+            &format!("fig11 {label} OR"),
+            &["speedup", "cdf"],
+            &cdf_rows(&cdf_points(or_speedups)),
+        );
+        print_csv(
+            &format!("fig11 {label} OR+FFA"),
+            &["speedup", "cdf"],
+            &cdf_rows(&cdf_points(orffa_speedups)),
+        );
+        println!();
+    }
+    println!(
+        "paper shape: random placement OR 2.63x / OR+FFA 3.27x mean speedup;\n\
+         compact placement OR 3.28x / OR+FFA 3.43x, with FFA adding little\n\
+         under compact placement (jobs rarely span more than two racks)."
+    );
+}

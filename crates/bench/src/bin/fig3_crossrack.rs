@@ -1,0 +1,71 @@
+//! Figure 3 — cross-rack ratio of random rings vs job size.
+//!
+//! (a) a cluster with 2 hosts per rack (the "empirical" production shape:
+//!     each rack connects two 8-GPU hosts) — worst case 2x;
+//! (b) 4 hosts per rack (simulated) — worst case 4x.
+//!
+//! Jobs are perfectly packed onto hosts (as the paper assumes) and the
+//! ring order over hosts is uniformly random; we report the expected
+//! cross-rack ratio and the worst case per job size.
+//!
+//! Run: `cargo run --release -p mccs-bench --bin fig3_crossrack`
+
+use mccs_bench::report::{print_csv, print_table};
+use mccs_collectives::crossrack;
+use mccs_sim::{Bandwidth, Rng};
+use mccs_topology::presets::{spine_leaf, SpineLeafConfig};
+use mccs_topology::HostId;
+
+fn panel(hosts_per_rack: usize, label: &str) -> Vec<Vec<String>> {
+    const GPUS_PER_HOST: usize = 8;
+    let racks = 256; // large enough that the biggest job fits packed
+    let topo = spine_leaf(&SpineLeafConfig {
+        spines: 2,
+        leaves: racks,
+        hosts_per_leaf: hosts_per_rack,
+        gpus_per_host: GPUS_PER_HOST,
+        nic_bandwidth: Bandwidth::gbps(200.0),
+        leaf_spine_bandwidth: Bandwidth::gbps(200.0),
+    });
+    let mut rng = Rng::seed_from(3);
+    let mut rows = Vec::new();
+    for exp in 3..=10 {
+        let job_gpus = 1usize << exp; // 8 .. 1024
+        let job_hosts = job_gpus / GPUS_PER_HOST;
+        if job_hosts == 0 {
+            continue;
+        }
+        // Perfectly packed: the first `job_hosts` hosts (rack-contiguous).
+        let hosts: Vec<HostId> = (0..job_hosts as u32).map(HostId).collect();
+        let expected = crossrack::expected_random_ratio(&topo, &hosts, 500, &mut rng);
+        let worst = crossrack::worst_case_ratio(&topo, &hosts);
+        rows.push(vec![
+            label.to_owned(),
+            job_gpus.to_string(),
+            format!("{expected:.2}"),
+            format!("{worst:.2}"),
+        ]);
+    }
+    rows
+}
+
+fn main() {
+    println!("== Figure 3: cross-rack ratio of random vs optimal rings ==\n");
+    let mut rows = panel(2, "2 hosts/rack");
+    rows.extend(panel(4, "4 hosts/rack"));
+    print_table(
+        &["panel", "job size (GPUs)", "E[ratio] random ring", "worst case"],
+        &rows,
+    );
+    println!();
+    print_csv(
+        "fig3",
+        &["panel", "job_gpus", "expected_ratio", "worst_case"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: the expected ratio grows with job size toward the\n\
+         worst case — 2x with 2 hosts/rack (Fig. 3a), 4x with 4 hosts/rack\n\
+         (Fig. 3b)."
+    );
+}

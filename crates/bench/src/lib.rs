@@ -1,0 +1,25 @@
+//! # mccs-bench — the experiment harness
+//!
+//! One binary per paper figure (run `cargo run --release -p mccs-bench
+//! --bin figN`), built on shared infrastructure:
+//!
+//! * [`variants`] — the four evaluated systems (NCCL, NCCL(OR),
+//!   MCCS(-FA), MCCS) behind one `run` interface.
+//! * [`setups`] — the testbed placements: tenant "VM order" rank
+//!   assignments and the four multi-application setups of Figure 5b.
+//! * [`scale`] — the §6.5 at-scale driver: dynamic job arrivals over the
+//!   768-GPU cluster with per-variant ring/route policies.
+//! * [`report`] — terminal table/CSV rendering.
+//!
+//! See `EXPERIMENTS.md` at the repository root for the per-figure index
+//! and recorded paper-vs-measured results.
+
+pub mod qos;
+pub mod report;
+pub mod scale;
+pub mod setups;
+pub mod variants;
+
+pub use report::{fmt_gbps, print_table};
+pub use setups::{multi_app_setup, vm_order_4gpu, vm_order_8gpu, AppPlacement};
+pub use variants::{run_multi_app, run_single_app, AppSpec, SystemVariant};

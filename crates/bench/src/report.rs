@@ -1,0 +1,95 @@
+//! Terminal table and CSV rendering for the figure regenerators.
+
+use mccs_sim::stats::Summary;
+
+/// Format a bandwidth in GB/s with two decimals.
+pub fn fmt_gbps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format `mean [p5, p95]` of a summary, in the summary's units.
+pub fn fmt_summary(s: &Summary) -> String {
+    let (lo, hi) = s.p95_interval();
+    format!("{:.2} [{:.2},{:.2}]", s.mean(), lo, hi)
+}
+
+/// Print an aligned table: `headers` then `rows`.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Print a CSV block (machine-readable twin of the table) between
+/// `# begin csv <tag>` / `# end csv` markers.
+pub fn print_csv(tag: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("# begin csv {tag}");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+    println!("# end csv");
+}
+
+/// Render CDF points as rows `(value, percentile)`.
+pub fn cdf_rows(points: &[(f64, f64)]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|&(v, p)| vec![format!("{v:.3}"), format!("{p:.4}")])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            &["col", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["bb".into(), "22".into()],
+            ],
+        );
+        print_csv("t", &["col", "value"], &[vec!["a".into(), "1".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        print_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn summary_formatting() {
+        let s = Summary::new([1.0, 2.0, 3.0]);
+        let f = fmt_summary(&s);
+        assert!(f.starts_with("2.00 ["));
+        assert_eq!(fmt_gbps(4.1666), "4.17");
+    }
+
+    #[test]
+    fn cdf_rows_shape() {
+        let rows = cdf_rows(&[(1.0, 0.5), (2.0, 1.0)]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], "1.0000");
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-rack traffic analysis (paper §2.2 and Figure 3).
+//!
+//! For host-contiguous rings, the network cost signature is how many ring
+//! edges cross rack boundaries. An optimal (locality-aware) ring visits
+//! each rack contiguously and therefore crosses exactly `R` times for `R`
+//! racks (cyclically); a worst-case ring alternates racks on every hop. The
+//! paper's *cross-rack ratio* normalizes a ring's crossings to the optimal
+//! ring's.
+
+use mccs_sim::Rng;
+use mccs_topology::{HostId, Topology};
+
+/// Number of rack transitions of a cyclic host sequence.
+pub fn cross_rack_edges(topo: &Topology, host_ring: &[HostId]) -> usize {
+    let n = host_ring.len();
+    if n < 2 {
+        return 0;
+    }
+    (0..n)
+        .filter(|&i| {
+            let a = topo.rack_of(host_ring[i]);
+            let b = topo.rack_of(host_ring[(i + 1) % n]);
+            a != b
+        })
+        .count()
+}
+
+/// Crossings of the optimal ring over the same hosts: `R` for `R > 1`
+/// racks, `0` for a single rack.
+pub fn optimal_cross_rack_edges(topo: &Topology, hosts: &[HostId]) -> usize {
+    let mut racks: Vec<_> = hosts.iter().map(|&h| topo.rack_of(h)).collect();
+    racks.sort_unstable();
+    racks.dedup();
+    if racks.len() <= 1 {
+        0
+    } else {
+        racks.len()
+    }
+}
+
+/// The paper's cross-rack ratio: a ring's crossings over the optimal
+/// ring's. Both zero (single rack) counts as ratio 1.
+pub fn cross_rack_ratio(topo: &Topology, host_ring: &[HostId]) -> f64 {
+    let actual = cross_rack_edges(topo, host_ring);
+    let optimal = optimal_cross_rack_edges(topo, host_ring);
+    if optimal == 0 {
+        1.0
+    } else {
+        actual as f64 / optimal as f64
+    }
+}
+
+/// Expected cross-rack ratio of a uniformly random host ring over `hosts`,
+/// estimated from `samples` shuffles — the Figure 3 estimator ("if ring
+/// ordering is randomly chosen").
+pub fn expected_random_ratio(
+    topo: &Topology,
+    hosts: &[HostId],
+    samples: usize,
+    rng: &mut Rng,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut ring = hosts.to_vec();
+    let mut total = 0.0;
+    for _ in 0..samples {
+        rng.shuffle(&mut ring);
+        total += cross_rack_ratio(topo, &ring);
+    }
+    total / samples as f64
+}
+
+/// The worst-case (adversarial) ratio over `hosts`: every edge crossing
+/// when no rack holds a cyclic majority. With `h` hosts per rack fully
+/// packed, this is `h` — the paper's "2x [2 hosts/rack] ... becomes 4x
+/// [4 hosts/rack]".
+pub fn worst_case_ratio(topo: &Topology, hosts: &[HostId]) -> f64 {
+    // Round-robin racks to maximize transitions.
+    let mut by_rack: std::collections::BTreeMap<_, Vec<HostId>> = Default::default();
+    for &h in hosts {
+        by_rack.entry(topo.rack_of(h)).or_default().push(h);
+    }
+    let mut queues: Vec<Vec<HostId>> = by_rack.into_values().collect();
+    let mut ring = Vec::with_capacity(hosts.len());
+    // repeatedly take from the currently largest queue not equal to the
+    // previous rack (greedy round-robin yields maximal alternation)
+    let mut prev: Option<usize> = None;
+    for _ in 0..hosts.len() {
+        let (idx, _) = queues
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| Some(*i) != prev && !q.is_empty())
+            .max_by_key(|(_, q)| q.len())
+            .or_else(|| {
+                queues
+                    .iter()
+                    .enumerate()
+                    .find(|(_, q)| !q.is_empty())
+            })
+            .expect("hosts remain");
+        ring.push(queues[idx].pop().expect("nonempty"));
+        prev = Some(idx);
+    }
+    cross_rack_ratio(topo, &ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_topology::presets::{self, SpineLeafConfig};
+    use mccs_sim::Bandwidth;
+
+    fn topo_hosts_per_rack(hpr: usize, racks: usize) -> Topology {
+        presets::spine_leaf(&SpineLeafConfig {
+            spines: 2,
+            leaves: racks,
+            hosts_per_leaf: hpr,
+            gpus_per_host: 1,
+            nic_bandwidth: Bandwidth::gbps(100.0),
+            leaf_spine_bandwidth: Bandwidth::gbps(100.0),
+        })
+    }
+
+    #[test]
+    fn optimal_ring_crosses_once_per_rack() {
+        let t = topo_hosts_per_rack(2, 3);
+        let hosts: Vec<HostId> = (0..6).map(HostId).collect();
+        // id order = rack-contiguous = optimal
+        assert_eq!(cross_rack_edges(&t, &hosts), 3);
+        assert_eq!(optimal_cross_rack_edges(&t, &hosts), 3);
+        assert!((cross_rack_ratio(&t, &hosts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_ring_crosses_every_edge() {
+        let t = topo_hosts_per_rack(2, 2);
+        // racks: {0,1}, {2,3}; alternate them
+        let ring = vec![HostId(0), HostId(2), HostId(1), HostId(3)];
+        assert_eq!(cross_rack_edges(&t, &ring), 4);
+        assert!((cross_rack_ratio(&t, &ring) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_matches_hosts_per_rack() {
+        for hpr in [2usize, 4] {
+            let t = topo_hosts_per_rack(hpr, 4);
+            let hosts: Vec<HostId> = (0..(hpr * 4) as u32).map(HostId).collect();
+            let w = worst_case_ratio(&t, &hosts);
+            assert!(
+                (w - hpr as f64).abs() < 1e-12,
+                "hpr={hpr}: worst-case ratio {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rack_job_has_ratio_one() {
+        let t = topo_hosts_per_rack(4, 2);
+        let hosts = vec![HostId(0), HostId(1), HostId(2)];
+        assert_eq!(optimal_cross_rack_edges(&t, &hosts), 0);
+        assert!((cross_rack_ratio(&t, &hosts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_ratio_grows_with_job_size() {
+        // The Figure 3 trend: larger jobs suffer worse expected ratios.
+        let t = topo_hosts_per_rack(2, 64);
+        let mut rng = Rng::seed_from(42);
+        let small: Vec<HostId> = (0..4).map(HostId).collect();
+        let large: Vec<HostId> = (0..64).map(HostId).collect();
+        let r_small = expected_random_ratio(&t, &small, 300, &mut rng);
+        let r_large = expected_random_ratio(&t, &large, 300, &mut rng);
+        assert!(
+            r_large > r_small,
+            "expected ratio should grow: {r_small} vs {r_large}"
+        );
+        // asymptote below 2 for 2 hosts/rack
+        assert!(r_large < 2.0 + 1e-9);
+        assert!(r_large > 1.5);
+    }
+
+    #[test]
+    fn two_host_ring() {
+        let t = topo_hosts_per_rack(1, 2);
+        let ring = vec![HostId(0), HostId(1)];
+        // both edges (there and back) cross
+        assert_eq!(cross_rack_edges(&t, &ring), 2);
+        assert_eq!(optimal_cross_rack_edges(&t, &ring), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Ring orders.
+//!
+//! A [`RingOrder`] is a cyclic permutation of a communicator's GPUs. How it
+//! is chosen is the heart of the paper:
+//!
+//! * **NCCL default** ([`RingOrder::nccl_default`]) — NCCL optimizes the
+//!   *intra-host* segment (GPUs of one host are contiguous in the ring) but
+//!   chains *hosts* in user-rank order (§4.2: "NCCL simply connects
+//!   inter-host rings according to the ordering of user-specified ranks").
+//!   In a cloud, user rank order is oblivious to racks, which is what makes
+//!   the ring cross racks repeatedly (Figure 3).
+//! * **Locality-aware** — computed by the provider policy in
+//!   `mccs-control`, which has the topology; this module only represents
+//!   and validates orders.
+
+use mccs_topology::{GpuId, HostId, Topology};
+use std::collections::BTreeMap;
+
+/// A cyclic order over a communicator's GPUs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RingOrder {
+    gpus: Vec<GpuId>,
+}
+
+impl RingOrder {
+    /// From an explicit GPU sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is empty or contains duplicates.
+    pub fn new(gpus: Vec<GpuId>) -> Self {
+        assert!(!gpus.is_empty(), "empty ring");
+        let mut seen = gpus.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), gpus.len(), "duplicate GPU in ring");
+        RingOrder { gpus }
+    }
+
+    /// The ring NCCL builds from a user rank order: host segments in
+    /// first-appearance order, each host's GPUs contiguous (NCCL's
+    /// intra-host optimization), GPUs within a host in rank order.
+    pub fn nccl_default(topo: &Topology, rank_order: &[GpuId]) -> Self {
+        let mut host_order: Vec<HostId> = Vec::new();
+        let mut per_host: BTreeMap<HostId, Vec<GpuId>> = BTreeMap::new();
+        for &g in rank_order {
+            let h = topo.host_of_gpu(g);
+            if !per_host.contains_key(&h) {
+                host_order.push(h);
+            }
+            per_host.entry(h).or_default().push(g);
+        }
+        let gpus = host_order
+            .into_iter()
+            .flat_map(|h| per_host.remove(&h).expect("inserted above"))
+            .collect();
+        RingOrder::new(gpus)
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Whether the ring is a single GPU (degenerate).
+    pub fn is_empty(&self) -> bool {
+        false // `new` rejects empty rings; method exists for clippy symmetry
+    }
+
+    /// The GPUs in ring order.
+    pub fn gpus(&self) -> &[GpuId] {
+        &self.gpus
+    }
+
+    /// The directed edges `(from, to)` of the ring, including the
+    /// wrap-around edge.
+    pub fn edges(&self) -> Vec<(GpuId, GpuId)> {
+        let n = self.gpus.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| (self.gpus[i], self.gpus[(i + 1) % n]))
+            .collect()
+    }
+
+    /// The ring with direction reversed (Figure 7's reconfiguration flips
+    /// a clockwise ring counterclockwise to dodge a background flow).
+    pub fn reversed(&self) -> RingOrder {
+        let mut gpus = self.gpus.clone();
+        gpus.reverse();
+        RingOrder { gpus }
+    }
+
+    /// The distinct hosts in ring-traversal order (first visit). For a
+    /// host-contiguous ring this is the host-level ring.
+    pub fn host_sequence(&self, topo: &Topology) -> Vec<HostId> {
+        let mut hosts = Vec::new();
+        for &g in &self.gpus {
+            let h = topo.host_of_gpu(g);
+            if hosts.last() != Some(&h) && !hosts.contains(&h) {
+                hosts.push(h);
+            }
+        }
+        hosts
+    }
+
+    /// Whether every host's GPUs appear contiguously (the property NCCL's
+    /// intra-host optimization guarantees, and which the inter-host edge
+    /// count relies on). The wrap-around counts: a host split across the
+    /// seam is still contiguous cyclically.
+    pub fn is_host_contiguous(&self, topo: &Topology) -> bool {
+        let n = self.gpus.len();
+        // Count cyclic host transitions; contiguous iff transitions ==
+        // distinct hosts (each host entered exactly once per cycle).
+        let mut transitions = 0;
+        for i in 0..n {
+            let a = topo.host_of_gpu(self.gpus[i]);
+            let b = topo.host_of_gpu(self.gpus[(i + 1) % n]);
+            if a != b {
+                transitions += 1;
+            }
+        }
+        let mut hosts: Vec<HostId> = self.gpus.iter().map(|&g| topo.host_of_gpu(g)).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        if hosts.len() == 1 {
+            return true;
+        }
+        transitions == hosts.len()
+    }
+
+    /// The inter-host edges `(from, to)` of the ring (edges whose endpoints
+    /// sit on different hosts) — the edges that become network flows.
+    pub fn inter_host_edges(&self, topo: &Topology) -> Vec<(GpuId, GpuId)> {
+        self.edges()
+            .into_iter()
+            .filter(|&(a, b)| !topo.same_host(a, b))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_topology::presets;
+
+    /// testbed: H0{g0,g1} H1{g2,g3} rack0; H2{g4,g5} H3{g6,g7} rack1.
+    fn topo() -> Topology {
+        presets::testbed()
+    }
+
+    fn g(ids: &[u32]) -> Vec<GpuId> {
+        ids.iter().map(|&i| GpuId(i)).collect()
+    }
+
+    #[test]
+    fn edges_wrap_around() {
+        let r = RingOrder::new(g(&[0, 2, 4]));
+        assert_eq!(
+            r.edges(),
+            vec![
+                (GpuId(0), GpuId(2)),
+                (GpuId(2), GpuId(4)),
+                (GpuId(4), GpuId(0))
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn rejects_duplicates() {
+        RingOrder::new(g(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn nccl_default_groups_hosts_in_rank_order() {
+        let t = topo();
+        // "VM order" interleaving racks: H0, H2, H1, H3 — and within that,
+        // GPUs listed per host.
+        let rank_order = g(&[0, 1, 4, 5, 2, 3, 6, 7]);
+        let r = RingOrder::nccl_default(&t, &rank_order);
+        assert_eq!(r.gpus(), g(&[0, 1, 4, 5, 2, 3, 6, 7]).as_slice());
+        assert!(r.is_host_contiguous(&t));
+        assert_eq!(
+            r.host_sequence(&t),
+            vec![HostId(0), HostId(2), HostId(1), HostId(3)]
+        );
+    }
+
+    #[test]
+    fn nccl_default_regroups_scattered_ranks() {
+        let t = topo();
+        // User assigned ranks alternating between hosts 0 and 2.
+        let rank_order = g(&[0, 4, 1, 5]);
+        let r = RingOrder::nccl_default(&t, &rank_order);
+        // intra-host optimization makes each host contiguous; host order is
+        // first-appearance: H0 then H2.
+        assert_eq!(r.gpus(), g(&[0, 1, 4, 5]).as_slice());
+        assert!(r.is_host_contiguous(&t));
+    }
+
+    #[test]
+    fn reversal_reverses_edges() {
+        let r = RingOrder::new(g(&[0, 2, 4]));
+        let rev = r.reversed();
+        let mut fwd_edges = r.edges();
+        fwd_edges.iter_mut().for_each(|e| *e = (e.1, e.0));
+        let mut rev_edges = rev.edges();
+        fwd_edges.sort_unstable();
+        rev_edges.sort_unstable();
+        assert_eq!(fwd_edges, rev_edges);
+    }
+
+    #[test]
+    fn inter_host_edges_counted() {
+        let t = topo();
+        // H0 contiguous then H2 contiguous: exactly 2 inter-host edges
+        // (H0->H2 and the wrap H2->H0).
+        let r = RingOrder::new(g(&[0, 1, 4, 5]));
+        assert_eq!(r.inter_host_edges(&t).len(), 2);
+        // Alternating ring: every edge is inter-host.
+        let bad = RingOrder::new(g(&[0, 4, 1, 5]));
+        assert_eq!(bad.inter_host_edges(&t).len(), 4);
+        assert!(!bad.is_host_contiguous(&t));
+    }
+
+    #[test]
+    fn host_contiguity_across_seam() {
+        let t = topo();
+        // H0's GPUs split across the seam: g1 ... g0 — cyclically contiguous.
+        let r = RingOrder::new(g(&[1, 4, 5, 0]));
+        assert!(r.is_host_contiguous(&t));
+    }
+
+    #[test]
+    fn single_host_ring_has_no_network_edges() {
+        let t = topo();
+        let r = RingOrder::new(g(&[0, 1]));
+        assert!(r.inter_host_edges(&t).is_empty());
+        assert!(r.is_host_contiguous(&t));
+    }
+}

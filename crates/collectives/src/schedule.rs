@@ -1,0 +1,358 @@
+//! Per-edge transfer schedules.
+//!
+//! A [`CollectiveSchedule`] is the concrete work a collective launches:
+//! for each *channel* (parallel ring carrying a slice of the buffer, the
+//! paper's "number of rings equal to the number of network multi-path
+//! choices"), the set of edge transfers, split into intra-host channel
+//! copies and inter-host network transfers with explicit NIC endpoints.
+//!
+//! ## NIC assignment
+//!
+//! Channel `c`'s inter-host edge out of host `H` uses the NIC affined to
+//! the communicator's `c mod k`-th GPU on `H` (`k` = communicator GPUs on
+//! `H`). With 2 GPUs + 2 NICs per host and 2 channels this engages both
+//! NICs — NCCL's per-channel ring rotation, and the reason the paper's
+//! setup 3 tenant A ("2 GPUs and 2 NICs per host") deserves twice the
+//! inter-host bandwidth of tenants B/C ("1 per host").
+
+use crate::op::CollectiveOp;
+use crate::ring::RingOrder;
+use mccs_sim::Bytes;
+use mccs_topology::{GpuId, HostId, NicId, Topology};
+use std::collections::BTreeMap;
+
+/// One edge's transfer work.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeTask {
+    /// Same-host GPU-to-GPU copy over the intra-host channel.
+    IntraHost {
+        /// Producing GPU.
+        from: GpuId,
+        /// Consuming GPU.
+        to: GpuId,
+        /// Bytes to move.
+        bytes: Bytes,
+    },
+    /// Cross-host transfer: becomes a network flow.
+    InterHost {
+        /// Producing GPU.
+        from: GpuId,
+        /// Consuming GPU.
+        to: GpuId,
+        /// NIC the flow leaves from.
+        src_nic: NicId,
+        /// NIC the flow arrives at.
+        dst_nic: NicId,
+        /// Bytes to move.
+        bytes: Bytes,
+    },
+}
+
+impl EdgeTask {
+    /// Bytes this task moves.
+    pub fn bytes(&self) -> Bytes {
+        match *self {
+            EdgeTask::IntraHost { bytes, .. } | EdgeTask::InterHost { bytes, .. } => bytes,
+        }
+    }
+
+    /// The producing GPU.
+    pub fn from_gpu(&self) -> GpuId {
+        match *self {
+            EdgeTask::IntraHost { from, .. } | EdgeTask::InterHost { from, .. } => from,
+        }
+    }
+
+    /// Whether the task crosses hosts.
+    pub fn is_inter_host(&self) -> bool {
+        matches!(self, EdgeTask::InterHost { .. })
+    }
+}
+
+/// One channel's ring and edge tasks.
+#[derive(Clone, Debug)]
+pub struct ChannelSchedule {
+    /// Channel index.
+    pub channel: usize,
+    /// The slice of the collective buffer this channel carries.
+    pub share: Bytes,
+    /// Edge transfers, in ring order.
+    pub tasks: Vec<EdgeTask>,
+}
+
+impl ChannelSchedule {
+    /// Inter-host tasks only.
+    pub fn network_tasks(&self) -> impl Iterator<Item = &EdgeTask> {
+        self.tasks.iter().filter(|t| t.is_inter_host())
+    }
+}
+
+/// A fully resolved collective execution plan.
+#[derive(Clone, Debug)]
+pub struct CollectiveSchedule {
+    /// The operation.
+    pub op: CollectiveOp,
+    /// Reference buffer size (NCCL-tests semantics, see [`CollectiveOp`]).
+    pub size: Bytes,
+    /// Participant count.
+    pub ranks: usize,
+    /// Per-channel plans.
+    pub channels: Vec<ChannelSchedule>,
+}
+
+impl CollectiveSchedule {
+    /// Build a ring schedule: `size` split over `channel_rings.len()`
+    /// channels, channel `c` following `channel_rings[c]`.
+    ///
+    /// All rings must contain the same GPU set (they are usually the same
+    /// order, or per-channel variants chosen by the provider).
+    pub fn ring(
+        topo: &Topology,
+        op: CollectiveOp,
+        size: Bytes,
+        channel_rings: &[RingOrder],
+    ) -> Self {
+        assert!(!channel_rings.is_empty(), "need at least one channel");
+        let n = channel_rings[0].len();
+        assert!(
+            channel_rings.iter().all(|r| r.len() == n),
+            "channel rings over different GPU sets"
+        );
+        let k = channel_rings.len() as u64;
+        let channels = channel_rings
+            .iter()
+            .enumerate()
+            .map(|(c, ring)| {
+                let share = size.split(k, c as u64);
+                let edge_bytes = op.ring_edge_bytes(share, n);
+                let gpus_per_host = gpus_by_host(topo, ring);
+                let tasks = ring
+                    .edges()
+                    .into_iter()
+                    .filter(|_| edge_bytes > Bytes::ZERO)
+                    .map(|(from, to)| {
+                        if topo.same_host(from, to) {
+                            EdgeTask::IntraHost {
+                                from,
+                                to,
+                                bytes: edge_bytes,
+                            }
+                        } else {
+                            let src_nic = channel_nic(topo, &gpus_per_host, from, c);
+                            let dst_nic = channel_nic(topo, &gpus_per_host, to, c);
+                            EdgeTask::InterHost {
+                                from,
+                                to,
+                                src_nic,
+                                dst_nic,
+                                bytes: edge_bytes,
+                            }
+                        }
+                    })
+                    .collect();
+                ChannelSchedule {
+                    channel: c,
+                    share,
+                    tasks,
+                }
+            })
+            .collect();
+        CollectiveSchedule {
+            op,
+            size,
+            ranks: n,
+            channels,
+        }
+    }
+
+    /// Total bytes crossing the network (all channels).
+    pub fn total_network_bytes(&self) -> Bytes {
+        self.channels
+            .iter()
+            .flat_map(|c| c.network_tasks())
+            .map(EdgeTask::bytes)
+            .sum()
+    }
+
+    /// All tasks whose producing GPU is `gpu` — the work one proxy engine
+    /// owns.
+    pub fn tasks_from_gpu(&self, gpu: GpuId) -> Vec<(usize, EdgeTask)> {
+        self.channels
+            .iter()
+            .flat_map(|c| c.tasks.iter().map(move |t| (c.channel, *t)))
+            .filter(|(_, t)| t.from_gpu() == gpu)
+            .collect()
+    }
+
+    /// Total task count.
+    pub fn task_count(&self) -> usize {
+        self.channels.iter().map(|c| c.tasks.len()).sum()
+    }
+}
+
+/// The communicator's GPUs grouped per host, in ring order.
+fn gpus_by_host(topo: &Topology, ring: &RingOrder) -> BTreeMap<HostId, Vec<GpuId>> {
+    let mut map: BTreeMap<HostId, Vec<GpuId>> = BTreeMap::new();
+    for &g in ring.gpus() {
+        map.entry(topo.host_of_gpu(g)).or_default().push(g);
+    }
+    map
+}
+
+/// The NIC channel `c` uses on `gpu`'s host: the NIC of the communicator's
+/// `c mod k`-th GPU there.
+fn channel_nic(
+    topo: &Topology,
+    gpus_per_host: &BTreeMap<HostId, Vec<GpuId>>,
+    gpu: GpuId,
+    c: usize,
+) -> NicId {
+    let host = topo.host_of_gpu(gpu);
+    let local = &gpus_per_host[&host];
+    let pick = local[c % local.len()];
+    topo.nic_of_gpu(pick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::all_reduce_sum;
+    use mccs_topology::presets;
+
+    fn topo() -> Topology {
+        presets::testbed()
+    }
+
+    fn ring8(t: &Topology) -> RingOrder {
+        // optimal order: H0 H1 H2 H3, GPUs contiguous
+        let _ = t;
+        RingOrder::new((0..8).map(GpuId).collect())
+    }
+
+    #[test]
+    fn single_channel_four_ranks() {
+        let t = topo();
+        // one GPU per host: g0, g2, g4, g6
+        let ring = RingOrder::new(vec![GpuId(0), GpuId(2), GpuId(4), GpuId(6)]);
+        let s = CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(8), &[ring]);
+        assert_eq!(s.channels.len(), 1);
+        let ch = &s.channels[0];
+        assert_eq!(ch.tasks.len(), 4);
+        assert!(ch.tasks.iter().all(EdgeTask::is_inter_host));
+        // 2(n-1)/n * 8MiB = 12MiB per edge
+        assert!(ch.tasks.iter().all(|t| t.bytes() == Bytes::mib(12)));
+        assert_eq!(s.task_count(), 4);
+    }
+
+    #[test]
+    fn two_channels_split_bytes_and_nics() {
+        let t = topo();
+        let rings = [ring8(&t), ring8(&t)];
+        let s = CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(16), &rings);
+        assert_eq!(s.channels.len(), 2);
+        for ch in &s.channels {
+            assert_eq!(ch.share, Bytes::mib(8));
+            // 8 edges: 4 intra-host (within each host), 4 inter-host
+            assert_eq!(ch.tasks.len(), 8);
+            assert_eq!(ch.network_tasks().count(), 4);
+        }
+        // channel 0 and channel 1 use different NICs per host
+        let nic_of = |ch: &ChannelSchedule| -> Vec<NicId> {
+            ch.network_tasks()
+                .map(|t| match *t {
+                    EdgeTask::InterHost { src_nic, .. } => src_nic,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        let n0 = nic_of(&s.channels[0]);
+        let n1 = nic_of(&s.channels[1]);
+        assert!(n0.iter().zip(&n1).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn intra_host_edges_stay_off_network() {
+        let t = topo();
+        // 2 GPUs on one host: no network tasks at all.
+        let ring = RingOrder::new(vec![GpuId(0), GpuId(1)]);
+        let s = CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(4), &[ring]);
+        assert_eq!(s.total_network_bytes(), Bytes::ZERO);
+        assert_eq!(s.channels[0].tasks.len(), 2);
+        assert!(s.channels[0].tasks.iter().all(|t| !t.is_inter_host()));
+    }
+
+    #[test]
+    fn tasks_from_gpu_selects_proxy_work() {
+        let t = topo();
+        let rings = [ring8(&t), ring8(&t)];
+        let s = CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(16), &rings);
+        // GPU 1 is the boundary GPU of H0 (edge g1 -> g2 crosses hosts):
+        // one task per channel.
+        let tasks = s.tasks_from_gpu(GpuId(1));
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|(_, t)| t.is_inter_host()));
+        // GPU 0's edge g0->g1 is intra-host: one per channel.
+        let tasks = s.tasks_from_gpu(GpuId(0));
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|(_, t)| !t.is_inter_host()));
+    }
+
+    #[test]
+    fn odd_sizes_split_without_loss() {
+        let t = topo();
+        let rings = [ring8(&t), ring8(&t), ring8(&t)];
+        let s = CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::new(10), &rings);
+        let total: Bytes = s.channels.iter().map(|c| c.share).sum();
+        assert_eq!(total, Bytes::new(10));
+    }
+
+    #[test]
+    fn single_gpu_communicator_is_free() {
+        let t = topo();
+        let ring = RingOrder::new(vec![GpuId(3)]);
+        let s = CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(1), &[ring]);
+        assert_eq!(s.task_count(), 0);
+        assert_eq!(s.total_network_bytes(), Bytes::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "different GPU sets")]
+    fn mismatched_channel_rings_rejected() {
+        let t = topo();
+        let a = RingOrder::new(vec![GpuId(0), GpuId(2)]);
+        let b = RingOrder::new(vec![GpuId(0), GpuId(2), GpuId(4)]);
+        CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(1), &[a, b]);
+    }
+
+    #[test]
+    fn one_nic_per_host_shares_nic_across_channels() {
+        let t = topo();
+        // 4-GPU setup: one GPU per host; 2 channels must both exit through
+        // the single NIC each host contributes.
+        let ring = RingOrder::new(vec![GpuId(0), GpuId(2), GpuId(4), GpuId(6)]);
+        let s = CollectiveSchedule::ring(
+            &t,
+            all_reduce_sum(),
+            Bytes::mib(8),
+            &[ring.clone(), ring],
+        );
+        let nics: Vec<NicId> = s
+            .channels
+            .iter()
+            .flat_map(|c| c.network_tasks())
+            .map(|t| match *t {
+                EdgeTask::InterHost { src_nic, .. } => src_nic,
+                _ => unreachable!(),
+            })
+            .collect();
+        // channel 0 and 1 out of H0 both use g0's NIC.
+        assert_eq!(nics[0], t.nic_of_gpu(GpuId(0)));
+        assert!(nics.contains(&t.nic_of_gpu(GpuId(0))));
+        let h0_nics: Vec<_> = nics
+            .iter()
+            .filter(|n| t.nic(**n).host == mccs_topology::HostId(0))
+            .collect();
+        assert_eq!(h0_nics.len(), 2);
+        assert_eq!(h0_nics[0], h0_nics[1]);
+    }
+}

@@ -1,0 +1,167 @@
+//! One-call cluster optimization.
+//!
+//! Composes the ring and flow policies against a live [`Cluster`]'s
+//! management API: read the communicator inventory, compute the
+//! locality-aware rings, derive the connection set, solve the flow
+//! assignment, and push a single reconfiguration per communicator —
+//! exactly the controller loop the paper describes ("the rescheduling
+//! occurs only when a job joins or exits").
+
+use crate::flow_policy::{ffa, pfa, JobFlows};
+use crate::ring_policy::{optimal_rings, ChannelPolicy};
+use crate::ts::infer_windows;
+use mccs_core::cluster::Cluster;
+use mccs_core::config::RouteMap;
+use mccs_ipc::{AppId, CommunicatorId};
+use mccs_topology::RouteId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How connections are mapped to routes.
+#[derive(Clone, Debug)]
+pub enum FlowAssignment {
+    /// Leave everything to ECMP (the MCCS(-FA)/MCCS(-FFA) ablations).
+    Ecmp,
+    /// Best-fit fair flow assignment.
+    Ffa,
+    /// Priority flow assignment: per-app priorities (0 = highest, default
+    /// lowest) and the route ids reserved for priority-0 tenants.
+    Pfa {
+        /// Priority per app (absent = lowest).
+        priorities: BTreeMap<AppId, u32>,
+        /// Route ids exclusive to priority-0 apps.
+        reserved: BTreeSet<RouteId>,
+    },
+}
+
+/// A complete policy: ring strategy + flow assignment.
+#[derive(Clone, Debug)]
+pub struct PolicySpec {
+    /// Recompute locality-aware rings (OR)? `false` keeps current rings.
+    pub optimal_rings: bool,
+    /// Channel sizing for recomputed rings.
+    pub channels: ChannelPolicy,
+    /// Flow-to-route mapping.
+    pub assignment: FlowAssignment,
+}
+
+impl PolicySpec {
+    /// The full MCCS policy: OR + FFA.
+    pub fn mccs() -> Self {
+        PolicySpec {
+            optimal_rings: true,
+            channels: ChannelPolicy::MatchNics,
+            assignment: FlowAssignment::Ffa,
+        }
+    }
+
+    /// The MCCS(-FA)/MCCS(-FFA) ablation: OR only, ECMP routing.
+    pub fn mccs_no_fa() -> Self {
+        PolicySpec {
+            optimal_rings: true,
+            channels: ChannelPolicy::MatchNics,
+            assignment: FlowAssignment::Ecmp,
+        }
+    }
+}
+
+/// Apply `policy` to every fully-registered communicator on the cluster.
+/// Returns the communicators reconfigured.
+pub fn optimize_cluster(cluster: &mut Cluster, policy: &PolicySpec) -> Vec<CommunicatorId> {
+    let infos = cluster.mgmt().communicators();
+    let ready: Vec<_> = infos
+        .into_iter()
+        .filter(|i| i.registered_ranks == i.world.len())
+        .collect();
+    if ready.is_empty() {
+        return Vec::new();
+    }
+    // 1. Ring configuration.
+    let topo = std::sync::Arc::clone(&cluster.world.topo);
+    let rings_per_comm: Vec<_> = ready
+        .iter()
+        .map(|info| {
+            if policy.optimal_rings {
+                optimal_rings(&topo, &info.world, policy.channels)
+            } else {
+                info.rings.clone()
+            }
+        })
+        .collect();
+    // 2. Flow assignment.
+    let route_maps: Vec<RouteMap> = match &policy.assignment {
+        FlowAssignment::Ecmp => vec![RouteMap::ecmp(); ready.len()],
+        FlowAssignment::Ffa => {
+            let jobs: Vec<JobFlows> = ready
+                .iter()
+                .zip(&rings_per_comm)
+                .map(|(_, rings)| JobFlows::from_rings(&topo, rings, 0))
+                .collect();
+            ffa(&topo, &jobs)
+        }
+        FlowAssignment::Pfa {
+            priorities,
+            reserved,
+        } => {
+            let jobs: Vec<JobFlows> = ready
+                .iter()
+                .zip(&rings_per_comm)
+                .map(|(info, rings)| {
+                    let p = priorities.get(&info.app).copied().unwrap_or(u32::MAX);
+                    JobFlows::from_rings(&topo, rings, p)
+                })
+                .collect();
+            pfa(&topo, &jobs, reserved)
+        }
+    };
+    // 3. One reconfiguration per communicator.
+    let mut reconfigured = Vec::new();
+    for ((info, rings), routes) in ready.iter().zip(rings_per_comm).zip(route_maps) {
+        cluster.mgmt().reconfigure(info.comm, rings, routes);
+        reconfigured.push(info.comm);
+    }
+    reconfigured
+}
+
+/// Apply TS: profile `prioritized`'s trace and gate every app in `gated`
+/// into its idle windows. Returns `true` if a schedule was installed.
+pub fn apply_traffic_schedule(
+    cluster: &mut Cluster,
+    prioritized: AppId,
+    gated: &[AppId],
+) -> bool {
+    let trace = cluster.mgmt().timeline(prioritized);
+    let Some(windows) = infer_windows(&trace) else {
+        return false;
+    };
+    for &app in gated {
+        cluster
+            .mgmt()
+            .set_traffic_windows(app, Some(windows.clone()));
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_core::ClusterConfig;
+    use mccs_topology::{presets, GpuId};
+    use std::sync::Arc;
+
+    #[test]
+    fn policy_presets() {
+        let m = PolicySpec::mccs();
+        assert!(m.optimal_rings);
+        assert!(matches!(m.assignment, FlowAssignment::Ffa));
+        let nofa = PolicySpec::mccs_no_fa();
+        assert!(matches!(nofa.assignment, FlowAssignment::Ecmp));
+    }
+
+    #[test]
+    fn optimize_empty_cluster_is_a_noop() {
+        let mut c = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::default());
+        let done = optimize_cluster(&mut c, &PolicySpec::mccs());
+        assert!(done.is_empty());
+        let _ = GpuId(0);
+    }
+}

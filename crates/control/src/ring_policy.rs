@@ -1,0 +1,143 @@
+//! Locality-aware ring configuration (OR).
+//!
+//! The greedy algorithm of §4.3 Example #1: "group the participant hosts
+//! by their locality (e.g., under the same rack, under the same pod) and
+//! then connect them in a sequential order". The resulting ring visits
+//! every rack contiguously, so cross-rack ring edges drop to the minimum
+//! (one entry per rack boundary) — the denominator of the paper's
+//! cross-rack ratio.
+
+use mccs_collectives::RingOrder;
+use mccs_topology::{GpuId, LocalityMap, Topology};
+use std::collections::BTreeMap;
+
+/// How many parallel rings (channels) to configure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChannelPolicy {
+    /// One channel per NIC the communicator can drive on its busiest host
+    /// (engages every assigned NIC; the testbed setting).
+    MatchNics,
+    /// One channel per equal-cost network path (the §6.5 at-scale setting:
+    /// "the number of rings equal to the number of network multi-path
+    /// choices", so FFA can dedicate one ring per path).
+    MatchPathDiversity,
+    /// Exactly this many channels.
+    Fixed(usize),
+}
+
+/// Compute the locality-aware rings for a communicator.
+///
+/// All channels share the same locality-optimal order (channel NIC
+/// rotation happens in the schedule layer); what differs per channel is
+/// the route assignment, which is the flow policy's job.
+pub fn optimal_rings(
+    topo: &Topology,
+    gpus: &[GpuId],
+    channels: ChannelPolicy,
+) -> Vec<RingOrder> {
+    assert!(!gpus.is_empty(), "empty communicator");
+    let map = LocalityMap::build(topo, gpus);
+    let ring = RingOrder::new(map.locality_order());
+    let k = match channels {
+        ChannelPolicy::Fixed(k) => k,
+        ChannelPolicy::MatchNics => max_gpus_per_host(topo, gpus),
+        ChannelPolicy::MatchPathDiversity => {
+            // The widest equal-cost choice any ring edge sees (same-rack
+            // edges see one path; cross-rack edges one per spine).
+            ring.inter_host_edges(topo)
+                .iter()
+                .map(|&(a, b)| topo.path_diversity(topo.nic_of_gpu(a), topo.nic_of_gpu(b)))
+                .max()
+                .unwrap_or(1)
+        }
+    };
+    vec![ring; k.max(1)]
+}
+
+fn max_gpus_per_host(topo: &Topology, gpus: &[GpuId]) -> usize {
+    let mut counts: BTreeMap<_, usize> = BTreeMap::new();
+    for &g in gpus {
+        *counts.entry(topo.host_of_gpu(g)).or_default() += 1;
+    }
+    counts.values().copied().max().unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_collectives::crossrack;
+    use mccs_sim::Rng;
+    use mccs_topology::presets;
+
+    #[test]
+    fn optimal_ring_minimizes_cross_rack_edges() {
+        let topo = presets::testbed();
+        // Scrambled membership spanning both racks.
+        let gpus = vec![GpuId(6), GpuId(0), GpuId(4), GpuId(2)];
+        let rings = optimal_rings(&topo, &gpus, ChannelPolicy::Fixed(1));
+        let hosts = rings[0].host_sequence(&topo);
+        assert_eq!(crossrack::cross_rack_edges(&topo, &hosts), 2);
+        assert!((crossrack::cross_rack_ratio(&topo, &hosts) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_beats_random_on_average() {
+        let topo = presets::spine_leaf(&presets::SpineLeafConfig {
+            spines: 2,
+            leaves: 8,
+            hosts_per_leaf: 4,
+            gpus_per_host: 1,
+            nic_bandwidth: mccs_sim::Bandwidth::gbps(100.0),
+            leaf_spine_bandwidth: mccs_sim::Bandwidth::gbps(100.0),
+        });
+        let gpus: Vec<GpuId> = (0..32).map(GpuId).collect();
+        let rings = optimal_rings(&topo, &gpus, ChannelPolicy::Fixed(1));
+        let opt_hosts = rings[0].host_sequence(&topo);
+        let opt = crossrack::cross_rack_edges(&topo, &opt_hosts);
+        let mut rng = Rng::seed_from(1);
+        let hosts: Vec<_> = opt_hosts.clone();
+        let rand_ratio = crossrack::expected_random_ratio(&topo, &hosts, 100, &mut rng);
+        assert_eq!(opt, 8, "one crossing per rack");
+        assert!(rand_ratio > 2.0, "random ratio {rand_ratio}");
+    }
+
+    #[test]
+    fn channel_policies() {
+        let topo = presets::testbed();
+        let eight: Vec<GpuId> = (0..8).map(GpuId).collect();
+        assert_eq!(
+            optimal_rings(&topo, &eight, ChannelPolicy::MatchNics).len(),
+            2
+        );
+        let four = vec![GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+        assert_eq!(
+            optimal_rings(&topo, &four, ChannelPolicy::MatchNics).len(),
+            1
+        );
+        // testbed has 2 spines -> diversity 2
+        assert_eq!(
+            optimal_rings(&topo, &four, ChannelPolicy::MatchPathDiversity).len(),
+            2
+        );
+        assert_eq!(
+            optimal_rings(&topo, &four, ChannelPolicy::Fixed(5)).len(),
+            5
+        );
+    }
+
+    #[test]
+    fn single_host_job_gets_one_channel_for_diversity() {
+        let topo = presets::testbed();
+        let gpus = vec![GpuId(0), GpuId(1)];
+        let rings = optimal_rings(&topo, &gpus, ChannelPolicy::MatchPathDiversity);
+        assert_eq!(rings.len(), 1);
+    }
+
+    #[test]
+    fn rings_are_host_contiguous() {
+        let topo = presets::testbed();
+        let gpus = vec![GpuId(5), GpuId(1), GpuId(0), GpuId(4)];
+        let rings = optimal_rings(&topo, &gpus, ChannelPolicy::MatchNics);
+        assert!(rings[0].is_host_contiguous(&topo));
+    }
+}

@@ -1,0 +1,154 @@
+//! Time-window traffic scheduling (TS).
+//!
+//! The CASSINI-inspired policy of §4.3 Example #4: profile the prioritized
+//! application's collective timeline through the MCCS tracing API, find
+//! its periodic idle cycles (time between one collective's completion and
+//! the next one's issue — the backward/forward compute phases of a
+//! training iteration), and emit a [`TrafficWindows`] schedule that admits
+//! *other* tenants' traffic only inside those idle windows.
+
+use mccs_core::qos::TrafficWindows;
+use mccs_core::tracing::TraceRecord;
+use mccs_sim::Nanos;
+
+/// Infer the windows during which the traced application is idle.
+///
+/// Needs at least three completed collectives to establish a period.
+/// Returns `None` when the trace is too short or shows no usable idle gap
+/// (a communication-bound app leaves nothing to interleave into).
+pub fn infer_windows(records: &[TraceRecord]) -> Option<TrafficWindows> {
+    // Use completed rank-0-style records in issue order.
+    let mut recs: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.completed_at.is_some())
+        .collect();
+    recs.sort_by_key(|r| r.issued_at);
+    if recs.len() < 3 {
+        return None;
+    }
+    // Cluster back-to-back collectives into bursts: a new burst starts
+    // when the gap since the previous completion exceeds the threshold
+    // (dependent collectives of one layer/bucket issue within it).
+    const BURST_GAP: Nanos = Nanos::from_micros(200);
+    let mut bursts: Vec<(Nanos, Nanos)> = Vec::new(); // (start, end)
+    for r in &recs {
+        let done = r.completed_at.expect("filtered");
+        match bursts.last_mut() {
+            Some((_, end)) if r.issued_at <= *end + BURST_GAP => {
+                *end = (*end).max(done);
+            }
+            _ => bursts.push((r.issued_at, done)),
+        }
+    }
+    if bursts.len() < 3 {
+        return None;
+    }
+    // Period: median inter-burst-start gap.
+    let mut periods: Vec<u64> = bursts
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0).as_nanos())
+        .collect();
+    periods.sort_unstable();
+    let period = Nanos::from_nanos(periods[periods.len() / 2]);
+    if period == Nanos::ZERO {
+        return None;
+    }
+    // Busy span: median burst duration.
+    let mut busy: Vec<u64> = bursts
+        .iter()
+        .map(|&(s, e)| (e - s).as_nanos())
+        .collect();
+    busy.sort_unstable();
+    let busy = Nanos::from_nanos(busy[busy.len() / 2]);
+    if busy >= period {
+        return None; // no idle cycle to exploit
+    }
+    let idle = period - busy;
+    // Phase-align to the last observed burst end: the idle phase starts
+    // when the burst completes.
+    let last_done = bursts.last().expect("non-empty").1;
+    let offset = Nanos::from_nanos(last_done.as_nanos() % period.as_nanos());
+    // The open (others-may-send) window is the idle span starting at the
+    // completion phase, wrapped into the period.
+    let open = if offset + idle <= period {
+        vec![(offset, idle)]
+    } else {
+        let first = period - offset;
+        vec![(Nanos::ZERO, idle - first), (offset, first)]
+    };
+    Some(TrafficWindows::new(period, open))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_collectives::op::all_reduce_sum;
+    use mccs_ipc::{AppId, CommunicatorId};
+    use mccs_sim::Bytes;
+
+    /// Build a synthetic periodic trace: issue at k*period, complete
+    /// busy later.
+    fn periodic_trace(n: usize, period_us: u64, busy_us: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|k| {
+                let issued = Nanos::from_micros(k as u64 * period_us);
+                TraceRecord {
+                    app: AppId(0),
+                    comm: CommunicatorId(0),
+                    rank: 0,
+                    seq: k as u64,
+                    op: all_reduce_sum(),
+                    size: Bytes::mib(25),
+                    epoch: 0,
+                    issued_at: issued,
+                    launched_at: Some(issued),
+                    completed_at: Some(issued + Nanos::from_micros(busy_us)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_period_and_idle_fraction() {
+        let trace = periodic_trace(10, 1000, 300);
+        let w = infer_windows(&trace).expect("clear periodicity");
+        assert_eq!(w.period, Nanos::from_millis(1));
+        assert!((w.duty_cycle() - 0.7).abs() < 0.01, "duty {}", w.duty_cycle());
+    }
+
+    #[test]
+    fn window_opens_exactly_when_app_goes_idle() {
+        let trace = periodic_trace(10, 1000, 300);
+        let w = infer_windows(&trace).expect("windows");
+        // App busy [0, 300us) of each period; idle [300us, 1000us).
+        assert!(!w.is_open(Nanos::from_micros(100)));
+        assert!(w.is_open(Nanos::from_micros(500)));
+        assert!(w.is_open(Nanos::from_micros(999)));
+        assert!(!w.is_open(Nanos::from_micros(1100)));
+    }
+
+    #[test]
+    fn too_short_trace_yields_none() {
+        assert!(infer_windows(&periodic_trace(2, 1000, 300)).is_none());
+    }
+
+    #[test]
+    fn fully_busy_app_yields_none() {
+        // busy == period: communication-bound, nothing to interleave.
+        assert!(infer_windows(&periodic_trace(10, 1000, 1000)).is_none());
+    }
+
+    #[test]
+    fn tolerates_jittered_latencies() {
+        let mut trace = periodic_trace(11, 1000, 300);
+        // jitter completions by up to 50us
+        for (i, r) in trace.iter_mut().enumerate() {
+            let j = (i as u64 * 13) % 50;
+            r.completed_at = Some(r.completed_at.expect("set") + Nanos::from_micros(j));
+        }
+        let w = infer_windows(&trace).expect("windows");
+        assert_eq!(w.period, Nanos::from_millis(1));
+        // duty cycle near 0.7 despite jitter (median is robust)
+        assert!((w.duty_cycle() - 0.7).abs() < 0.06);
+    }
+}

@@ -1,0 +1,50 @@
+//! Tenant application engines.
+//!
+//! One [`AppEngine`] per rank: it owns the rank's [`ShimSession`] and its
+//! [`AppProgram`](mccs_shim::AppProgram), and on each poll hands the
+//! program a [`ShimApi`](mccs_shim::ShimApi) scoped to the rank's endpoint.
+//! From the world's perspective the tenant is just another engine —
+//! but one whose only access is the shim surface (queues, own streams,
+//! handles): the isolation boundary of the paper.
+
+use crate::world::{EndpointPort, World};
+use mccs_shim::{AppProgram, AppStatus, ShimApi, ShimSession};
+use mccs_sim::{Engine, Poll};
+
+/// The engine driving one tenant rank.
+pub struct AppEngine {
+    endpoint: usize,
+    session: ShimSession,
+    program: Box<dyn AppProgram>,
+}
+
+impl AppEngine {
+    /// Drive `program` as the rank attached to `endpoint`.
+    pub fn new(endpoint: usize, program: Box<dyn AppProgram>) -> Self {
+        AppEngine {
+            endpoint,
+            session: ShimSession::new(),
+            program,
+        }
+    }
+}
+
+impl Engine<World> for AppEngine {
+    fn progress(&mut self, w: &mut World) -> Poll {
+        let gpu = w.endpoints[self.endpoint].gpu;
+        let mut port = EndpointPort {
+            world: w,
+            idx: self.endpoint,
+        };
+        let mut api = ShimApi::new(&mut self.session, &mut port, gpu);
+        match self.program.poll(&mut api) {
+            AppStatus::Running => Poll::Progressed,
+            AppStatus::Blocked => Poll::Idle,
+            AppStatus::Finished => Poll::Finished,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("app-rank({}, {})", self.endpoint, self.program.name())
+    }
+}

@@ -1,0 +1,228 @@
+//! The cluster harness: builds a world, spawns service engines, attaches
+//! tenant applications, and drives everything in virtual time.
+
+use crate::app::AppEngine;
+use crate::config::ServiceConfig;
+use crate::frontend::FrontendEngine;
+use crate::mgmt::Management;
+use crate::proxy::ProxyEngine;
+use crate::transport::TransportEngine;
+use crate::world::{Endpoint, World};
+use mccs_device::DeviceConfig;
+use mccs_ipc::{AppId, IpcConfig, LatencyQueue};
+use mccs_shim::AppProgram;
+use mccs_sim::{Nanos, RuntimePool};
+use mccs_topology::{GpuId, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Knobs for a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// GPU cost model.
+    pub device: DeviceConfig,
+    /// IPC latency model.
+    pub ipc: IpcConfig,
+    /// Service tuning.
+    pub service: ServiceConfig,
+    /// Master seed (placement, jitter — everything derives from this).
+    pub seed: u64,
+    /// Spawn the per-GPU proxy and per-NIC transport engines. Disable for
+    /// pure library-mode simulations (the §6.5 at-scale study) where no
+    /// tenant uses the service — at 768 GPUs the idle service engines
+    /// dominate poll time otherwise.
+    pub service_engines: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            device: DeviceConfig::default(),
+            ipc: IpcConfig::default(),
+            service: ServiceConfig::default(),
+            seed: MCCS_DEFAULT_SEED,
+            service_engines: true,
+        }
+    }
+}
+
+/// "MCCS" in ASCII — the default master seed.
+const MCCS_DEFAULT_SEED: u64 = 0x4d43_4353;
+
+/// A full simulated deployment: topology + service + tenants.
+pub struct Cluster {
+    /// The shared world (public for experiment harnesses and tests).
+    pub world: World,
+    pool: RuntimePool<World>,
+    next_app: u32,
+}
+
+impl Cluster {
+    /// Build a cluster over `topo`: one proxy engine per GPU, one
+    /// transport engine per NIC, no tenants yet.
+    pub fn new(topo: Arc<Topology>, cfg: ClusterConfig) -> Self {
+        let world = World::new(
+            Arc::clone(&topo),
+            cfg.device,
+            cfg.ipc,
+            cfg.service,
+            cfg.seed,
+        );
+        let mut pool: RuntimePool<World> = RuntimePool::new();
+        if cfg.service_engines {
+            for gpu in topo.gpus() {
+                pool.spawn(Box::new(ProxyEngine::new(gpu.id)));
+            }
+            for nic in topo.nics() {
+                pool.spawn(Box::new(TransportEngine::new(nic.id)));
+            }
+        }
+        Cluster {
+            world,
+            pool,
+            next_app: 0,
+        }
+    }
+
+    /// Attach a tenant application: one `(GPU, program)` pair per rank.
+    /// Creates the rank endpoints, one frontend engine per occupied host,
+    /// and one app engine per rank. Returns the application id.
+    pub fn add_app(
+        &mut self,
+        name: &str,
+        ranks: Vec<(GpuId, Box<dyn AppProgram>)>,
+    ) -> AppId {
+        assert!(!ranks.is_empty(), "application needs at least one rank");
+        let app = AppId(self.next_app);
+        self.next_app += 1;
+        self.world.app_names.push(name.to_owned());
+        let cap = self.world.ipc.queue_capacity;
+        let mut per_host: BTreeMap<mccs_topology::HostId, Vec<usize>> = BTreeMap::new();
+        for (rank, (gpu, program)) in ranks.into_iter().enumerate() {
+            let endpoint = self.world.endpoints.len();
+            let app_stream = self.world.devices.create_stream(gpu);
+            let rng = self.world.rng.fork();
+            self.world.endpoints.push(Endpoint {
+                app,
+                rank,
+                gpu,
+                app_stream,
+                cmd: LatencyQueue::new(cap),
+                comp: LatencyQueue::new(cap),
+                rng,
+            });
+            per_host
+                .entry(self.world.topo.host_of_gpu(gpu))
+                .or_default()
+                .push(endpoint);
+            self.pool.spawn(Box::new(AppEngine::new(endpoint, program)));
+        }
+        for (host, endpoints) in per_host {
+            self.pool
+                .spawn(Box::new(FrontendEngine::new(app, host, endpoints)));
+        }
+        app
+    }
+
+    /// Spawn an arbitrary engine into the pool (library-mode tenants such
+    /// as the NCCL baseline, experiment drivers).
+    pub fn spawn_engine(&mut self, engine: Box<dyn mccs_sim::Engine<World>>) {
+        self.pool.spawn(engine);
+    }
+
+    /// Register an application name without shim endpoints (library-mode
+    /// tenants) and get its id.
+    pub fn register_app_name(&mut self, name: &str) -> AppId {
+        let app = AppId(self.next_app);
+        self.next_app += 1;
+        self.world.app_names.push(name.to_owned());
+        app
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.world.clock
+    }
+
+    /// The management/controller surface.
+    pub fn mgmt(&mut self) -> Management<'_> {
+        Management::new(&mut self.world)
+    }
+
+    /// Run until virtual time `t` (or until the system quiesces earlier).
+    pub fn run_until(&mut self, t: Nanos) {
+        loop {
+            self.pool.poll_until_quiescent(&mut self.world);
+            match self.world.next_time() {
+                Some(next) if next <= t => self.world.advance_to(next),
+                _ => break,
+            }
+        }
+        if self.world.clock < t {
+            self.world.advance_to(t);
+            self.pool.poll_until_quiescent(&mut self.world);
+        }
+    }
+
+    /// Run until nothing can ever happen again (all programs finished or
+    /// blocked forever). Returns the final virtual time.
+    ///
+    /// # Panics
+    /// Panics if the system is still active at `deadline` — the universal
+    /// hang detector for tests.
+    pub fn run_until_quiescent(&mut self, deadline: Nanos) -> Nanos {
+        loop {
+            self.pool.poll_until_quiescent(&mut self.world);
+            match self.world.next_time() {
+                Some(next) => {
+                    assert!(
+                        next <= deadline,
+                        "cluster still active at deadline {deadline}: next event at {next}; \
+                         live engines: {:?}",
+                        self.pool.live_names()
+                    );
+                    self.world.advance_to(next);
+                }
+                None => return self.world.clock,
+            }
+        }
+    }
+
+    /// Live (unfinished) engine count — tenants, frontends, proxies,
+    /// transports.
+    pub fn live_engines(&self) -> usize {
+        self.pool.live()
+    }
+
+    /// Names of live engines (deadlock diagnostics).
+    pub fn live_engine_names(&self) -> Vec<String> {
+        self.pool
+            .live_names()
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect()
+    }
+}
+
+impl ClusterConfig {
+    /// The default seed.
+    pub const DEFAULT_SEED: u64 = MCCS_DEFAULT_SEED;
+
+    /// A config with everything default except the seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ClusterConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Library-mode config: no service engines (at-scale studies where
+    /// tenants bring their own collective library).
+    pub fn library_mode(seed: u64) -> Self {
+        ClusterConfig {
+            seed,
+            service_engines: false,
+            ..Default::default()
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Provider-side configuration: per-communicator collective strategy and
+//! service tuning knobs.
+
+use mccs_collectives::RingOrder;
+use mccs_ipc::CommunicatorId;
+use mccs_sim::Nanos;
+use mccs_topology::{GpuId, NicId, RouteId, Topology};
+use std::collections::BTreeMap;
+
+/// Explicit flow-to-route pins: `(channel, src NIC, dst NIC) -> route id`.
+/// Pairs without an entry fall back to ECMP with a deterministic
+/// connection hash — exactly the paper's split between MCCS (pinned via
+/// the UDP-source-port trick) and MCCS(-FA) (plain ECMP).
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct RouteMap {
+    map: BTreeMap<(usize, NicId, NicId), RouteId>,
+}
+
+impl RouteMap {
+    /// Everything-ECMP.
+    pub fn ecmp() -> Self {
+        Self::default()
+    }
+
+    /// Pin one connection.
+    pub fn pin(&mut self, channel: usize, src: NicId, dst: NicId, route: RouteId) {
+        self.map.insert((channel, src, dst), route);
+    }
+
+    /// Look up a pin.
+    pub fn get(&self, channel: usize, src: NicId, dst: NicId) -> Option<RouteId> {
+        self.map.get(&(channel, src, dst)).copied()
+    }
+
+    /// Number of pinned connections.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no connections are pinned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over all pins.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, NicId, NicId), &RouteId)> {
+        self.map.iter()
+    }
+}
+
+/// The provider's collective strategy for one communicator: ring order per
+/// channel plus flow routes. Every rank derives identical schedules from
+/// an identical config — the property the reconfiguration barrier protects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CollectiveConfig {
+    /// Configuration epoch; bumped by every reconfiguration.
+    pub epoch: u64,
+    /// One ring per channel; data is split across channels.
+    pub channel_rings: Vec<RingOrder>,
+    /// Flow route pins (empty = ECMP everywhere).
+    pub routes: RouteMap,
+}
+
+impl CollectiveConfig {
+    /// The default strategy the service applies with no controller input:
+    /// NCCL's own construction (host-grouped, user rank order) with one
+    /// channel per communicator GPU on the most-loaded host (engaging every
+    /// NIC the tenant was assigned), and ECMP routing.
+    pub fn default_for(topo: &Topology, world: &[GpuId]) -> Self {
+        let ring = RingOrder::nccl_default(topo, world);
+        let channels = max_gpus_per_host(topo, world).max(1);
+        CollectiveConfig {
+            epoch: 0,
+            channel_rings: vec![ring; channels],
+            routes: RouteMap::ecmp(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channel_rings.len()
+    }
+
+    /// The deterministic ECMP hash for an unpinned connection. Stable per
+    /// (communicator, epoch, channel, NIC pair) — connections are
+    /// established once per configuration, as in NCCL, so every collective
+    /// reuses the same path until a reconfiguration re-establishes them.
+    pub fn ecmp_hash(
+        &self,
+        comm: CommunicatorId,
+        channel: usize,
+        src: NicId,
+        dst: NicId,
+    ) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for v in [
+            comm.0,
+            self.epoch,
+            channel as u64,
+            u64::from(src.0),
+            u64::from(dst.0),
+        ] {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+fn max_gpus_per_host(topo: &Topology, world: &[GpuId]) -> usize {
+    let mut counts: BTreeMap<_, usize> = BTreeMap::new();
+    for &g in world {
+        *counts.entry(topo.host_of_gpu(g)).or_default() += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+/// Service-wide tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// One-way latency of the per-communicator TCP control ring used by
+    /// the reconfiguration barrier (per hop).
+    pub control_ring_latency: Nanos,
+    /// Jitter fraction on control messages (reconfiguration requests reach
+    /// different hosts at different times — the Figure 4 hazard).
+    pub control_jitter_frac: f64,
+    /// Time to tear down and re-establish peer connections when a
+    /// reconfiguration is applied.
+    pub reconnect_delay: Nanos,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            control_ring_latency: Nanos::from_micros(30),
+            control_jitter_frac: 0.5,
+            reconnect_delay: Nanos::from_micros(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_topology::presets;
+
+    #[test]
+    fn default_config_engages_all_tenant_nics() {
+        let topo = presets::testbed();
+        // 8-GPU tenant: 2 GPUs/host -> 2 channels.
+        let world: Vec<GpuId> = (0..8).map(GpuId).collect();
+        let cfg = CollectiveConfig::default_for(&topo, &world);
+        assert_eq!(cfg.channels(), 2);
+        // 4-GPU tenant (one per host) -> 1 channel.
+        let world4 = vec![GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+        let cfg4 = CollectiveConfig::default_for(&topo, &world4);
+        assert_eq!(cfg4.channels(), 1);
+    }
+
+    #[test]
+    fn ecmp_hash_stable_within_epoch_changes_across() {
+        let topo = presets::testbed();
+        let world: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let mut cfg = CollectiveConfig::default_for(&topo, &world);
+        let c = CommunicatorId(3);
+        let h1 = cfg.ecmp_hash(c, 0, NicId(0), NicId(4));
+        let h2 = cfg.ecmp_hash(c, 0, NicId(0), NicId(4));
+        assert_eq!(h1, h2);
+        let other_channel = cfg.ecmp_hash(c, 1, NicId(0), NicId(4));
+        assert_ne!(h1, other_channel);
+        cfg.epoch += 1;
+        assert_ne!(h1, cfg.ecmp_hash(c, 0, NicId(0), NicId(4)));
+    }
+
+    #[test]
+    fn route_map_pins() {
+        let mut r = RouteMap::ecmp();
+        assert!(r.is_empty());
+        r.pin(0, NicId(1), NicId(5), RouteId(1));
+        assert_eq!(r.get(0, NicId(1), NicId(5)), Some(RouteId(1)));
+        assert_eq!(r.get(1, NicId(1), NicId(5)), None);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().count(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # mccs-core — the MCCS service
+//!
+//! The paper's primary contribution: collective communication as a
+//! provider-controlled host service. Tenant applications talk NCCL-shaped
+//! APIs to a shim (`mccs-shim`); this crate is everything on the other
+//! side of the command queue:
+//!
+//! * **frontend engines** ([`frontend`]) — one per application per host;
+//!   own tenant GPU-buffer allocation (IPC handles, validation) and route
+//!   commands to proxies;
+//! * **proxy engines** ([`proxy`]) — one per GPU; own communicator state,
+//!   sequence collectives, compute ring schedules from the provider's
+//!   configuration, drive intra-host channel transfers, and run the
+//!   **dynamic reconfiguration protocol** of Figure 4 (control-ring
+//!   AllGather barrier over last-launched sequence numbers);
+//! * **transport engines** ([`transport`]) — one per NIC; turn inter-host
+//!   edge tasks into network flows with explicit route pins (FFA/PFA) and
+//!   enforce time-window traffic schedules (TS);
+//! * **management API** ([`mgmt`]) — the provider/controller surface:
+//!   communicator inventory, runtime reconfiguration, traffic windows,
+//!   and collective tracing.
+//!
+//! Everything runs in virtual time inside a [`cluster::Cluster`]: a
+//! discrete-event world ([`world::World`]) advancing the network
+//! (`mccs-netsim`), the GPUs (`mccs-device`), the IPC queues (`mccs-ipc`)
+//! and the engine pool together.
+//!
+//! ## Modeling notes (vs. the real system)
+//!
+//! * Collective completion is tracked by a shared progress registry
+//!   ([`world::CollectiveProgress`]) rather than per-rank kernel plumbing —
+//!   the flow-level approximation the paper's own §6.5 simulator makes.
+//! * "Connections" are per-flow; reconfiguration teardown/re-setup cost is
+//!   modeled as a configurable pause ([`config::ServiceConfig`]).
+
+pub mod app;
+pub mod cluster;
+pub mod config;
+pub mod frontend;
+pub mod messages;
+pub mod mgmt;
+pub mod proxy;
+pub mod qos;
+pub mod tracing;
+pub mod transport;
+pub mod world;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use config::{CollectiveConfig, RouteMap, ServiceConfig};
+pub use mgmt::CommInfo;
+pub use qos::TrafficWindows;
+pub use tracing::{TraceCollector, TraceRecord};
+pub use world::World;

@@ -1,0 +1,125 @@
+//! Engine-to-engine messages.
+//!
+//! Engines never reference each other directly; everything moves through
+//! latency-modeled inboxes in the [`crate::world::World`] — the same
+//! discipline the real service's shared-memory engine queues impose.
+
+use crate::config::CollectiveConfig;
+use mccs_device::EventId;
+use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId};
+use mccs_sim::Bytes;
+use mccs_topology::{GpuId, NicId};
+use mccs_netsim::RouteChoice;
+use std::collections::BTreeMap;
+
+/// Messages into a proxy engine's inbox.
+#[derive(Clone, Debug)]
+pub enum ProxyMsg {
+    /// A frontend registered a communicator rank living on this GPU.
+    RegisterRank {
+        /// Owning application.
+        app: AppId,
+        /// The rank's shim endpoint (for completions).
+        endpoint: usize,
+        /// Communicator id.
+        comm: CommunicatorId,
+        /// Rank -> GPU map, in user rank order.
+        world: Vec<GpuId>,
+        /// This rank.
+        rank: usize,
+        /// Event the service records after each collective completion.
+        comm_event: EventId,
+    },
+    /// A frontend forwarded a tenant collective.
+    Collective {
+        /// The rank's shim endpoint.
+        endpoint: usize,
+        /// Tenant request id (for the launch ack / errors).
+        req: u64,
+        /// The invocation.
+        coll: CollectiveRequest,
+    },
+    /// A frontend forwarded a communicator teardown.
+    CommDestroy {
+        /// The rank's shim endpoint.
+        endpoint: usize,
+        /// Tenant request id.
+        req: u64,
+        /// The communicator.
+        comm: CommunicatorId,
+    },
+    /// The provider requests a strategy change (Figure 4 `Req`).
+    Reconfigure {
+        /// The communicator.
+        comm: CommunicatorId,
+        /// The new configuration (its `epoch` must be current + 1).
+        config: CollectiveConfig,
+    },
+    /// A control-ring barrier contribution travelling rank to rank
+    /// (Figure 4 `AG`): the gathered `last launched` sequence numbers.
+    BarrierGossip {
+        /// The communicator.
+        comm: CommunicatorId,
+        /// Target epoch of the pending reconfiguration.
+        epoch: u64,
+        /// rank -> last launched sequence (`None` = nothing launched).
+        entries: BTreeMap<usize, Option<u64>>,
+        /// Remaining forward hops around the ring.
+        hops_left: usize,
+    },
+}
+
+/// Messages into a transport engine's inbox.
+#[derive(Clone, Debug)]
+pub enum TransportMsg {
+    /// Launch an inter-host transfer (one edge task of a collective).
+    Send {
+        /// Owning application (for QoS gating).
+        app: AppId,
+        /// Communicator (for accounting).
+        comm: CommunicatorId,
+        /// Collective sequence number.
+        seq: u64,
+        /// Completion token (fed back into the collective's progress).
+        token: u64,
+        /// Source NIC (this transport's NIC).
+        src_nic: NicId,
+        /// Destination NIC.
+        dst_nic: NicId,
+        /// Payload.
+        bytes: Bytes,
+        /// Route choice (pinned by FFA/PFA or ECMP).
+        route: RouteChoice,
+    },
+    /// Install (or clear) a traffic-window schedule for an application —
+    /// the TS enforcement point.
+    SetWindows {
+        /// The gated application.
+        app: AppId,
+        /// The schedule; `None` removes gating.
+        windows: Option<crate::qos::TrafficWindows>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let m = ProxyMsg::BarrierGossip {
+            comm: CommunicatorId(1),
+            epoch: 2,
+            entries: BTreeMap::from([(0, Some(5)), (1, None)]),
+            hops_left: 3,
+        };
+        let c = m.clone();
+        assert!(format!("{c:?}").contains("BarrierGossip"));
+
+        let t = TransportMsg::SetWindows {
+            app: AppId(0),
+            windows: None,
+        };
+        assert!(format!("{:?}", t.clone()).contains("SetWindows"));
+    }
+}

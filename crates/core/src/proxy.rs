@@ -1,0 +1,599 @@
+//! The proxy engine — one per GPU.
+//!
+//! Proxies own communicator state, sequence tenant collectives, derive
+//! edge schedules from the provider's [`CollectiveConfig`], drive
+//! intra-host channel transfers, hand inter-host edges to transports, and
+//! run the paper's Figure 4 **dynamic reconfiguration protocol**:
+//!
+//! 1. a reconfiguration request (`Req`) reaches each rank's proxy at a
+//!    different time;
+//! 2. upon receipt, a proxy stops launching, queues subsequent
+//!    collectives, and contributes its *last launched* sequence number to
+//!    a control-ring AllGather (`AG`);
+//! 3. once a proxy has gathered all ranks' contributions it computes the
+//!    maximum and **drains**: launches exactly the queued collectives with
+//!    `seq <= max` under the *old* configuration;
+//! 4. when those complete, it tears down and re-establishes connections
+//!    (modeled as [`ServiceConfig::reconnect_delay`](crate::config::ServiceConfig))
+//!    and resumes under the new configuration.
+//!
+//! The safety property (checked by tests and asserted in traces): every
+//! collective executes under the same configuration epoch on every rank,
+//! and an absent reconfiguration adds zero overhead to the data path.
+
+use crate::config::CollectiveConfig;
+use crate::messages::{ProxyMsg, TransportMsg};
+use crate::world::World;
+use mccs_collectives::{CollectiveOp, CollectiveSchedule, EdgeTask};
+use mccs_device::{EventId, StreamId, StreamOp};
+use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ShimCompletion};
+use mccs_netsim::RouteChoice;
+use mccs_sim::{Bytes, Engine, Nanos, Poll};
+use mccs_topology::GpuId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A sequenced, not-yet-launched collective.
+#[derive(Clone, Debug)]
+pub struct PendingCollective {
+    /// Tenant request id.
+    pub req: u64,
+    /// Assigned sequence number.
+    pub seq: u64,
+    /// The invocation.
+    pub coll: CollectiveRequest,
+}
+
+/// The collective currently executing on a communicator rank.
+#[derive(Clone, Debug)]
+pub struct Inflight {
+    /// Sequence number.
+    pub seq: u64,
+    /// App-stream dependency to wait for before moving data.
+    pub dependency: Option<EventId>,
+    /// Whether transfers have been launched.
+    pub launched: bool,
+}
+
+/// Reconfiguration protocol state (Figure 4).
+#[derive(Clone, Debug)]
+pub enum ReconfigState {
+    /// No reconfiguration in flight — the fast path.
+    Normal,
+    /// `Req` received; gathering last-launched sequence numbers.
+    Barrier {
+        /// The configuration to apply.
+        new_config: CollectiveConfig,
+        /// rank -> last launched (`None` = never launched).
+        entries: BTreeMap<usize, Option<u64>>,
+    },
+    /// Barrier complete; draining collectives `<= max_seq` under the old
+    /// configuration.
+    Draining {
+        /// The configuration to apply.
+        new_config: CollectiveConfig,
+        /// Barrier maximum; `None` when no rank had launched anything.
+        max_seq: Option<u64>,
+    },
+}
+
+/// One communicator rank's service-side state (lives in
+/// [`World::comms`](crate::world::World) so the management API can see it).
+#[derive(Debug)]
+pub struct CommRank {
+    /// Owning application.
+    pub app: AppId,
+    /// The rank's shim endpoint.
+    pub endpoint: usize,
+    /// Communicator id.
+    pub comm: CommunicatorId,
+    /// Rank -> GPU map.
+    pub world_gpus: Vec<GpuId>,
+    /// This rank.
+    pub rank: usize,
+    /// This rank's GPU.
+    pub gpu: GpuId,
+    /// Event recorded after each collective completes.
+    pub comm_event: EventId,
+    /// Service-internal streams, one per channel (grown on demand).
+    pub streams: Vec<StreamId>,
+    /// The provider's current strategy.
+    pub config: CollectiveConfig,
+    /// Next sequence number to assign.
+    pub next_seq: u64,
+    /// Last launched sequence number.
+    pub last_launched: Option<u64>,
+    /// Sequenced, unlaunched collectives.
+    pub queue: VecDeque<PendingCollective>,
+    /// The executing collective.
+    pub inflight: Option<Inflight>,
+    /// Reconfiguration protocol state.
+    pub reconfig: ReconfigState,
+    /// Launches are gated until this time (connection re-establishment).
+    pub resume_at: Nanos,
+    /// Barrier gossip that arrived before this rank's own `Req`.
+    pub pending_gossip: Vec<(u64, BTreeMap<usize, Option<u64>>, usize)>,
+}
+
+impl CommRank {
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.world_gpus.len()
+    }
+
+    /// The GPU of the next rank around the control ring.
+    pub fn next_rank_gpu(&self) -> GpuId {
+        self.world_gpus[(self.rank + 1) % self.size()]
+    }
+}
+
+/// Send/recv byte footprints implied by an op of reference size `size`
+/// over `n` ranks (NCCL buffer semantics) — what the service validates
+/// tenant buffer ranges against.
+pub fn buffer_demands(op: CollectiveOp, size: Bytes, n: usize) -> (Bytes, Bytes) {
+    let n = n.max(1) as u64;
+    match op {
+        CollectiveOp::AllReduce(_) => (size, size),
+        CollectiveOp::AllGather => (size / n, size),
+        CollectiveOp::ReduceScatter(_) => (size, size / n),
+        CollectiveOp::Broadcast { .. } => (size, size),
+        CollectiveOp::Reduce { .. } => (size, size),
+    }
+}
+
+/// The per-GPU proxy engine.
+pub struct ProxyEngine {
+    gpu: GpuId,
+}
+
+impl ProxyEngine {
+    /// The proxy for `gpu`.
+    pub fn new(gpu: GpuId) -> Self {
+        ProxyEngine { gpu }
+    }
+
+    fn handle_msg(&mut self, w: &mut World, msg: ProxyMsg) {
+        match msg {
+            ProxyMsg::RegisterRank {
+                app,
+                endpoint,
+                comm,
+                world,
+                rank,
+                comm_event,
+            } => {
+                let config = CollectiveConfig::default_for(&w.topo, &world);
+                let prior = w.comms.insert(
+                    (comm, self.gpu),
+                    CommRank {
+                        app,
+                        endpoint,
+                        comm,
+                        world_gpus: world,
+                        rank,
+                        gpu: self.gpu,
+                        comm_event,
+                        streams: Vec::new(),
+                        config,
+                        next_seq: 0,
+                        last_launched: None,
+                        queue: VecDeque::new(),
+                        inflight: None,
+                        reconfig: ReconfigState::Normal,
+                        resume_at: Nanos::ZERO,
+                        pending_gossip: Vec::new(),
+                    },
+                );
+                assert!(
+                    prior.is_none(),
+                    "duplicate communicator registration for {comm} on {}",
+                    self.gpu
+                );
+            }
+            ProxyMsg::Collective {
+                endpoint,
+                req,
+                coll,
+            } => self.handle_collective(w, endpoint, req, coll),
+            ProxyMsg::CommDestroy {
+                endpoint,
+                req,
+                comm,
+            } => {
+                let key = (comm, self.gpu);
+                let busy = w
+                    .comms
+                    .get(&key)
+                    .is_some_and(|r| r.inflight.is_some() || !r.queue.is_empty());
+                if busy {
+                    w.send_completion(
+                        endpoint,
+                        ShimCompletion::Error {
+                            req,
+                            message: format!("{comm} still has collectives in flight"),
+                        },
+                    );
+                } else if w.comms.remove(&key).is_some() {
+                    w.send_completion(endpoint, ShimCompletion::CommDestroy { req });
+                } else {
+                    w.send_completion(
+                        endpoint,
+                        ShimCompletion::Error {
+                            req,
+                            message: format!("unknown communicator {comm}"),
+                        },
+                    );
+                }
+            }
+            ProxyMsg::Reconfigure { comm, config } => self.handle_reconfigure(w, comm, config),
+            ProxyMsg::BarrierGossip {
+                comm,
+                epoch,
+                entries,
+                hops_left,
+            } => self.handle_gossip(w, comm, epoch, entries, hops_left),
+        }
+    }
+
+    fn handle_collective(
+        &mut self,
+        w: &mut World,
+        endpoint: usize,
+        req: u64,
+        coll: CollectiveRequest,
+    ) {
+        let key = (coll.comm, self.gpu);
+        let Some(rank) = w.comms.get(&key) else {
+            w.send_completion(
+                endpoint,
+                ShimCompletion::Error {
+                    req,
+                    message: format!("collective on unknown communicator {}", coll.comm),
+                },
+            );
+            return;
+        };
+        // Validate tenant buffer ranges (the §4.1 service-side check).
+        let (send_bytes, recv_bytes) = buffer_demands(coll.op, coll.size, rank.size());
+        let send_ok = w
+            .devices
+            .validate(coll.send.0, coll.send.1, send_bytes.as_u64());
+        let recv_ok = w
+            .devices
+            .validate(coll.recv.0, coll.recv.1, recv_bytes.as_u64());
+        if let Err(e) = send_ok.and(recv_ok) {
+            w.send_completion(
+                endpoint,
+                ShimCompletion::Error {
+                    req,
+                    message: format!("buffer validation failed: {e}"),
+                },
+            );
+            return;
+        }
+        let rank = w.comms.get_mut(&key).expect("checked above");
+        let seq = rank.next_seq;
+        rank.next_seq += 1;
+        let (app, rank_idx, op, size) = (rank.app, rank.rank, coll.op, coll.size);
+        rank.queue.push_back(PendingCollective { req, seq, coll });
+        w.trace
+            .issued(app, coll.comm, rank_idx, seq, op, size, w.clock);
+        w.send_completion(endpoint, ShimCompletion::CollectiveLaunched { req, seq });
+    }
+
+    fn handle_reconfigure(&mut self, w: &mut World, comm: CommunicatorId, config: CollectiveConfig) {
+        let key = (comm, self.gpu);
+        let Some(mut rank) = w.comms.remove(&key) else {
+            panic!("reconfigure for unknown communicator {comm} on {}", self.gpu);
+        };
+        assert!(
+            matches!(rank.reconfig, ReconfigState::Normal),
+            "overlapping reconfigurations on {comm}"
+        );
+        assert_eq!(
+            config.epoch,
+            rank.config.epoch + 1,
+            "reconfiguration must advance the epoch by one"
+        );
+        let epoch = config.epoch;
+        let mut entries = BTreeMap::new();
+        entries.insert(rank.rank, rank.last_launched);
+        // Merge gossip that arrived before our own request.
+        let pending = std::mem::take(&mut rank.pending_gossip);
+        let n = rank.size();
+        let mut to_forward = Vec::new();
+        for (e, gossip, hops) in pending {
+            if e == epoch {
+                for (r, v) in &gossip {
+                    entries.insert(*r, *v);
+                }
+                if hops > 1 {
+                    to_forward.push((gossip, hops - 1));
+                }
+            }
+        }
+        rank.reconfig = ReconfigState::Barrier {
+            new_config: config,
+            entries: entries.clone(),
+        };
+        // Contribute to the AllGather: send own view to the next rank.
+        let next_gpu = rank.next_rank_gpu();
+        w.comms.insert(key, rank);
+        if n > 1 {
+            w.send_control(
+                next_gpu,
+                ProxyMsg::BarrierGossip {
+                    comm,
+                    epoch,
+                    entries,
+                    hops_left: n - 1,
+                },
+            );
+            for (gossip, hops) in to_forward {
+                w.send_control(
+                    next_gpu,
+                    ProxyMsg::BarrierGossip {
+                        comm,
+                        epoch,
+                        entries: gossip,
+                        hops_left: hops,
+                    },
+                );
+            }
+        }
+        self.maybe_finish_barrier(w, comm);
+    }
+
+    fn handle_gossip(
+        &mut self,
+        w: &mut World,
+        comm: CommunicatorId,
+        epoch: u64,
+        gossip: BTreeMap<usize, Option<u64>>,
+        hops_left: usize,
+    ) {
+        let key = (comm, self.gpu);
+        let Some(rank) = w.comms.get_mut(&key) else {
+            panic!("gossip for unknown communicator {comm} on {}", self.gpu)
+        };
+        match &mut rank.reconfig {
+            ReconfigState::Normal => {
+                // Our own Req has not arrived yet; hold the gossip.
+                rank.pending_gossip.push((epoch, gossip, hops_left));
+            }
+            ReconfigState::Barrier { entries, .. } => {
+                for (r, v) in &gossip {
+                    entries.insert(*r, *v);
+                }
+                let next_gpu = rank.next_rank_gpu();
+                if hops_left > 1 {
+                    w.send_control(
+                        next_gpu,
+                        ProxyMsg::BarrierGossip {
+                            comm,
+                            epoch,
+                            entries: gossip,
+                            hops_left: hops_left - 1,
+                        },
+                    );
+                }
+                self.maybe_finish_barrier(w, comm);
+            }
+            ReconfigState::Draining { .. } => {
+                // Late-circulating gossip after our barrier completed.
+            }
+        }
+    }
+
+    fn maybe_finish_barrier(&mut self, w: &mut World, comm: CommunicatorId) {
+        let key = (comm, self.gpu);
+        let rank = w.comms.get_mut(&key).expect("caller verified");
+        let ReconfigState::Barrier {
+            new_config,
+            entries,
+        } = &rank.reconfig
+        else {
+            return;
+        };
+        if entries.len() < rank.size() {
+            return;
+        }
+        let max_seq = entries.values().filter_map(|v| *v).max();
+        rank.reconfig = ReconfigState::Draining {
+            new_config: new_config.clone(),
+            max_seq,
+        };
+    }
+
+    /// Advance one communicator rank's execution state machine. Returns
+    /// whether progress was made.
+    fn step_comm(&mut self, w: &mut World, comm: CommunicatorId) -> bool {
+        let key = (comm, self.gpu);
+        let Some(mut rank) = w.comms.remove(&key) else {
+            return false;
+        };
+        let mut progressed = false;
+
+        // 1. Finalize a completed in-flight collective.
+        if let Some(inf) = &rank.inflight {
+            if inf.launched {
+                if let Some(done_at) = w.collective_completed_at(comm, inf.seq) {
+                    let seq = inf.seq;
+                    // Record the communicator event so tenant streams
+                    // waiting on it unblock.
+                    let stream = ensure_stream(&mut rank, 0, w);
+                    w.devices
+                        .enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
+                    w.trace.completed(comm, rank.rank, seq, done_at);
+                    w.send_completion(
+                        rank.endpoint,
+                        ShimCompletion::CollectiveDone { comm, seq },
+                    );
+                    rank.inflight = None;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 2. Launch a dependency-cleared in-flight collective.
+        if let Some(inf) = &rank.inflight {
+            if !inf.launched {
+                let ready = inf
+                    .dependency
+                    .is_none_or(|ev| w.devices.event_time(ev).is_some());
+                if ready {
+                    let seq = inf.seq;
+                    let coll = rank
+                        .queue
+                        .front()
+                        .filter(|p| p.seq == seq)
+                        .cloned()
+                        .expect("inflight collective kept at queue head until launch");
+                    rank.queue.pop_front();
+                    launch_tasks(&mut rank, w, &coll);
+                    rank.inflight.as_mut().expect("checked").launched = true;
+                    rank.last_launched = Some(seq);
+                    progressed = true;
+                }
+            }
+        }
+
+        // 3. Apply a drained reconfiguration.
+        if let ReconfigState::Draining { new_config, max_seq } = &rank.reconfig {
+            let drained = rank.inflight.is_none() && rank.last_launched >= *max_seq;
+            if drained {
+                rank.config = new_config.clone();
+                rank.reconfig = ReconfigState::Normal;
+                // Tear down / re-establish peer connections.
+                rank.resume_at = w.clock + w.svc.reconnect_delay;
+                w.schedule_wake(rank.resume_at);
+                progressed = true;
+            }
+        }
+
+        // 4. Admit the next queued collective.
+        if rank.inflight.is_none() && w.clock >= rank.resume_at {
+            let admissible = match &rank.reconfig {
+                ReconfigState::Normal => true,
+                ReconfigState::Barrier { .. } => false,
+                ReconfigState::Draining { max_seq, .. } => rank
+                    .queue
+                    .front()
+                    .is_some_and(|p| Some(p.seq) <= *max_seq),
+            };
+            if admissible {
+                if let Some(p) = rank.queue.front() {
+                    rank.inflight = Some(Inflight {
+                        seq: p.seq,
+                        dependency: p.coll.depends_on,
+                        launched: false,
+                    });
+                    progressed = true;
+                }
+            }
+        }
+
+        w.comms.insert(key, rank);
+        progressed
+    }
+}
+
+/// Get (creating on demand) the per-channel service stream.
+fn ensure_stream(rank: &mut CommRank, channel: usize, w: &mut World) -> StreamId {
+    while rank.streams.len() <= channel {
+        let s = w.devices.create_stream(rank.gpu);
+        rank.streams.push(s);
+    }
+    rank.streams[channel]
+}
+
+/// Compute the schedule and launch this rank's local edge tasks.
+fn launch_tasks(rank: &mut CommRank, w: &mut World, p: &PendingCollective) {
+    let schedule = CollectiveSchedule::ring(
+        &w.topo,
+        p.coll.op,
+        p.coll.size,
+        &rank.config.channel_rings,
+    );
+    let local = schedule.tasks_from_gpu(rank.gpu);
+    let tokens = w.register_launch(p.coll.comm, p.seq, rank.size(), local.len());
+    w.trace
+        .launched(p.coll.comm, rank.rank, p.seq, rank.config.epoch, w.clock);
+    for ((channel, task), token) in local.into_iter().zip(tokens) {
+        match task {
+            EdgeTask::IntraHost { bytes, .. } => {
+                let stream = ensure_stream(rank, channel, w);
+                let bandwidth = w.devices.config().intra_host_bandwidth;
+                w.devices.enqueue(
+                    stream,
+                    StreamOp::Transfer {
+                        bytes,
+                        bandwidth,
+                        token,
+                    },
+                );
+            }
+            EdgeTask::InterHost {
+                src_nic,
+                dst_nic,
+                bytes,
+                ..
+            } => {
+                let route = match rank.config.routes.get(channel, src_nic, dst_nic) {
+                    Some(r) => RouteChoice::Pinned(r),
+                    None => RouteChoice::Ecmp {
+                        hash: rank
+                            .config
+                            .ecmp_hash(p.coll.comm, channel, src_nic, dst_nic),
+                    },
+                };
+                w.send_to_transport(
+                    src_nic,
+                    TransportMsg::Send {
+                        app: rank.app,
+                        comm: p.coll.comm,
+                        seq: p.seq,
+                        token,
+                        src_nic,
+                        dst_nic,
+                        bytes,
+                        route,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl Engine<World> for ProxyEngine {
+    fn progress(&mut self, w: &mut World) -> Poll {
+        let mut progressed = false;
+        // Drain visible inbox messages.
+        loop {
+            let now = w.clock;
+            let Some(msg) = w.proxy_inbox[self.gpu.index()].pop(now) else {
+                break;
+            };
+            self.handle_msg(w, msg);
+            progressed = true;
+        }
+        // Advance every communicator with a rank on this GPU.
+        let keys: Vec<CommunicatorId> = w
+            .comms
+            .keys()
+            .filter(|(_, g)| *g == self.gpu)
+            .map(|(c, _)| *c)
+            .collect();
+        for comm in keys {
+            progressed |= self.step_comm(w, comm);
+        }
+        if progressed {
+            Poll::Progressed
+        } else {
+            Poll::Idle
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("proxy({})", self.gpu)
+    }
+}

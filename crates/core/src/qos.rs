@@ -1,0 +1,166 @@
+//! Time-window traffic schedules (the paper's TS policy, §4.3 Example #4).
+//!
+//! The controller profiles a prioritized application's idle cycles and
+//! pushes a periodic window schedule to the transport engines; transports
+//! then admit a gated application's traffic only while a window is open
+//! (and pause its in-flight flows outside them).
+
+use mccs_sim::Nanos;
+
+/// A periodic open/closed schedule. Offsets are relative to the period
+/// start (`now % period`); `open` intervals must be sorted, non-empty and
+/// non-overlapping within the period.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficWindows {
+    /// Schedule period.
+    pub period: Nanos,
+    /// Open intervals as `(offset, length)` within the period.
+    pub open: Vec<(Nanos, Nanos)>,
+}
+
+impl TrafficWindows {
+    /// A schedule open during `[offset, offset+len)` of every `period`.
+    pub fn single(period: Nanos, offset: Nanos, len: Nanos) -> Self {
+        let w = TrafficWindows {
+            period,
+            open: vec![(offset, len)],
+        };
+        w.validate();
+        w
+    }
+
+    /// Construct from explicit intervals.
+    pub fn new(period: Nanos, open: Vec<(Nanos, Nanos)>) -> Self {
+        let w = TrafficWindows { period, open };
+        w.validate();
+        w
+    }
+
+    fn validate(&self) {
+        assert!(self.period > Nanos::ZERO, "zero period");
+        assert!(!self.open.is_empty(), "schedule never opens");
+        let mut prev_end = Nanos::ZERO;
+        for &(off, len) in &self.open {
+            assert!(len > Nanos::ZERO, "empty window");
+            assert!(off >= prev_end, "windows overlap or unsorted");
+            prev_end = off + len;
+        }
+        assert!(prev_end <= self.period, "windows exceed period");
+    }
+
+    /// Whether traffic may flow at `now`.
+    pub fn is_open(&self, now: Nanos) -> bool {
+        let phase = Nanos::from_nanos(now.as_nanos() % self.period.as_nanos());
+        self.open
+            .iter()
+            .any(|&(off, len)| phase >= off && phase < off + len)
+    }
+
+    /// The next instant at which the open/closed state actually changes
+    /// (strictly after `now`) — transports schedule wake-ups at these
+    /// boundaries. For a degenerate always-open schedule, returns
+    /// `now + period` as a harmless heartbeat.
+    pub fn next_boundary(&self, now: Nanos) -> Nanos {
+        let state = self.is_open(now);
+        let period = self.period.as_nanos();
+        let phase = now.as_nanos() % period;
+        let base = now.as_nanos() - phase;
+        let mut boundaries: Vec<u64> = self
+            .open
+            .iter()
+            .flat_map(|&(off, len)| [off.as_nanos(), off.as_nanos() + len.as_nanos()])
+            .collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        // A non-constant schedule flips within one period; scan two to be
+        // safe around the seam.
+        for k in 0..2u64 {
+            for &b in &boundaries {
+                let t = base + k * period + b;
+                if t > now.as_nanos() && self.is_open(Nanos::from_nanos(t)) != state {
+                    return Nanos::from_nanos(t);
+                }
+            }
+        }
+        now + self.period
+    }
+
+    /// Fraction of time the schedule is open.
+    pub fn duty_cycle(&self) -> f64 {
+        let open: u64 = self.open.iter().map(|&(_, l)| l.as_nanos()).sum();
+        open as f64 / self.period.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Nanos {
+        Nanos::from_millis(v)
+    }
+
+    #[test]
+    fn open_closed_phases() {
+        let w = TrafficWindows::single(ms(10), ms(2), ms(3));
+        assert!(!w.is_open(ms(0)));
+        assert!(w.is_open(ms(2)));
+        assert!(w.is_open(ms(4)));
+        assert!(!w.is_open(ms(5)));
+        // periodic
+        assert!(w.is_open(ms(12)));
+        assert!(!w.is_open(ms(16)));
+    }
+
+    #[test]
+    fn boundaries_advance_strictly() {
+        let w = TrafficWindows::single(ms(10), ms(2), ms(3));
+        assert_eq!(w.next_boundary(ms(0)), ms(2));
+        assert_eq!(w.next_boundary(ms(2)), ms(5));
+        assert_eq!(w.next_boundary(ms(5)), ms(12));
+        assert_eq!(w.next_boundary(ms(9)), ms(12));
+        // always strictly in the future
+        for t in 0..50 {
+            let now = Nanos::from_millis(t);
+            assert!(w.next_boundary(now) > now);
+        }
+    }
+
+    #[test]
+    fn multiple_windows() {
+        let w = TrafficWindows::new(ms(10), vec![(ms(0), ms(2)), (ms(5), ms(1))]);
+        assert!(w.is_open(ms(0)));
+        assert!(!w.is_open(ms(3)));
+        assert!(w.is_open(ms(5)));
+        assert!(!w.is_open(ms(6)));
+        assert!((w.duty_cycle() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed period")]
+    fn rejects_overlong_window() {
+        TrafficWindows::single(ms(10), ms(8), ms(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn rejects_overlapping_windows() {
+        TrafficWindows::new(ms(10), vec![(ms(0), ms(5)), (ms(3), ms(2))]);
+    }
+
+    #[test]
+    fn state_changes_match_is_open_transitions() {
+        let w = TrafficWindows::new(ms(20), vec![(ms(1), ms(4)), (ms(10), ms(2))]);
+        // walk boundaries for 3 periods; state must flip at each boundary
+        let mut t = Nanos::ZERO;
+        for _ in 0..12 {
+            let state = w.is_open(t);
+            let b = w.next_boundary(t);
+            // state holds in (t, b)
+            let mid = Nanos::from_nanos((t.as_nanos() + b.as_nanos()) / 2);
+            assert_eq!(w.is_open(mid), state, "state changed before boundary");
+            assert_ne!(w.is_open(b), state, "no flip at boundary {b}");
+            t = b;
+        }
+    }
+}

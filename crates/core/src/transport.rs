@@ -1,0 +1,216 @@
+//! The transport engine — one per NIC.
+//!
+//! Turns inter-host edge tasks into network flows, applying the
+//! provider's route choice (the explicit pinning behind FFA/PFA) and the
+//! time-window traffic schedules behind TS: a gated application's sends
+//! are admitted only while its window is open, and its in-flight flows are
+//! paused outside windows.
+
+use crate::messages::TransportMsg;
+use crate::qos::TrafficWindows;
+use crate::world::World;
+use mccs_ipc::AppId;
+use mccs_netsim::{FlowId, FlowSpec};
+use mccs_sim::{Engine, Poll};
+use mccs_topology::NicId;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+#[derive(Debug)]
+struct ActiveFlow {
+    app: AppId,
+    token: u64,
+    paused: bool,
+}
+
+#[derive(Debug)]
+struct PendingSend {
+    msg: TransportMsg,
+}
+
+/// The per-NIC transport engine.
+pub struct TransportEngine {
+    nic: NicId,
+    active: HashMap<FlowId, ActiveFlow>,
+    windows: BTreeMap<AppId, TrafficWindows>,
+    pending: VecDeque<PendingSend>,
+    /// Last wake-up boundary scheduled, to avoid duplicate events.
+    scheduled_wake: Option<mccs_sim::Nanos>,
+}
+
+impl TransportEngine {
+    /// The transport for `nic`.
+    pub fn new(nic: NicId) -> Self {
+        TransportEngine {
+            nic,
+            active: HashMap::new(),
+            windows: BTreeMap::new(),
+            pending: VecDeque::new(),
+            scheduled_wake: None,
+        }
+    }
+
+    /// Flows currently owned by this transport.
+    pub fn active_flows(&self) -> usize {
+        self.active.len()
+    }
+
+    fn app_open(&self, app: AppId, now: mccs_sim::Nanos) -> bool {
+        self.windows.get(&app).is_none_or(|w| w.is_open(now))
+    }
+
+    fn schedule_boundary_wake(&mut self, w: &mut World, app: AppId) {
+        if let Some(win) = self.windows.get(&app) {
+            let b = win.next_boundary(w.clock);
+            if self.scheduled_wake != Some(b) {
+                w.schedule_wake(b);
+                self.scheduled_wake = Some(b);
+            }
+        }
+    }
+
+    fn start_send(&mut self, w: &mut World, msg: &TransportMsg) {
+        let TransportMsg::Send {
+            app,
+            token,
+            src_nic,
+            dst_nic,
+            bytes,
+            route,
+            ..
+        } = *msg
+        else {
+            unreachable!("start_send called with a non-send message");
+        };
+        debug_assert_eq!(src_nic, self.nic, "send routed to the wrong transport");
+        let spec = FlowSpec {
+            src: src_nic,
+            dst: dst_nic,
+            bytes: Some(bytes),
+            routing: route,
+            rate_cap: None,
+            tag: token,
+            guaranteed: false,
+            tenant: app.0,
+        };
+        let now = w.clock;
+        let id = w.net.start_flow(now, spec);
+        w.flow_owner_nic
+            .insert(id, crate::world::FlowOwner::Transport(self.nic.index()));
+        self.active.insert(
+            id,
+            ActiveFlow {
+                app,
+                token,
+                paused: false,
+            },
+        );
+    }
+
+    fn handle_msg(&mut self, w: &mut World, msg: TransportMsg) {
+        match &msg {
+            TransportMsg::Send { app, .. } => {
+                if self.app_open(*app, w.clock) {
+                    self.start_send(w, &msg);
+                } else {
+                    let app = *app;
+                    self.pending.push_back(PendingSend { msg });
+                    self.schedule_boundary_wake(w, app);
+                }
+            }
+            TransportMsg::SetWindows { app, windows } => {
+                let app = *app;
+                match windows {
+                    Some(win) => {
+                        self.windows.insert(app, win.clone());
+                    }
+                    None => {
+                        self.windows.remove(&app);
+                    }
+                }
+                self.scheduled_wake = None;
+                self.schedule_boundary_wake(w, app);
+            }
+        }
+    }
+
+    /// Apply window state to in-flight flows and pending sends.
+    fn enforce_windows(&mut self, w: &mut World) -> bool {
+        let now = w.clock;
+        let mut progressed = false;
+        // Pause / resume active flows of gated apps.
+        let ids: Vec<FlowId> = self.active.keys().copied().collect();
+        for id in ids {
+            let f = self.active.get_mut(&id).expect("listed");
+            let open = self
+                .windows
+                .get(&f.app)
+                .is_none_or(|win| win.is_open(now));
+            if f.paused == open {
+                // state mismatch: paused && open -> resume; !paused && !open -> pause
+                w.net.set_paused(now, id, !open);
+                f.paused = !open;
+                progressed = true;
+            }
+        }
+        // Admit pending sends whose window opened.
+        let mut still_pending = VecDeque::new();
+        while let Some(p) = self.pending.pop_front() {
+            let TransportMsg::Send { app, .. } = &p.msg else {
+                unreachable!("only sends are pended")
+            };
+            if self.app_open(*app, now) {
+                self.start_send(w, &p.msg);
+                progressed = true;
+            } else {
+                let app = *app;
+                still_pending.push_back(p);
+                self.schedule_boundary_wake(w, app);
+            }
+        }
+        self.pending = still_pending;
+        // Keep a wake-up armed while anything is gated.
+        if !self.windows.is_empty() && (!self.active.is_empty() || !self.pending.is_empty()) {
+            let apps: Vec<AppId> = self.windows.keys().copied().collect();
+            for app in apps {
+                self.schedule_boundary_wake(w, app);
+            }
+        }
+        progressed
+    }
+}
+
+impl Engine<World> for TransportEngine {
+    fn progress(&mut self, w: &mut World) -> Poll {
+        let mut progressed = false;
+        // Flow completions routed to us by the world.
+        let completions = std::mem::take(&mut w.transport_flow_events[self.nic.index()]);
+        for c in completions {
+            let f = self
+                .active
+                .remove(&c.id)
+                .expect("completion for a flow this transport never started");
+            w.complete_token(f.token, c.finished_at);
+            progressed = true;
+        }
+        // New commands.
+        loop {
+            let now = w.clock;
+            let Some(msg) = w.transport_inbox[self.nic.index()].pop(now) else {
+                break;
+            };
+            self.handle_msg(w, msg);
+            progressed = true;
+        }
+        // QoS window enforcement.
+        progressed |= self.enforce_windows(w);
+        if progressed {
+            Poll::Progressed
+        } else {
+            Poll::Idle
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("transport({})", self.nic)
+    }
+}

@@ -1,0 +1,617 @@
+//! The shared simulation world.
+//!
+//! All engine-visible state lives here: the clock, the simulated network
+//! and devices, every IPC queue and engine inbox, the communicator
+//! registry, collective progress, and traces. Engines receive
+//! `&mut World` when polled and communicate exclusively through it.
+
+use crate::config::ServiceConfig;
+use crate::messages::{ProxyMsg, TransportMsg};
+use crate::proxy::CommRank;
+use crate::tracing::TraceCollector;
+use mccs_device::{DeviceConfig, DeviceFabric, DeviceNotification, DevicePtr, EventId, MemHandle, StreamId};
+use mccs_ipc::{AppId, CommunicatorId, IpcConfig, LatencyQueue, ShimCommand, ShimCompletion};
+use mccs_netsim::{FlowCompletion, FlowId, Network};
+use mccs_shim::ShimPort;
+use mccs_sim::{EventQueue, Nanos, Rng};
+use mccs_topology::{GpuId, NicId, Topology};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Scheduled wake-ups (payload-free: advancing time re-polls every engine).
+#[derive(Clone, Copy, Debug)]
+pub enum WorldEvent {
+    /// Re-poll engines at this time (window boundaries, retries).
+    Wake,
+}
+
+/// Who gets a flow's completion event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowOwner {
+    /// The transport engine of this NIC index (MCCS data path).
+    Transport(usize),
+    /// An external engine (the NCCL-like baseline library, scale studies).
+    External(u32),
+}
+
+/// One tenant rank's IPC attachment point.
+pub struct Endpoint {
+    /// Owning application.
+    pub app: AppId,
+    /// Rank within the application.
+    pub rank: usize,
+    /// The GPU this rank was assigned.
+    pub gpu: GpuId,
+    /// The rank's default compute stream.
+    pub app_stream: StreamId,
+    /// Shim -> service commands.
+    pub cmd: LatencyQueue<ShimCommand>,
+    /// Service -> shim completions.
+    pub comp: LatencyQueue<ShimCompletion>,
+    /// Tenant-local randomness.
+    pub rng: Rng,
+}
+
+/// Cluster-wide completion tracking for one collective — the flow-level
+/// shortcut standing in for per-rank kernel completion plumbing (the
+/// paper's §6.5 simulator makes the same approximation).
+#[derive(Debug)]
+pub struct CollectiveProgress {
+    /// Ranks expected to launch.
+    pub expected_ranks: usize,
+    /// Ranks that have launched their local tasks.
+    pub launched_ranks: usize,
+    /// Edge tasks still moving data.
+    pub outstanding_tasks: usize,
+    /// First launch time.
+    pub first_launch_at: Nanos,
+    /// Set when every rank launched and every task finished.
+    pub completed_at: Option<Nanos>,
+}
+
+impl CollectiveProgress {
+    fn new(expected_ranks: usize, now: Nanos) -> Self {
+        CollectiveProgress {
+            expected_ranks,
+            launched_ranks: 0,
+            outstanding_tasks: 0,
+            first_launch_at: now,
+            completed_at: None,
+        }
+    }
+
+    /// Mark complete if all ranks launched and nothing is outstanding.
+    pub fn maybe_complete(&mut self, now: Nanos) {
+        if self.completed_at.is_none()
+            && self.launched_ranks == self.expected_ranks
+            && self.outstanding_tasks == 0
+        {
+            self.completed_at = Some(now);
+        }
+    }
+}
+
+/// Everything the engines share.
+pub struct World {
+    /// The provider's private topology.
+    pub topo: Arc<Topology>,
+    /// Virtual time.
+    pub clock: Nanos,
+    /// World-level randomness (latency jitter).
+    pub rng: Rng,
+    /// The flow-level network.
+    pub net: Network,
+    /// The simulated GPUs.
+    pub devices: DeviceFabric,
+    /// IPC latency model.
+    pub ipc: IpcConfig,
+    /// Service tuning knobs.
+    pub svc: ServiceConfig,
+    /// Scheduled wake-ups.
+    pub events: EventQueue<WorldEvent>,
+    /// Tenant rank endpoints.
+    pub endpoints: Vec<Endpoint>,
+    /// Per-GPU proxy inboxes.
+    pub proxy_inbox: Vec<LatencyQueue<ProxyMsg>>,
+    /// Per-NIC transport inboxes.
+    pub transport_inbox: Vec<LatencyQueue<TransportMsg>>,
+    /// Per-NIC completed-flow events awaiting transport processing.
+    pub transport_flow_events: Vec<Vec<FlowCompletion>>,
+    /// Which NIC's transport owns each in-flight network flow.
+    pub flow_owner_nic: HashMap<FlowId, FlowOwner>,
+    /// Completed flows owned by external (library-mode) engines, keyed by
+    /// their owner handle.
+    pub external_flow_events: HashMap<u32, Vec<FlowCompletion>>,
+    next_external_owner: u32,
+    /// Communicator state, keyed `(comm, gpu)` — owned by proxy engines,
+    /// world-resident so the management API can inspect it.
+    pub comms: BTreeMap<(CommunicatorId, GpuId), CommRank>,
+    /// Cluster-wide collective progress, keyed `(comm, seq)`.
+    pub progress: HashMap<(CommunicatorId, u64), CollectiveProgress>,
+    /// Task-token -> collective routing.
+    token_targets: HashMap<u64, (CommunicatorId, u64)>,
+    next_token: u64,
+    /// Collective traces (management plane).
+    pub trace: TraceCollector,
+    /// Tenant-perceived collective latencies (issue at the shim to
+    /// completion at the shim), keyed by what the tenant observes.
+    pub tenant_log: TenantLog,
+    /// Application names, indexed by `AppId`.
+    pub app_names: Vec<String>,
+}
+
+/// Tenant-side latency bookkeeping, fed by the endpoint ports: a real
+/// benchmark (nccl-tests style) measures at the application, which sees
+/// the full IPC round trip on top of the service's internal latency.
+#[derive(Default, Debug)]
+pub struct TenantLog {
+    /// (endpoint, req) -> push time of the collective command.
+    pending_issue: HashMap<(usize, u64), Nanos>,
+    /// (endpoint, comm, seq) -> issue time (after the launch ack named the seq).
+    issued: HashMap<(usize, CommunicatorId, u64), Nanos>,
+    /// Completed records: (app, endpoint, comm, seq, issued, done).
+    records: Vec<(AppId, usize, CommunicatorId, u64, Nanos, Nanos)>,
+}
+
+impl TenantLog {
+    fn on_push(&mut self, endpoint: usize, cmd: &ShimCommand, now: Nanos) {
+        if let ShimCommand::Collective { req, .. } = cmd {
+            self.pending_issue.insert((endpoint, *req), now);
+        }
+    }
+
+    fn on_pop(&mut self, endpoint: usize, app: AppId, comp: &ShimCompletion, now: Nanos) {
+        match comp {
+            ShimCompletion::CollectiveLaunched { req, seq } => {
+                if let Some(t) = self.pending_issue.remove(&(endpoint, *req)) {
+                    // The communicator arrives with the done message; store
+                    // under a wildcard comm resolved at completion. Since
+                    // an endpoint serves one rank, (endpoint, seq) pairs are
+                    // unique per communicator in practice; we keep the comm
+                    // from the completion. Use a placeholder comm of 0 and
+                    // fix up at done time via (endpoint, seq) scan.
+                    self.issued.insert((endpoint, CommunicatorId(u64::MAX), *seq), t);
+                }
+            }
+            ShimCompletion::CollectiveDone { comm, seq } => {
+                let key_any = (endpoint, CommunicatorId(u64::MAX), *seq);
+                if let Some(t) = self.issued.remove(&key_any) {
+                    self.records.push((app, endpoint, *comm, *seq, t, now));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Tenant-perceived `(seq, issued, done)` records of one endpoint,
+    /// in issue order.
+    pub fn latencies_of_endpoint(&self, endpoint: usize) -> Vec<(u64, Nanos, Nanos)> {
+        let mut v: Vec<(u64, Nanos, Nanos)> = self
+            .records
+            .iter()
+            .filter(|(_, e, _, _, _, _)| *e == endpoint)
+            .map(|(_, _, _, seq, t, d)| (*seq, *t, *d))
+            .collect();
+        v.sort_by_key(|&(_, t, _)| t);
+        v
+    }
+
+    /// All records of an app.
+    pub fn records_of_app(&self, app: AppId) -> Vec<(usize, CommunicatorId, u64, Nanos, Nanos)> {
+        self.records
+            .iter()
+            .filter(|(a, _, _, _, _, _)| *a == app)
+            .map(|(_, e, c, s, t, d)| (*e, *c, *s, *t, *d))
+            .collect()
+    }
+}
+
+impl World {
+    /// A fresh world over `topo`.
+    pub fn new(
+        topo: Arc<Topology>,
+        device_cfg: DeviceConfig,
+        ipc: IpcConfig,
+        svc: ServiceConfig,
+        seed: u64,
+    ) -> Self {
+        let gpu_count = topo.gpus().len();
+        let nic_count = topo.nics().len();
+        let cap = ipc.queue_capacity;
+        World {
+            net: Network::new(Arc::clone(&topo)),
+            devices: DeviceFabric::new(gpu_count, device_cfg),
+            topo,
+            clock: Nanos::ZERO,
+            rng: Rng::seed_from(seed),
+            ipc,
+            svc,
+            events: EventQueue::new(),
+            endpoints: Vec::new(),
+            proxy_inbox: (0..gpu_count).map(|_| LatencyQueue::new(cap)).collect(),
+            transport_inbox: (0..nic_count).map(|_| LatencyQueue::new(cap)).collect(),
+            transport_flow_events: vec![Vec::new(); nic_count],
+            flow_owner_nic: HashMap::new(),
+            external_flow_events: HashMap::new(),
+            next_external_owner: 0,
+            comms: BTreeMap::new(),
+            progress: HashMap::new(),
+            token_targets: HashMap::new(),
+            next_token: 1,
+            trace: TraceCollector::new(),
+            tenant_log: TenantLog::default(),
+            app_names: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    // ---- time -----------------------------------------------------------
+
+    /// The earliest future instant at which anything can happen.
+    pub fn next_time(&self) -> Option<Nanos> {
+        let mut best: Option<Nanos> = None;
+        let mut consider = |t: Option<Nanos>| {
+            if let Some(t) = t {
+                if t > self.clock {
+                    best = Some(best.map_or(t, |b| b.min(t)));
+                }
+            }
+        };
+        consider(self.events.next_time());
+        consider(self.net.next_completion_time());
+        consider(self.devices.next_time());
+        for ep in &self.endpoints {
+            consider(ep.cmd.next_visible());
+            consider(ep.comp.next_visible());
+        }
+        for q in &self.proxy_inbox {
+            consider(q.next_visible());
+        }
+        for q in &self.transport_inbox {
+            consider(q.next_visible());
+        }
+        best
+    }
+
+    /// Advance every substrate to `t`, routing network completions to
+    /// their transports and device completions into collective progress.
+    pub fn advance_to(&mut self, t: Nanos) {
+        assert!(t >= self.clock, "world time went backwards");
+        for c in self.net.advance_to(t) {
+            match self
+                .flow_owner_nic
+                .remove(&c.id)
+                .expect("completed flow has no registered owner")
+            {
+                FlowOwner::Transport(nic) => self.transport_flow_events[nic].push(c),
+                FlowOwner::External(owner) => self
+                    .external_flow_events
+                    .entry(owner)
+                    .or_default()
+                    .push(c),
+            }
+        }
+        for n in self.devices.advance_to(t) {
+            if let DeviceNotification::OpDone { token, at, .. } = n {
+                self.complete_token(token, at);
+            }
+        }
+        while self.events.pop_due(t).is_some() {}
+        self.clock = t;
+    }
+
+    /// Schedule a payload-free wake-up.
+    pub fn schedule_wake(&mut self, at: Nanos) {
+        self.events.schedule(at, WorldEvent::Wake);
+    }
+
+    // ---- collective progress ------------------------------------------------
+
+    /// Register a rank's launch: bumps the launched count, adds its local
+    /// task count, and returns fresh tokens for those tasks.
+    pub fn register_launch(
+        &mut self,
+        comm: CommunicatorId,
+        seq: u64,
+        expected_ranks: usize,
+        local_tasks: usize,
+    ) -> Vec<u64> {
+        let now = self.clock;
+        let prog = self
+            .progress
+            .entry((comm, seq))
+            .or_insert_with(|| CollectiveProgress::new(expected_ranks, now));
+        assert_eq!(
+            prog.expected_ranks, expected_ranks,
+            "ranks disagree on communicator size"
+        );
+        prog.launched_ranks += 1;
+        assert!(
+            prog.launched_ranks <= prog.expected_ranks,
+            "more launches than ranks for {comm} seq {seq}"
+        );
+        prog.outstanding_tasks += local_tasks;
+        let tokens: Vec<u64> = (0..local_tasks)
+            .map(|i| self.next_token + i as u64)
+            .collect();
+        for &t in &tokens {
+            self.token_targets.insert(t, (comm, seq));
+        }
+        self.next_token += local_tasks as u64;
+        prog.maybe_complete(now);
+        tokens
+    }
+
+    /// Mark one task token finished at `at`.
+    pub fn complete_token(&mut self, token: u64, at: Nanos) {
+        let (comm, seq) = self
+            .token_targets
+            .remove(&token)
+            .unwrap_or_else(|| panic!("completion for unknown token {token}"));
+        let prog = self
+            .progress
+            .get_mut(&(comm, seq))
+            .expect("progress entry exists while tokens are live");
+        assert!(prog.outstanding_tasks > 0, "token underflow");
+        prog.outstanding_tasks -= 1;
+        prog.maybe_complete(at);
+    }
+
+    /// When a collective completed (if it has).
+    pub fn collective_completed_at(&self, comm: CommunicatorId, seq: u64) -> Option<Nanos> {
+        self.progress.get(&(comm, seq)).and_then(|p| p.completed_at)
+    }
+
+    // ---- messaging helpers -------------------------------------------------
+
+    /// Push to a GPU's proxy inbox with one internal engine hop of latency.
+    pub fn send_to_proxy(&mut self, gpu: GpuId, msg: ProxyMsg) {
+        let lat = self.ipc.sample_hop_latency(&mut self.rng);
+        let now = self.clock;
+        self.proxy_inbox[gpu.index()]
+            .push(now, lat, msg)
+            .unwrap_or_else(|_| panic!("proxy inbox overflow on {gpu}"));
+        self.schedule_wake(now + lat);
+    }
+
+    /// Push to a NIC's transport inbox with one internal engine hop.
+    pub fn send_to_transport(&mut self, nic: NicId, msg: TransportMsg) {
+        let lat = self.ipc.sample_hop_latency(&mut self.rng);
+        let now = self.clock;
+        self.transport_inbox[nic.index()]
+            .push(now, lat, msg)
+            .unwrap_or_else(|_| panic!("transport inbox overflow on {nic}"));
+        self.schedule_wake(now + lat);
+    }
+
+    /// Push a completion back to a tenant endpoint.
+    pub fn send_completion(&mut self, endpoint: usize, completion: ShimCompletion) {
+        let lat = self.ipc.sample_completion_latency(&mut self.rng);
+        let now = self.clock;
+        self.endpoints[endpoint]
+            .comp
+            .push(now, lat, completion)
+            .unwrap_or_else(|_| panic!("completion queue overflow on endpoint {endpoint}"));
+        self.schedule_wake(now + lat);
+    }
+
+    /// Deliver a control-plane message to a proxy with control-channel
+    /// latency and jitter (reconfiguration requests, barrier gossip).
+    pub fn send_control(&mut self, gpu: GpuId, msg: ProxyMsg) {
+        let base = self.svc.control_ring_latency;
+        let jit = 1.0 + self.rng.f64() * self.svc.control_jitter_frac;
+        let lat = base.mul_f64(jit);
+        let now = self.clock;
+        self.proxy_inbox[gpu.index()]
+            .push(now, lat, msg)
+            .unwrap_or_else(|_| panic!("proxy inbox overflow on {gpu}"));
+        self.schedule_wake(now + lat);
+    }
+
+    /// Allocate an owner handle for an external (library-mode) engine.
+    pub fn alloc_external_owner(&mut self) -> u32 {
+        let o = self.next_external_owner;
+        self.next_external_owner += 1;
+        o
+    }
+
+    /// Drain the completed flows of an external owner.
+    pub fn take_external_events(&mut self, owner: u32) -> Vec<FlowCompletion> {
+        self.external_flow_events
+            .remove(&owner)
+            .unwrap_or_default()
+    }
+
+    /// The GPUs an application's endpoints occupy.
+    pub fn app_gpus(&self, app: AppId) -> Vec<GpuId> {
+        self.endpoints
+            .iter()
+            .filter(|e| e.app == app)
+            .map(|e| e.gpu)
+            .collect()
+    }
+}
+
+/// A borrow of the world scoped to one endpoint, implementing the tenant's
+/// [`ShimPort`]. Constructed per poll by the app engine.
+pub struct EndpointPort<'a> {
+    /// The world.
+    pub world: &'a mut World,
+    /// Index into `world.endpoints`.
+    pub idx: usize,
+}
+
+impl ShimPort for EndpointPort<'_> {
+    fn now(&self) -> Nanos {
+        self.world.clock
+    }
+
+    fn try_push(&mut self, cmd: ShimCommand) -> bool {
+        let now = self.world.clock;
+        let cfg = self.world.ipc.clone();
+        self.world.tenant_log.on_push(self.idx, &cmd, now);
+        let ep = &mut self.world.endpoints[self.idx];
+        let lat = cfg.sample_command_latency(&mut ep.rng);
+        match ep.cmd.push(now, lat, cmd) {
+            Ok(()) => {
+                self.world.events.schedule(now + lat, WorldEvent::Wake);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn try_pop(&mut self) -> Option<ShimCompletion> {
+        let now = self.world.clock;
+        let app = self.world.endpoints[self.idx].app;
+        let comp = self.world.endpoints[self.idx].comp.pop(now);
+        if let Some(c) = &comp {
+            self.world.tenant_log.on_pop(self.idx, app, c, now);
+        }
+        comp
+    }
+
+    fn open_handle(&self, handle: MemHandle) -> Option<DevicePtr> {
+        self.world.devices.open(handle).ok()
+    }
+
+    fn app_stream(&self) -> StreamId {
+        self.world.endpoints[self.idx].app_stream
+    }
+
+    fn create_event(&mut self) -> EventId {
+        self.world.devices.create_event()
+    }
+
+    fn enqueue_kernel(&mut self, stream: StreamId, duration: Nanos) {
+        self.world.devices.enqueue(
+            stream,
+            mccs_device::StreamOp::Kernel { duration, token: 0 },
+        );
+    }
+
+    fn enqueue_record(&mut self, stream: StreamId, event: EventId) {
+        self.world
+            .devices
+            .enqueue(stream, mccs_device::StreamOp::RecordEvent(event));
+    }
+
+    fn enqueue_wait(&mut self, stream: StreamId, event: EventId) {
+        self.world
+            .devices
+            .enqueue(stream, mccs_device::StreamOp::WaitEvent(event));
+    }
+
+    fn stream_idle(&self, stream: StreamId) -> bool {
+        self.world.devices.stream_idle(stream)
+    }
+
+    fn event_time(&self, event: EventId) -> Option<Nanos> {
+        self.world.devices.event_time(event)
+    }
+
+    fn rng(&mut self) -> &mut Rng {
+        &mut self.world.endpoints[self.idx].rng
+    }
+
+    fn schedule_wake(&mut self, at: Nanos) {
+        self.world.schedule_wake(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_topology::presets;
+
+    fn world() -> World {
+        World::new(
+            Arc::new(presets::testbed()),
+            DeviceConfig::default(),
+            IpcConfig::default(),
+            ServiceConfig::default(),
+            1,
+        )
+    }
+
+    #[test]
+    fn construction_sizes_queues_by_topology() {
+        let w = world();
+        assert_eq!(w.proxy_inbox.len(), 8);
+        assert_eq!(w.transport_inbox.len(), 8);
+        assert_eq!(w.devices.gpu_count(), 8);
+    }
+
+    #[test]
+    fn progress_lifecycle() {
+        let mut w = world();
+        let comm = CommunicatorId(1);
+        let t0 = w.register_launch(comm, 0, 2, 2);
+        assert_eq!(t0.len(), 2);
+        assert!(w.collective_completed_at(comm, 0).is_none());
+        let t1 = w.register_launch(comm, 0, 2, 1);
+        assert_eq!(t1.len(), 1);
+        w.complete_token(t0[0], Nanos::from_micros(10));
+        w.complete_token(t0[1], Nanos::from_micros(20));
+        assert!(w.collective_completed_at(comm, 0).is_none());
+        w.complete_token(t1[0], Nanos::from_micros(30));
+        assert_eq!(
+            w.collective_completed_at(comm, 0),
+            Some(Nanos::from_micros(30))
+        );
+    }
+
+    #[test]
+    fn zero_task_collective_completes_on_last_launch() {
+        let mut w = world();
+        let comm = CommunicatorId(2);
+        w.register_launch(comm, 0, 2, 0);
+        assert!(w.collective_completed_at(comm, 0).is_none());
+        w.register_launch(comm, 0, 2, 0);
+        assert_eq!(w.collective_completed_at(comm, 0), Some(Nanos::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token")]
+    fn unknown_token_rejected() {
+        let mut w = world();
+        w.complete_token(999, Nanos::ZERO);
+    }
+
+    #[test]
+    fn next_time_sees_queued_messages() {
+        let mut w = world();
+        assert_eq!(w.next_time(), None);
+        w.send_to_proxy(GpuId(0), ProxyMsg::CommDestroy {
+            endpoint: 0,
+            req: 0,
+            comm: CommunicatorId(0),
+        });
+        let t = w.next_time().expect("queued message");
+        assert!(t > Nanos::ZERO);
+        w.advance_to(t);
+        // message is visible now, not in the future
+        assert!(w.proxy_inbox[0].pop(w.clock).is_some());
+    }
+
+    #[test]
+    fn control_jitter_varies_delivery() {
+        let mut w = world();
+        let mut times = Vec::new();
+        for g in 0..4u32 {
+            w.send_control(GpuId(g), ProxyMsg::CommDestroy {
+                endpoint: 0,
+                req: 0,
+                comm: CommunicatorId(0),
+            });
+            times.push(w.proxy_inbox[g as usize].next_visible().expect("sent"));
+        }
+        // with 50% jitter, four sends almost surely differ
+        let distinct: std::collections::BTreeSet<_> = times.iter().collect();
+        assert!(distinct.len() > 1, "no jitter across control sends");
+    }
+}

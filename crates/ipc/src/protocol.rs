@@ -1,0 +1,225 @@
+//! The shim ⇄ service command protocol.
+//!
+//! Mirrors the paper's §4.1 interface surface:
+//!
+//! * **memory management** — allocation is redirected to the service,
+//!   which returns an inter-process memory handle; frees flow back the
+//!   same way;
+//! * **communicator setup** — `CommInit` registers this rank; the reply
+//!   carries the communicator's service-side event handle the shim uses to
+//!   order subsequent app-stream work after collectives;
+//! * **collectives** — buffer ranges travel as `(handle, offset)` pairs
+//!   (never raw pointers — the service validates them), together with the
+//!   app-stream dependency event the service must wait on before touching
+//!   the buffers.
+
+use mccs_collectives::CollectiveOp;
+use mccs_device::{EventId, MemHandle};
+use mccs_sim::Bytes;
+use mccs_topology::GpuId;
+use std::fmt;
+
+/// A tenant application instance (one per process per host).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// A communicator, unique cluster-wide (all ranks share the id — the
+/// "unique id" NCCL distributes out of band).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CommunicatorId(pub u64);
+
+impl fmt::Display for CommunicatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comm{}", self.0)
+    }
+}
+
+/// A buffer range: IPC handle plus byte offset (validated service-side).
+pub type BufferRef = (MemHandle, u64);
+
+/// One collective invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct CollectiveRequest {
+    /// Target communicator.
+    pub comm: CommunicatorId,
+    /// Operation.
+    pub op: CollectiveOp,
+    /// Buffer size (NCCL-tests semantics; see `mccs-collectives`).
+    pub size: Bytes,
+    /// Send buffer.
+    pub send: BufferRef,
+    /// Receive buffer.
+    pub recv: BufferRef,
+    /// App-stream event the service must wait on before reading the send
+    /// buffer (`None` when the data is already materialized).
+    pub depends_on: Option<EventId>,
+}
+
+/// Commands the shim pushes to its frontend engine.
+#[derive(Clone, Debug)]
+pub enum ShimCommand {
+    /// Allocate `size` bytes on `gpu`.
+    MemAlloc {
+        /// Request correlation id.
+        req: u64,
+        /// Target GPU (must be one assigned to the app).
+        gpu: GpuId,
+        /// Allocation size.
+        size: Bytes,
+    },
+    /// Free a previous allocation.
+    MemFree {
+        /// Request correlation id.
+        req: u64,
+        /// The allocation to release.
+        handle: MemHandle,
+    },
+    /// Register this rank of a communicator.
+    CommInit {
+        /// Request correlation id.
+        req: u64,
+        /// Cluster-wide communicator id.
+        comm: CommunicatorId,
+        /// All participant GPUs in rank order (the user-assigned order —
+        /// exactly the information NCCL would build its ring from).
+        world: Vec<GpuId>,
+        /// This shim's rank.
+        rank: usize,
+    },
+    /// Tear down this rank of a communicator.
+    CommDestroy {
+        /// Request correlation id.
+        req: u64,
+        /// The communicator to destroy.
+        comm: CommunicatorId,
+    },
+    /// Issue a collective.
+    Collective {
+        /// Request correlation id.
+        req: u64,
+        /// The invocation.
+        coll: CollectiveRequest,
+    },
+}
+
+impl ShimCommand {
+    /// The request correlation id.
+    pub fn req(&self) -> u64 {
+        match *self {
+            ShimCommand::MemAlloc { req, .. }
+            | ShimCommand::MemFree { req, .. }
+            | ShimCommand::CommInit { req, .. }
+            | ShimCommand::CommDestroy { req, .. }
+            | ShimCommand::Collective { req, .. } => req,
+        }
+    }
+}
+
+/// Completions the frontend engine pushes back to the shim.
+#[derive(Clone, Debug)]
+pub enum ShimCompletion {
+    /// Allocation done; the shim opens `handle` for the device pointer.
+    MemAlloc {
+        /// Correlates with the command.
+        req: u64,
+        /// The allocation's IPC handle.
+        handle: MemHandle,
+    },
+    /// Free done.
+    MemFree {
+        /// Correlates with the command.
+        req: u64,
+    },
+    /// Communicator rank registered.
+    CommInit {
+        /// Correlates with the command.
+        req: u64,
+        /// The communicator.
+        comm: CommunicatorId,
+        /// Service-side event recorded after every collective on this
+        /// communicator; the shim waits on it from app streams.
+        comm_event: EventId,
+    },
+    /// Communicator rank destroyed.
+    CommDestroy {
+        /// Correlates with the command.
+        req: u64,
+    },
+    /// Collective accepted and sequenced.
+    CollectiveLaunched {
+        /// Correlates with the command.
+        req: u64,
+        /// Service-assigned sequence number within the communicator.
+        seq: u64,
+    },
+    /// Collective `seq` on `comm` finished (also signaled via `comm_event`).
+    CollectiveDone {
+        /// The communicator.
+        comm: CommunicatorId,
+        /// The finished collective's sequence number.
+        seq: u64,
+    },
+    /// A command failed (bad handle, invalid range, unknown communicator).
+    Error {
+        /// Correlates with the command.
+        req: u64,
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_collectives::op::all_reduce_sum;
+
+    #[test]
+    fn req_extraction_covers_all_commands() {
+        let cmds = [
+            ShimCommand::MemAlloc {
+                req: 1,
+                gpu: GpuId(0),
+                size: Bytes::mib(1),
+            },
+            ShimCommand::MemFree {
+                req: 2,
+                handle: MemHandle(0),
+            },
+            ShimCommand::CommInit {
+                req: 3,
+                comm: CommunicatorId(9),
+                world: vec![GpuId(0), GpuId(1)],
+                rank: 0,
+            },
+            ShimCommand::CommDestroy {
+                req: 4,
+                comm: CommunicatorId(9),
+            },
+            ShimCommand::Collective {
+                req: 5,
+                coll: CollectiveRequest {
+                    comm: CommunicatorId(9),
+                    op: all_reduce_sum(),
+                    size: Bytes::mib(8),
+                    send: (MemHandle(1), 0),
+                    recv: (MemHandle(2), 0),
+                    depends_on: None,
+                },
+            },
+        ];
+        let reqs: Vec<u64> = cmds.iter().map(ShimCommand::req).collect();
+        assert_eq!(reqs, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(format!("{}", AppId(3)), "app3");
+        assert_eq!(format!("{}", CommunicatorId(7)), "comm7");
+    }
+}

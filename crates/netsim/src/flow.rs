@@ -1,0 +1,171 @@
+//! Flow descriptions and lifecycle records.
+
+use mccs_sim::{Bandwidth, Bytes, Nanos};
+use mccs_topology::{NicId, RouteId};
+
+/// Identifies a flow within one [`crate::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// How a flow's path through the fabric is chosen.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RouteChoice {
+    /// Hash over the equal-cost path set — what a tenant-side library gets
+    /// from the network by default. The hash models the five-tuple: NCCL's
+    /// multiple connections between a host pair carry distinct hashes and
+    /// may or may not collide onto one physical path.
+    Ecmp {
+        /// Surrogate for the flow five-tuple fed to the switch hash.
+        hash: u64,
+    },
+    /// An explicitly pinned equal-cost choice — MCCS's route control
+    /// (route id -> RoCEv2 UDP source port -> policy-based routing).
+    Pinned(RouteId),
+}
+
+/// A request to move bytes between two NICs.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Transmitting NIC.
+    pub src: NicId,
+    /// Receiving NIC.
+    pub dst: NicId,
+    /// Bytes to move; `None` is an unbounded background flow that runs
+    /// until cancelled.
+    pub bytes: Option<Bytes>,
+    /// Path selection.
+    pub routing: RouteChoice,
+    /// Optional sender-side rate cap (used, e.g., for the fixed 75 Gbps
+    /// background flow of Figure 7).
+    pub rate_cap: Option<Bandwidth>,
+    /// Opaque owner tag, echoed in completions (job id, channel id, ...).
+    pub tag: u64,
+    /// Strict-priority flows take their cap before fair flows share the
+    /// remainder (models non-collective background traffic).
+    pub guaranteed: bool,
+    /// Owning tenant. Links shared by multiple tenants pay the network's
+    /// cross-tenant sharing penalty (uncoordinated congestion control);
+    /// one tenant's own flows share a link fluidly.
+    pub tenant: u32,
+}
+
+impl FlowSpec {
+    /// A bounded ECMP-routed flow with no cap.
+    pub fn ecmp(src: NicId, dst: NicId, bytes: Bytes, hash: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes: Some(bytes),
+            routing: RouteChoice::Ecmp { hash },
+            rate_cap: None,
+            tag: 0,
+            guaranteed: false,
+            tenant: 0,
+        }
+    }
+
+    /// A bounded flow pinned to an explicit route.
+    pub fn pinned(src: NicId, dst: NicId, bytes: Bytes, route: RouteId) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes: Some(bytes),
+            routing: RouteChoice::Pinned(route),
+            rate_cap: None,
+            tag: 0,
+            guaranteed: false,
+            tenant: 0,
+        }
+    }
+
+    /// An unbounded background flow at a fixed rate, ECMP-routed.
+    pub fn background(src: NicId, dst: NicId, rate: Bandwidth, hash: u64) -> Self {
+        FlowSpec {
+            src,
+            dst,
+            bytes: None,
+            routing: RouteChoice::Ecmp { hash },
+            rate_cap: Some(rate),
+            tag: 0,
+            guaranteed: true,
+            tenant: u32::MAX, // background traffic is its own tenant
+        }
+    }
+
+    /// Attach an owner tag.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Attach a tenant id.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+}
+
+/// Emitted when a bounded flow finishes.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowCompletion {
+    /// The finished flow.
+    pub id: FlowId,
+    /// Its owner tag.
+    pub tag: u64,
+    /// When it was admitted.
+    pub started_at: Nanos,
+    /// When the last byte arrived.
+    pub finished_at: Nanos,
+    /// Bytes moved.
+    pub bytes: Bytes,
+}
+
+impl FlowCompletion {
+    /// Flow completion time.
+    pub fn duration(&self) -> Nanos {
+        self.finished_at - self.started_at
+    }
+
+    /// Mean goodput over the flow's lifetime.
+    pub fn mean_rate(&self) -> Bandwidth {
+        let secs = self.duration().as_secs_f64();
+        if secs <= 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth::bytes_per_sec(self.bytes.as_f64() / secs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constructors() {
+        let f = FlowSpec::ecmp(NicId(0), NicId(1), Bytes::mib(1), 7).with_tag(42);
+        assert_eq!(f.tag, 42);
+        assert_eq!(f.bytes, Some(Bytes::mib(1)));
+        assert!(matches!(f.routing, RouteChoice::Ecmp { hash: 7 }));
+
+        let p = FlowSpec::pinned(NicId(0), NicId(1), Bytes::kib(4), RouteId(1));
+        assert!(matches!(p.routing, RouteChoice::Pinned(RouteId(1))));
+
+        let b = FlowSpec::background(NicId(0), NicId(1), Bandwidth::gbps(75.0), 0);
+        assert_eq!(b.bytes, None);
+        assert!((b.rate_cap.expect("capped").as_gbps() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_math() {
+        let c = FlowCompletion {
+            id: FlowId(1),
+            tag: 0,
+            started_at: Nanos::from_secs(1),
+            finished_at: Nanos::from_secs(3),
+            bytes: Bytes::new(2_000_000_000),
+        };
+        assert_eq!(c.duration(), Nanos::from_secs(2));
+        assert!((c.mean_rate().as_gbps() - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mccs-netsim — flow-level datacenter network simulator
+//!
+//! The transport substrate substituting for the paper's RDMA testbed. The
+//! model matches the simulator the paper itself uses for its large-scale
+//! evaluation (§6.5): flows share links with **per-flow max-min fairness**,
+//! flows are routed either by ECMP hashing or by an explicitly pinned route
+//! (MCCS's source-routing control), and the simulator advances in virtual
+//! time, emitting exact completion events.
+//!
+//! ## Model
+//!
+//! A [`flow::FlowSpec`] names a source NIC, destination NIC, byte count
+//! (or unbounded for background traffic), a routing choice and an optional
+//! rate cap. [`network::Network`] resolves routes over an
+//! [`mccs_topology::Topology`], recomputes the max-min rate allocation
+//! whenever the active flow set changes ([`maxmin`]), and accrues per-flow
+//! progress between changes. Pausing and resuming flows implements the
+//! paper's time-window traffic scheduling (TS); re-pinning routes at
+//! runtime implements dynamic flow assignment (FFA/PFA).
+//!
+//! ## Module map
+//! * [`flow`] — flow descriptions, ids and completion records.
+//! * [`maxmin`] — the pure water-filling rate allocator.
+//! * [`network`] — the virtual-time flow lifecycle engine.
+
+pub mod flow;
+pub mod maxmin;
+pub mod network;
+
+pub use flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
+pub use network::Network;

@@ -1,0 +1,406 @@
+//! Max-min fair rate allocation (water-filling) with per-flow caps.
+//!
+//! Pure function: given each flow's traversed links (and optional rate
+//! cap) and each link's capacity, compute the max-min fair allocation by
+//! progressive filling. The classic invariants hold and are enforced by
+//! property tests:
+//!
+//! 1. **Feasibility** — no link carries more than its capacity.
+//! 2. **Cap respect** — no flow exceeds its cap.
+//! 3. **Bottleneck justification** — every flow is either at its cap or
+//!    traverses a saturated link on which it has a maximal rate.
+//!
+//! Complexity is `O(rounds × (flows + links))` with at most `flows`
+//! rounds; the testbed experiments run dozens of flows and the §6.5
+//! cluster a few thousand, both comfortably fast.
+
+use mccs_sim::Bandwidth;
+
+/// One flow's allocation inputs.
+#[derive(Clone, Debug)]
+pub struct FlowDemand {
+    /// Dense indices of the links the flow traverses.
+    pub links: Vec<usize>,
+    /// Optional sender-side cap.
+    pub cap: Option<Bandwidth>,
+    /// Guaranteed (strict-priority) flows are allocated first, taking up to
+    /// their cap before fair flows share the remainder — how the paper's
+    /// Figure 7 background traffic holds 75 of 100 Gbps regardless of the
+    /// collective's demand.
+    pub guaranteed: bool,
+}
+
+impl FlowDemand {
+    /// A fair (best-effort) flow.
+    pub fn fair(links: Vec<usize>, cap: Option<Bandwidth>) -> Self {
+        FlowDemand {
+            links,
+            cap,
+            guaranteed: false,
+        }
+    }
+}
+
+/// Two-class allocation: guaranteed flows water-fill first (among
+/// themselves), then fair flows water-fill over the leftover capacity.
+pub fn allocate_with_priority(
+    flows: &[FlowDemand],
+    capacities: &[Bandwidth],
+) -> Vec<Bandwidth> {
+    let any_guaranteed = flows.iter().any(|f| f.guaranteed);
+    if !any_guaranteed {
+        return allocate(flows, capacities);
+    }
+    let hi: Vec<FlowDemand> = flows.iter().filter(|f| f.guaranteed).cloned().collect();
+    let hi_rates = allocate(&hi, capacities);
+    // Subtract the guaranteed load from every link.
+    let mut leftover: Vec<f64> = capacities.iter().map(|c| c.as_bps()).collect();
+    for (f, r) in hi.iter().zip(&hi_rates) {
+        for &l in &f.links {
+            leftover[l] = (leftover[l] - r.as_bps()).max(0.0);
+        }
+    }
+    let lo: Vec<FlowDemand> = flows.iter().filter(|f| !f.guaranteed).cloned().collect();
+    let lo_caps: Vec<Bandwidth> = leftover.into_iter().map(Bandwidth::bps).collect();
+    let lo_rates = allocate(&lo, &lo_caps);
+    // Stitch back in input order.
+    let mut hi_it = hi_rates.into_iter();
+    let mut lo_it = lo_rates.into_iter();
+    flows
+        .iter()
+        .map(|f| {
+            if f.guaranteed {
+                hi_it.next().expect("one rate per guaranteed flow")
+            } else {
+                lo_it.next().expect("one rate per fair flow")
+            }
+        })
+        .collect()
+}
+
+/// Compute max-min fair rates.
+///
+/// `capacities[l]` is the capacity of link `l`; `flows[f].links` index into
+/// it. Returns one rate per flow, in order. Flows traversing no links
+/// (never the case for real NIC-to-NIC routes) get an infinite share and
+/// are clamped to their cap or to the largest link capacity.
+pub fn allocate(flows: &[FlowDemand], capacities: &[Bandwidth]) -> Vec<Bandwidth> {
+    let nf = flows.len();
+    let nl = capacities.len();
+    let mut rate = vec![Bandwidth::ZERO; nf];
+    if nf == 0 {
+        return rate;
+    }
+
+    let mut frozen = vec![false; nf];
+    let mut remaining: Vec<f64> = capacities.iter().map(|c| c.as_bps()).collect();
+    let mut active_count = vec![0usize; nl];
+    for f in flows {
+        for &l in &f.links {
+            active_count[l] += 1;
+        }
+    }
+
+    let fallback_cap = capacities
+        .iter()
+        .map(|c| c.as_bps())
+        .fold(0.0_f64, f64::max);
+
+    let mut unfrozen = nf;
+    while unfrozen > 0 {
+        // The tightest constraint this round: either a link's fair share or
+        // some flow's cap.
+        let mut level = f64::INFINITY;
+        for l in 0..nl {
+            if active_count[l] > 0 {
+                level = level.min(remaining[l] / active_count[l] as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            if let Some(cap) = f.cap {
+                level = level.min(cap.as_bps());
+            }
+        }
+        if !level.is_finite() {
+            // Only link-free flows remain: give them their cap / fallback.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rate[i] = f.cap.unwrap_or(Bandwidth::bps(fallback_cap));
+                    frozen[i] = true;
+                }
+            }
+            break;
+        }
+        level = level.max(0.0);
+
+        // Freeze every flow bound by this level: capped flows whose cap
+        // equals the level, and flows on links that the level saturates.
+        let mut froze_any = false;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let capped = f
+                .cap
+                .is_some_and(|c| c.as_bps() <= level * (1.0 + 1e-12));
+            let bottlenecked = f.links.iter().any(|&l| {
+                remaining[l] / active_count[l] as f64 <= level * (1.0 + 1e-12)
+            });
+            if capped || bottlenecked {
+                let r = if capped {
+                    f.cap.expect("checked").as_bps().min(level)
+                } else {
+                    level
+                };
+                rate[i] = Bandwidth::bps(r.max(0.0));
+                frozen[i] = true;
+                unfrozen -= 1;
+                froze_any = true;
+                for &l in &f.links {
+                    remaining[l] = (remaining[l] - r).max(0.0);
+                    active_count[l] -= 1;
+                }
+            }
+        }
+        debug_assert!(froze_any, "progressive filling stalled");
+        if !froze_any {
+            // Numerical corner: freeze everything at the level to terminate.
+            for (i, f) in flows.iter().enumerate() {
+                if !frozen[i] {
+                    rate[i] = Bandwidth::bps(level);
+                    frozen[i] = true;
+                    for &l in &f.links {
+                        remaining[l] = (remaining[l] - level).max(0.0);
+                        active_count[l] -= 1;
+                    }
+                }
+            }
+            break;
+        }
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps(x: f64) -> Bandwidth {
+        Bandwidth::gbps(x)
+    }
+
+    fn demand(links: &[usize]) -> FlowDemand {
+        FlowDemand::fair(links.to_vec(), None)
+    }
+
+    #[test]
+    fn single_flow_gets_min_link() {
+        let rates = allocate(&[demand(&[0, 1])], &[gbps(100.0), gbps(50.0)]);
+        assert!((rates[0].as_gbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_split_shared_link() {
+        let rates = allocate(&[demand(&[0]), demand(&[0])], &[gbps(100.0)]);
+        assert!((rates[0].as_gbps() - 50.0).abs() < 1e-9);
+        assert!((rates[1].as_gbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_three_flow_water_fill() {
+        // Link 0 (10G) carries flows A and B; link 1 (8G) carries B and C.
+        // Max-min: B bottlenecked at min(5, 4) = 4 on link 1, C gets 4,
+        // then A fills link 0 to 6.
+        let rates = allocate(
+            &[demand(&[0]), demand(&[0, 1]), demand(&[1])],
+            &[gbps(10.0), gbps(8.0)],
+        );
+        assert!((rates[1].as_gbps() - 4.0).abs() < 1e-9, "B {:?}", rates[1]);
+        assert!((rates[2].as_gbps() - 4.0).abs() < 1e-9, "C {:?}", rates[2]);
+        assert!((rates[0].as_gbps() - 6.0).abs() < 1e-9, "A {:?}", rates[0]);
+    }
+
+    #[test]
+    fn caps_are_respected_and_released_capacity_shared() {
+        // Two flows on a 100G link; one capped at 10G -> other gets 90G.
+        let flows = [
+            FlowDemand::fair(vec![0], Some(gbps(10.0))),
+            demand(&[0]),
+        ];
+        let rates = allocate(&flows, &[gbps(100.0)]);
+        assert!((rates[0].as_gbps() - 10.0).abs() < 1e-9);
+        assert!((rates[1].as_gbps() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(allocate(&[], &[gbps(1.0)]).is_empty());
+    }
+
+    #[test]
+    fn linkless_flow_gets_cap() {
+        let flows = [FlowDemand::fair(vec![], Some(gbps(5.0)))];
+        let rates = allocate(&flows, &[gbps(100.0)]);
+        assert!((rates[0].as_gbps() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_flows_each_get_full_capacity() {
+        let rates = allocate(
+            &[demand(&[0]), demand(&[1])],
+            &[gbps(40.0), gbps(25.0)],
+        );
+        assert!((rates[0].as_gbps() - 40.0).abs() < 1e-9);
+        assert!((rates[1].as_gbps() - 25.0).abs() < 1e-9);
+    }
+
+    /// The invariants the property tests below check, reusable by callers.
+    fn check_invariants(flows: &[FlowDemand], caps: &[Bandwidth], rates: &[Bandwidth]) {
+        let tol = 1e-6; // bps tolerance relative to multi-Gbps scales
+        // 1. feasibility
+        for (l, cap) in caps.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(rates)
+                .filter(|(f, _)| f.links.contains(&l))
+                .map(|(_, r)| r.as_bps())
+                .sum();
+            assert!(
+                load <= cap.as_bps() * (1.0 + tol) + 1.0,
+                "link {l} overloaded: {load} > {}",
+                cap.as_bps()
+            );
+        }
+        // 2. caps
+        for (f, r) in flows.iter().zip(rates) {
+            if let Some(c) = f.cap {
+                assert!(r.as_bps() <= c.as_bps() * (1.0 + tol) + 1.0);
+            }
+        }
+        // 3. bottleneck justification
+        for (i, f) in flows.iter().enumerate() {
+            if f.cap.is_some_and(|c| (rates[i].as_bps() - c.as_bps()).abs() < 1.0) {
+                continue; // at cap
+            }
+            if f.links.is_empty() {
+                continue;
+            }
+            let justified = f.links.iter().any(|&l| {
+                let load: f64 = flows
+                    .iter()
+                    .zip(rates)
+                    .filter(|(g, _)| g.links.contains(&l))
+                    .map(|(_, r)| r.as_bps())
+                    .sum();
+                let saturated = load >= caps[l].as_bps() * (1.0 - 1e-6) - 1.0;
+                let maximal = flows
+                    .iter()
+                    .zip(rates)
+                    .filter(|(g, _)| g.links.contains(&l))
+                    .all(|(_, r)| r.as_bps() <= rates[i].as_bps() * (1.0 + 1e-6) + 1.0);
+                saturated && maximal
+            });
+            assert!(justified, "flow {i} is neither capped nor bottlenecked");
+        }
+    }
+
+    #[test]
+    fn guaranteed_flows_preempt_fair_flows() {
+        // 100G link: a guaranteed 75G flow + one fair flow -> 75/25 split,
+        // the Figure 7 background-traffic situation.
+        let flows = [
+            FlowDemand {
+                links: vec![0],
+                cap: Some(gbps(75.0)),
+                guaranteed: true,
+            },
+            demand(&[0]),
+        ];
+        let rates = allocate_with_priority(&flows, &[gbps(100.0)]);
+        assert!((rates[0].as_gbps() - 75.0).abs() < 1e-9);
+        assert!((rates[1].as_gbps() - 25.0).abs() < 1e-9);
+        // Without the guarantee the same flows split 50/50 (cap unmet).
+        let fair = [
+            FlowDemand::fair(vec![0], Some(gbps(75.0))),
+            demand(&[0]),
+        ];
+        let rates = allocate_with_priority(&fair, &[gbps(100.0)]);
+        assert!((rates[0].as_gbps() - 50.0).abs() < 1e-9);
+        assert!((rates[1].as_gbps() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_guaranteed_flows_share_fairly_among_themselves() {
+        let flows = [
+            FlowDemand {
+                links: vec![0],
+                cap: Some(gbps(80.0)),
+                guaranteed: true,
+            },
+            FlowDemand {
+                links: vec![0],
+                cap: Some(gbps(80.0)),
+                guaranteed: true,
+            },
+            demand(&[0]),
+        ];
+        let rates = allocate_with_priority(&flows, &[gbps(100.0)]);
+        assert!((rates[0].as_gbps() - 50.0).abs() < 1e-9);
+        assert!((rates[1].as_gbps() - 50.0).abs() < 1e-9);
+        assert!(rates[2].as_gbps() < 1e-9, "fair flow starved by guarantees");
+    }
+
+    #[test]
+    fn invariants_on_known_cases() {
+        let caps = [gbps(10.0), gbps(8.0)];
+        let flows = [demand(&[0]), demand(&[0, 1]), demand(&[1])];
+        let rates = allocate(&flows, &caps);
+        check_invariants(&flows, &caps, &rates);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_flows() -> impl Strategy<Value = (Vec<FlowDemand>, Vec<Bandwidth>)> {
+            // up to 12 links of 1..400 gbps, up to 24 flows over 1..5 links
+            (1usize..12, 1usize..24).prop_flat_map(|(nl, nf)| {
+                let caps = proptest::collection::vec(1.0f64..400.0, nl)
+                    .prop_map(|v| v.into_iter().map(Bandwidth::gbps).collect::<Vec<_>>());
+                let flows = proptest::collection::vec(
+                    (
+                        proptest::collection::btree_set(0usize..nl, 1..=nl.min(5)),
+                        proptest::option::of(1.0f64..200.0),
+                    )
+                        .prop_map(|(links, cap)| FlowDemand::fair(
+                            links.into_iter().collect(),
+                            cap.map(Bandwidth::gbps),
+                        )),
+                    nf,
+                );
+                (flows, caps)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn allocation_satisfies_maxmin_invariants((flows, caps) in arb_flows()) {
+                let rates = allocate(&flows, &caps);
+                prop_assert_eq!(rates.len(), flows.len());
+                super::check_invariants(&flows, &caps, &rates);
+            }
+
+            #[test]
+            fn allocation_is_deterministic((flows, caps) in arb_flows()) {
+                let a = allocate(&flows, &caps);
+                let b = allocate(&flows, &caps);
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(x.as_bps(), y.as_bps());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,619 @@
+//! Virtual-time flow lifecycle.
+//!
+//! [`Network`] owns the active flow set and advances it through virtual
+//! time. Rates follow the max-min allocation of [`crate::maxmin`] and are
+//! recomputed on every membership change (admission, completion,
+//! cancellation, pause/resume, route re-pin) — between changes each flow
+//! progresses linearly, so completions can be computed exactly rather than
+//! by time-stepping.
+
+use crate::flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
+use crate::maxmin::{allocate_with_priority, FlowDemand};
+use mccs_sim::{Bandwidth, Bytes, Nanos};
+use mccs_topology::{LinkId, Route, RouteId, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+struct FlowState {
+    spec: FlowSpec,
+    route: Route,
+    bytes_done: f64,
+    rate: Bandwidth,
+    paused: bool,
+    started: Nanos,
+}
+
+impl FlowState {
+    fn remaining(&self) -> Option<f64> {
+        self.spec
+            .bytes
+            .map(|b| (b.as_f64() - self.bytes_done).max(0.0))
+    }
+
+    fn active(&self) -> bool {
+        !self.paused
+    }
+}
+
+/// The flow-level network simulator.
+pub struct Network {
+    topo: Arc<Topology>,
+    flows: BTreeMap<FlowId, FlowState>,
+    next_id: u64,
+    /// Time up to which every flow's progress has been accrued.
+    clock: Nanos,
+    /// Cached per-link capacities (indexed by link id).
+    capacities: Vec<Bandwidth>,
+    /// Capacity fraction lost on links shared by multiple tenants
+    /// (uncoordinated congestion control; 0.0 = ideal fluid sharing).
+    cross_tenant_penalty: f64,
+}
+
+impl Network {
+    /// A quiet network over `topo` at time zero.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        let capacities = topo.links().iter().map(|l| l.bandwidth).collect();
+        Network {
+            topo,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            clock: Nanos::ZERO,
+            capacities,
+            cross_tenant_penalty: DEFAULT_CROSS_TENANT_PENALTY,
+        }
+    }
+
+    /// Override the cross-tenant sharing penalty (0.0 = fluid).
+    pub fn set_cross_tenant_penalty(&mut self, penalty: f64) {
+        assert!((0.0..1.0).contains(&penalty), "penalty must be in [0,1)");
+        self.cross_tenant_penalty = penalty;
+        self.recompute_rates();
+    }
+
+    /// The topology this network runs on.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Time up to which progress has been accrued.
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    /// Number of flows currently in the system (including paused).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    // ---- lifecycle --------------------------------------------------------
+
+    /// Admit a flow at time `now`. Resolves the route (ECMP hash or pinned
+    /// id) immediately; rates are recomputed.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes already-accrued time, if src == dst, or if
+    /// a pinned route id is out of range.
+    pub fn start_flow(&mut self, now: Nanos, spec: FlowSpec) -> FlowId {
+        assert_ne!(spec.src, spec.dst, "flow to self never reaches the fabric");
+        self.catch_up(now);
+        let route = match spec.routing {
+            RouteChoice::Ecmp { hash } => self.topo.ecmp_route(spec.src, spec.dst, hash),
+            RouteChoice::Pinned(id) => self.topo.pinned_route(spec.src, spec.dst, id),
+        };
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            FlowState {
+                spec,
+                route,
+                bytes_done: 0.0,
+                rate: Bandwidth::ZERO,
+                paused: false,
+                started: now,
+            },
+        );
+        self.recompute_rates();
+        id
+    }
+
+    /// Remove a flow regardless of progress (used for background flows and
+    /// reconfiguration teardown). No completion record is produced.
+    pub fn cancel_flow(&mut self, now: Nanos, id: FlowId) {
+        self.catch_up(now);
+        assert!(self.flows.remove(&id).is_some(), "cancel of unknown {id:?}");
+        self.recompute_rates();
+    }
+
+    /// Gate a flow (paused flows hold no bandwidth) — the mechanism behind
+    /// time-window traffic scheduling.
+    pub fn set_paused(&mut self, now: Nanos, id: FlowId, paused: bool) {
+        self.catch_up(now);
+        let f = self.flows.get_mut(&id).unwrap_or_else(|| panic!("pause of unknown {id:?}"));
+        if f.paused != paused {
+            f.paused = paused;
+            self.recompute_rates();
+        }
+    }
+
+    /// Move a flow onto a different equal-cost route at runtime.
+    pub fn repin_flow(&mut self, now: Nanos, id: FlowId, route: RouteId) {
+        self.catch_up(now);
+        let (src, dst) = {
+            let f = self.flows.get(&id).unwrap_or_else(|| panic!("repin of unknown {id:?}"));
+            (f.spec.src, f.spec.dst)
+        };
+        let new_route = self.topo.pinned_route(src, dst, route);
+        let f = self.flows.get_mut(&id).expect("checked above");
+        f.route = new_route;
+        f.spec.routing = RouteChoice::Pinned(route);
+        self.recompute_rates();
+    }
+
+    /// Advance to `target`, processing every intermediate completion at its
+    /// exact time (each completion frees capacity and re-accelerates the
+    /// survivors). Returns completions in time order.
+    pub fn advance_to(&mut self, target: Nanos) -> Vec<FlowCompletion> {
+        assert!(target >= self.clock, "time went backwards");
+        let mut out = Vec::new();
+        loop {
+            match self.next_completion_time() {
+                Some(t) if t <= target => {
+                    self.accrue(t);
+                    self.reap(&mut out);
+                    self.recompute_rates();
+                }
+                _ => {
+                    self.accrue(target);
+                    // Flows can also land exactly on `target`.
+                    let before = out.len();
+                    self.reap(&mut out);
+                    if out.len() != before {
+                        self.recompute_rates();
+                    }
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// When the earliest bounded flow will finish at current rates.
+    pub fn next_completion_time(&self) -> Option<Nanos> {
+        self.flows
+            .values()
+            .filter(|f| f.active())
+            .filter_map(|f| {
+                let rem = f.remaining()?;
+                if rem <= COMPLETION_EPSILON_BYTES {
+                    return Some(self.clock);
+                }
+                if f.rate.as_bps() <= 0.0 {
+                    return None;
+                }
+                // Round UP to a whole nanosecond (and at least 1 ns): the
+                // flow must be *finished* at the returned instant, or the
+                // advance loop would spin on a sub-nanosecond residue.
+                let ns = (rem / f.rate.as_bytes_per_sec() * 1e9).ceil().max(1.0);
+                Some(self.clock + Nanos::from_nanos(ns as u64))
+            })
+            .min()
+    }
+
+    // ---- inspection --------------------------------------------------------
+
+    /// Current allocated rate of a flow.
+    pub fn flow_rate(&self, id: FlowId) -> Bandwidth {
+        self.flows.get(&id).map(|f| f.rate).unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Bytes a flow has moved so far.
+    pub fn flow_progress(&self, id: FlowId) -> Bytes {
+        self.flows
+            .get(&id)
+            .map(|f| Bytes::new(f.bytes_done as u64))
+            .unwrap_or(Bytes::ZERO)
+    }
+
+    /// The route a flow currently uses.
+    pub fn flow_route(&self, id: FlowId) -> Option<&Route> {
+        self.flows.get(&id).map(|f| &f.route)
+    }
+
+    /// Whether a flow is still present.
+    pub fn contains(&self, id: FlowId) -> bool {
+        self.flows.contains_key(&id)
+    }
+
+    /// Aggregate allocated rate over a link right now.
+    pub fn link_load(&self, link: LinkId) -> Bandwidth {
+        let total: f64 = self
+            .flows
+            .values()
+            .filter(|f| f.active() && f.route.links.contains(&link))
+            .map(|f| f.rate.as_bps())
+            .sum();
+        Bandwidth::bps(total)
+    }
+
+    /// Link load as a fraction of capacity.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        self.link_load(link).as_bps() / self.topo.link(link).bandwidth.as_bps()
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn catch_up(&mut self, now: Nanos) {
+        assert!(now >= self.clock, "mutation in the past: {now} < {}", self.clock);
+        self.accrue(now);
+    }
+
+    fn accrue(&mut self, to: Nanos) {
+        let dt = to - self.clock;
+        if dt > Nanos::ZERO {
+            for f in self.flows.values_mut() {
+                if f.active() {
+                    f.bytes_done += f.rate.bytes_in(dt);
+                }
+            }
+        }
+        self.clock = to;
+    }
+
+    fn reap(&mut self, out: &mut Vec<FlowCompletion>) {
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| {
+                f.active()
+                    && f.remaining()
+                        .is_some_and(|r| r <= COMPLETION_EPSILON_BYTES)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            let f = self.flows.remove(&id).expect("listed above");
+            out.push(FlowCompletion {
+                id,
+                tag: f.spec.tag,
+                started_at: f.started,
+                finished_at: self.clock,
+                bytes: f.spec.bytes.expect("bounded"),
+            });
+        }
+    }
+
+    fn recompute_rates(&mut self) {
+        // Remap to the compact set of links actually carrying flows: the
+        // allocator's cost is then proportional to active traffic, not to
+        // the whole fabric (the 768-GPU cluster has ~14k links but a few
+        // hundred busy ones at any instant).
+        let mut compact: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut compact_caps: Vec<Bandwidth> = Vec::new();
+        // (first tenant seen, shared across tenants?) per compact link
+        let mut link_tenants: Vec<(u32, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        let mut demands = Vec::new();
+        for (&id, f) in &self.flows {
+            if f.active() {
+                ids.push(id);
+                let tenant = f.spec.tenant;
+                // Guaranteed (background) flows model aggregate external
+                // traffic whose cost is already its bandwidth share; only
+                // tenant collective flows trigger the cross-tenant penalty.
+                let counts_for_sharing = !f.spec.guaranteed;
+                let links: Vec<usize> = f
+                    .route
+                    .links
+                    .iter()
+                    .map(|l| {
+                        let idx = l.index();
+                        *compact.entry(idx).or_insert_with(|| {
+                            compact_caps.push(self.capacities[idx]);
+                            link_tenants.push((u32::MAX, false));
+                            compact_caps.len() - 1
+                        })
+                    })
+                    .collect();
+                if counts_for_sharing {
+                    for &cl in &links {
+                        match link_tenants[cl].0 {
+                            u32::MAX => link_tenants[cl].0 = tenant,
+                            t if t != tenant => link_tenants[cl].1 = true,
+                            _ => {}
+                        }
+                    }
+                }
+                demands.push(FlowDemand {
+                    links,
+                    cap: f.spec.rate_cap,
+                    guaranteed: f.spec.guaranteed,
+                });
+            }
+        }
+        if self.cross_tenant_penalty > 0.0 {
+            for (cl, &(_, shared)) in link_tenants.iter().enumerate() {
+                if shared {
+                    compact_caps[cl] = compact_caps[cl] * (1.0 - self.cross_tenant_penalty);
+                }
+            }
+        }
+        let rates = allocate_with_priority(&demands, &compact_caps);
+        for f in self.flows.values_mut() {
+            f.rate = Bandwidth::ZERO;
+        }
+        for (id, rate) in ids.into_iter().zip(rates) {
+            self.flows.get_mut(&id).expect("listed above").rate = rate;
+        }
+    }
+}
+
+/// Flows within half a byte of done are done (floating-point slack).
+const COMPLETION_EPSILON_BYTES: f64 = 0.5;
+
+/// Default capacity loss on links shared across tenants: RoCE flows from
+/// different tenants do not coordinate their congestion control, so a
+/// collision costs goodput beyond the fluid fair share (the effect the
+/// paper's PFA isolation avoids).
+pub const DEFAULT_CROSS_TENANT_PENALTY: f64 = 0.3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_topology::{presets, NicId};
+
+    fn testbed_net() -> Network {
+        Network::new(Arc::new(presets::testbed()))
+    }
+
+    /// NICs 0..7, host h has NICs 2h, 2h+1. Hosts 0-1 rack 0, 2-3 rack 1.
+    fn nic(n: u32) -> NicId {
+        NicId(n)
+    }
+
+    #[test]
+    fn single_flow_runs_at_line_rate_and_completes_exactly() {
+        let mut net = testbed_net();
+        // same-rack flow: bottleneck is the 50G NIC links.
+        let id = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(64), 0));
+        assert!((net.flow_rate(id).as_gbps() - 50.0).abs() < 1e-6);
+        let expect = Bandwidth::gbps(50.0).transfer_time(Bytes::mib(64));
+        let next = net.next_completion_time().expect("one flow");
+        assert!(next.as_nanos().abs_diff(expect.as_nanos()) <= 1);
+        let done = net.advance_to(Nanos::from_secs(1));
+        assert_eq!(done.len(), 1);
+        assert!(done[0].finished_at.as_nanos().abs_diff(expect.as_nanos()) <= 1);
+        assert_eq!(net.flow_count(), 0);
+    }
+
+    #[test]
+    fn sharing_then_speedup_after_completion() {
+        let mut net = testbed_net();
+        // Two same-rack flows sharing the destination NIC downlink.
+        let a = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(10), 0));
+        let b = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(1), nic(2), Bytes::mib(30), 1));
+        // wait: flows to the SAME nic share its 50G downlink -> 25G each
+        assert!((net.flow_rate(a).as_gbps() - 25.0).abs() < 1e-6);
+        assert!((net.flow_rate(b).as_gbps() - 25.0).abs() < 1e-6);
+        let done = net.advance_to(Nanos::from_secs(10));
+        assert_eq!(done.len(), 2);
+        // A finishes 10MiB at 25G; B then accelerates to 50G.
+        let t_a = Bandwidth::gbps(25.0).transfer_time(Bytes::mib(10));
+        assert!(done[0].finished_at.as_nanos().abs_diff(t_a.as_nanos()) <= 1);
+        let rem_t = Bandwidth::gbps(25.0)
+            .transfer_time(Bytes::mib(10))
+            .as_secs_f64()
+            + Bandwidth::gbps(25.0)
+                .transfer_time(Bytes::mib(10))
+                .as_secs_f64()
+            + Bandwidth::gbps(50.0)
+                .transfer_time(Bytes::mib(10))
+                .as_secs_f64();
+        // B: 10MiB at 25G alongside A, then 20MiB at 50G.
+        let expect_b = Nanos::from_secs_f64(
+            Bandwidth::gbps(25.0).transfer_time(Bytes::mib(10)).as_secs_f64()
+                + Bandwidth::gbps(50.0).transfer_time(Bytes::mib(20)).as_secs_f64(),
+        );
+        let got = done[1].finished_at;
+        let diff = got.as_secs_f64() - expect_b.as_secs_f64();
+        assert!(diff.abs() < 1e-6, "B finished at {got}, expected {expect_b} ({rem_t})");
+    }
+
+    #[test]
+    fn ecmp_collision_vs_pinned_routes() {
+        let net_paths = |h1: u64, h2: u64| {
+            let mut net = testbed_net();
+            // two cross-rack flows host0 -> host2, one per NIC pair
+            let a = net.start_flow(
+                Nanos::ZERO,
+                FlowSpec::ecmp(nic(0), nic(4), Bytes::mib(100), h1),
+            );
+            let b = net.start_flow(
+                Nanos::ZERO,
+                FlowSpec::ecmp(nic(1), nic(5), Bytes::mib(100), h2),
+            );
+            (net.flow_rate(a).as_gbps(), net.flow_rate(b).as_gbps())
+        };
+        // find hash pairs demonstrating collision and spread
+        let mut saw_collision = false;
+        let mut saw_spread = false;
+        for h in 0..16u64 {
+            let (ra, rb) = net_paths(h, h + 16);
+            if (ra - 25.0).abs() < 1e-6 && (rb - 25.0).abs() < 1e-6 {
+                saw_collision = true;
+            }
+            if (ra - 50.0).abs() < 1e-6 && (rb - 50.0).abs() < 1e-6 {
+                saw_spread = true;
+            }
+        }
+        assert!(saw_collision, "ECMP never collided in 16 draws");
+        assert!(saw_spread, "ECMP never spread in 16 draws");
+
+        // Pinned routes never collide.
+        let mut net = testbed_net();
+        let a = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::pinned(nic(0), nic(4), Bytes::mib(100), RouteId(0)),
+        );
+        let b = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::pinned(nic(1), nic(5), Bytes::mib(100), RouteId(1)),
+        );
+        assert!((net.flow_rate(a).as_gbps() - 50.0).abs() < 1e-6);
+        assert!((net.flow_rate(b).as_gbps() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn background_flow_steals_capacity() {
+        let mut net = testbed_net();
+        // Fixed 40G background flow on route 0 between racks.
+        let bg = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec {
+                src: nic(0),
+                dst: nic(4),
+                bytes: None,
+                routing: RouteChoice::Pinned(RouteId(0)),
+                rate_cap: Some(Bandwidth::gbps(40.0)),
+                tag: 0,
+                guaranteed: true,
+                tenant: u32::MAX,
+            },
+        );
+        let f = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::pinned(nic(1), nic(5), Bytes::mib(100), RouteId(0)),
+        );
+        // The 50G spine link has 40G taken -> 10G left for the real flow.
+        assert!((net.flow_rate(f).as_gbps() - 10.0).abs() < 1e-6);
+        // Unbounded flows never produce completions.
+        let done = net.advance_to(Nanos::from_millis(1));
+        assert!(done.is_empty());
+        assert!(net.contains(bg));
+        // Cancel the background flow: the real flow accelerates to 50G.
+        net.cancel_flow(net.now(), bg);
+        assert!((net.flow_rate(f).as_gbps() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pause_resume_gates_bandwidth() {
+        let mut net = testbed_net();
+        let f = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(50), 0));
+        net.set_paused(Nanos::from_millis(1), f, true);
+        assert_eq!(net.flow_rate(f).as_bps(), 0.0);
+        assert_eq!(net.next_completion_time(), None);
+        let done = net.advance_to(Nanos::from_millis(5));
+        assert!(done.is_empty());
+        net.set_paused(Nanos::from_millis(5), f, false);
+        assert!((net.flow_rate(f).as_gbps() - 50.0).abs() < 1e-6);
+        // progress during the pause was zero: completion shifted by 4ms.
+        let expect = Nanos::from_millis(1) // progress before pause was at 50G for 1ms
+            .max(Nanos::ZERO);
+        let _ = expect;
+        let done = net.advance_to(Nanos::from_secs(1));
+        assert_eq!(done.len(), 1);
+        let t50 = Bandwidth::gbps(50.0).transfer_time(Bytes::mib(50));
+        let expected_finish = t50 + Nanos::from_millis(4);
+        let d = done[0].finished_at.as_secs_f64() - expected_finish.as_secs_f64();
+        assert!(d.abs() < 1e-6, "finish {} vs {}", done[0].finished_at, expected_finish);
+    }
+
+    #[test]
+    fn repin_moves_flow_off_congested_path() {
+        let mut net = testbed_net();
+        let a = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::pinned(nic(0), nic(4), Bytes::gib(1), RouteId(0)),
+        );
+        let b = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::pinned(nic(1), nic(5), Bytes::gib(1), RouteId(0)),
+        );
+        assert!((net.flow_rate(a).as_gbps() - 25.0).abs() < 1e-6);
+        net.repin_flow(Nanos::from_millis(2), b, RouteId(1));
+        assert!((net.flow_rate(a).as_gbps() - 50.0).abs() < 1e-6);
+        assert!((net.flow_rate(b).as_gbps() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_load_and_utilization() {
+        let mut net = testbed_net();
+        let f = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(1), 0));
+        let route = net.flow_route(f).expect("present").clone();
+        for &l in route.links.iter() {
+            assert!((net.link_load(l).as_gbps() - 50.0).abs() < 1e-6);
+            assert!((net.link_utilization(l) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_time_reversal() {
+        let mut net = testbed_net();
+        net.start_flow(Nanos::from_secs(1), FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(1), 0));
+        net.advance_to(Nanos::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "flow to self")]
+    fn rejects_self_flow() {
+        let mut net = testbed_net();
+        net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(0), Bytes::mib(1), 0));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = testbed_net();
+        net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::ZERO, 0));
+        let done = net.advance_to(Nanos::ZERO);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finished_at, Nanos::ZERO);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Random flow soups always drain, conserve bytes, and never
+            /// oversubscribe the destination NIC line rate in aggregate
+            /// (completion throughput bound).
+            #[test]
+            fn flows_always_drain(
+                seeds in proptest::collection::vec((0u32..8, 0u32..8, 1u64..64, any::<u64>()), 1..20)
+            ) {
+                let mut net = testbed_net();
+                let mut expected = 0usize;
+                for (i, &(s, d, mib, hash)) in seeds.iter().enumerate() {
+                    if s == d { continue; }
+                    expected += 1;
+                    let start = Nanos::from_micros(i as u64 * 10);
+                    net.start_flow(start, FlowSpec::ecmp(nic(s), nic(d), Bytes::mib(mib), hash));
+                }
+                let done = net.advance_to(Nanos::from_secs(60));
+                prop_assert_eq!(done.len(), expected);
+                prop_assert_eq!(net.flow_count(), 0);
+                // each flow's mean rate can never beat the 50G NIC
+                for c in &done {
+                    prop_assert!(c.mean_rate().as_gbps() <= 50.0 + 1e-6);
+                }
+            }
+
+            /// Completions come out in time order.
+            #[test]
+            fn completions_time_ordered(
+                seeds in proptest::collection::vec((0u32..4, 4u32..8, 1u64..32, any::<u64>()), 2..16)
+            ) {
+                let mut net = testbed_net();
+                for &(s, d, mib, hash) in &seeds {
+                    net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(s), nic(d), Bytes::mib(mib), hash));
+                }
+                let done = net.advance_to(Nanos::from_secs(60));
+                prop_assert!(done.windows(2).all(|w| w[0].finished_at <= w[1].finished_at));
+            }
+        }
+    }
+}

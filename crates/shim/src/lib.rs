@@ -1,0 +1,30 @@
+//! # mccs-shim — the tenant-side MCCS library
+//!
+//! The lightweight library tenant applications link against (§3): it
+//! preserves an NCCL-shaped API (communicator init, collectives enqueued
+//! with stream dependencies) while forwarding every operation to the MCCS
+//! service over the shared-memory command queues of `mccs-ipc`. The tenant
+//! never sees the topology, ring orders, or routes — only handles and
+//! completions.
+//!
+//! ## Pieces
+//! * [`port::ShimPort`] — the narrow window a tenant process has onto its
+//!   host: its command/completion queues, its own device streams/events,
+//!   and the clock. The simulation harness (`mccs-core`) implements it.
+//! * [`session::ShimSession`] — request bookkeeping: correlation ids,
+//!   pending-command retry under back-pressure, completion routing.
+//! * [`api::ShimApi`] — what application code calls: `alloc`,
+//!   `comm_init`, `all_reduce`, `all_gather`, ... mirroring NCCL.
+//! * [`program::AppProgram`] — the poll-style application abstraction the
+//!   harness executes, plus [`program::ScriptedProgram`] for declarative
+//!   test/example workloads.
+
+pub mod api;
+pub mod port;
+pub mod program;
+pub mod session;
+
+pub use api::ShimApi;
+pub use port::ShimPort;
+pub use program::{AppProgram, AppStatus, ScriptStep, ScriptedProgram};
+pub use session::{ReqId, ShimSession};

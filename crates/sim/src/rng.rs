@@ -1,0 +1,248 @@
+//! Deterministic random numbers.
+//!
+//! A self-contained xoshiro256++ generator seeded through splitmix64, plus
+//! the handful of distributions the workload and placement generators need
+//! (uniform ranges, exponential inter-arrival times, Fisher-Yates shuffles).
+//! Keeping the generator in-tree (rather than depending on `rand`'s
+//! `SmallRng`, whose algorithm is unspecified) guarantees that experiment
+//! outputs are stable across toolchain and dependency upgrades.
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// ```
+/// use mccs_sim::Rng;
+/// let mut a = Rng::seed_from(7);
+/// let mut b = Rng::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Seed the generator from a single `u64` via splitmix64 expansion.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive an independent child stream; used to give each subsystem
+    /// (placement, workload, network jitter, ...) its own generator so that
+    /// adding draws in one subsystem never perturbs another.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64() ^ 0xA076_1D64_78BD_642F)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Uses Lemire's multiply-shift rejection
+    /// method to avoid modulo bias.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[0, n)` — convenience for indexing.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// gaps of a Poisson process, as used for the job-arrival pattern of
+    /// the paper's §6.5).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse-CDF; (1 - f64()) is in (0, 1] so ln() is finite.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Standard normal via Box-Muller (used for trace jitter).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// In-place Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.index(items.len())]
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (partial Fisher-Yates).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from(123);
+        let mut b = Rng::seed_from(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from(9);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = Rng::seed_from(42);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[r.below(7) as usize] += 1;
+        }
+        for c in counts {
+            // each bucket expects 10_000; allow 5% deviation
+            assert!((9_500..10_500).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = Rng::seed_from(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(0.2)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.2).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng::seed_from(11);
+        let s = r.sample_indices(50, 20);
+        assert_eq!(s.len(), 20);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 20);
+        assert!(d.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from(1);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng::seed_from(3);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+}

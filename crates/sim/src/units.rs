@@ -1,0 +1,328 @@
+//! Data-size and bandwidth units.
+//!
+//! Collective-communication papers quote buffer sizes in binary units
+//! (KB/MB meaning KiB/MiB, following NCCL-tests) and link speeds in decimal
+//! gigabits per second. [`Bytes`] and [`Bandwidth`] capture both conventions
+//! and provide the transfer-time arithmetic used throughout the simulator:
+//! `time = bytes * 8 / bits_per_second`.
+
+use crate::time::Nanos;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A number of bytes (buffer size, flow size, bytes on the wire).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Bytes(pub u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Construct from a raw byte count.
+    pub const fn new(b: u64) -> Self {
+        Bytes(b)
+    }
+
+    /// `n` kibibytes (the "KB" of NCCL-tests plots).
+    pub const fn kib(n: u64) -> Self {
+        Bytes(n * 1024)
+    }
+
+    /// `n` mebibytes (the "MB" of NCCL-tests plots).
+    pub const fn mib(n: u64) -> Self {
+        Bytes(n * 1024 * 1024)
+    }
+
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        Bytes(n * 1024 * 1024 * 1024)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The byte count as `f64` (exact below 2^53).
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Scale by a fraction, rounding to the nearest byte.
+    pub fn mul_f64(self, f: f64) -> Bytes {
+        Bytes((self.0 as f64 * f).round().max(0.0) as u64)
+    }
+
+    /// Integer division that distributes the remainder: splitting `self`
+    /// into `parts` pieces whose sizes differ by at most one byte and sum
+    /// exactly to `self`. Piece `idx` (0-based) is returned.
+    pub fn split(self, parts: u64, idx: u64) -> Bytes {
+        assert!(parts > 0, "cannot split into zero parts");
+        assert!(idx < parts, "piece index out of range");
+        let base = self.0 / parts;
+        let rem = self.0 % parts;
+        Bytes(base + u64::from(idx < rem))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        const K: u64 = 1024;
+        if b < K {
+            write!(f, "{b}B")
+        } else if b < K * K {
+            write!(f, "{:.0}KB", b as f64 / K as f64)
+        } else if b < K * K * K {
+            write!(f, "{:.0}MB", b as f64 / (K * K) as f64)
+        } else {
+            write!(f, "{:.1}GB", b as f64 / (K * K * K) as f64)
+        }
+    }
+}
+
+/// A data rate. Stored in bits per second as `f64` so that max-min rate
+/// allocation (which produces fractional shares) is exact enough for the
+/// flow-level simulator.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth(pub f64);
+
+impl Bandwidth {
+    /// Zero rate.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// From bits per second.
+    pub fn bps(b: f64) -> Self {
+        assert!(b.is_finite() && b >= 0.0, "bandwidth must be finite and non-negative");
+        Bandwidth(b)
+    }
+
+    /// From decimal gigabits per second (link speeds: "100 Gbps NIC").
+    pub fn gbps(g: f64) -> Self {
+        Bandwidth::bps(g * 1e9)
+    }
+
+    /// From bytes per second.
+    pub fn bytes_per_sec(b: f64) -> Self {
+        Bandwidth::bps(b * 8.0)
+    }
+
+    /// From decimal gigabytes per second (algorithm-bandwidth plots use GB/s).
+    pub fn gibytes_per_sec(g: f64) -> Self {
+        Bandwidth::bytes_per_sec(g * 1e9)
+    }
+
+    /// Bits per second.
+    pub fn as_bps(self) -> f64 {
+        self.0
+    }
+
+    /// Decimal gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Bytes per second.
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0 / 8.0
+    }
+
+    /// Decimal gigabytes per second (the unit of the paper's Figures 6-8).
+    pub fn as_gbytes_per_sec(self) -> f64 {
+        self.as_bytes_per_sec() / 1e9
+    }
+
+    /// Time to move `bytes` at this rate. Returns [`Nanos::MAX`] for a zero
+    /// rate (the transfer never completes until the rate changes).
+    pub fn transfer_time(self, bytes: Bytes) -> Nanos {
+        if bytes == Bytes::ZERO {
+            return Nanos::ZERO;
+        }
+        if self.0 <= 0.0 {
+            return Nanos::MAX;
+        }
+        Nanos::from_secs_f64(bytes.as_f64() * 8.0 / self.0)
+    }
+
+    /// Bytes moved in `dt` at this rate.
+    pub fn bytes_in(self, dt: Nanos) -> f64 {
+        self.as_bytes_per_sec() * dt.as_secs_f64()
+    }
+
+    /// The smaller of two rates.
+    pub fn min(self, rhs: Bandwidth) -> Bandwidth {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.2}Gbps", self.as_gbps())
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.2}Mbps", self.0 / 1e6)
+        } else {
+            write!(f, "{:.0}bps", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::kib(32).as_u64(), 32 * 1024);
+        assert_eq!(Bytes::mib(8).as_u64(), 8 << 20);
+        assert_eq!(Bytes::gib(1).as_u64(), 1 << 30);
+    }
+
+    #[test]
+    fn byte_split_distributes_remainder() {
+        let b = Bytes(10);
+        let parts: Vec<_> = (0..3).map(|i| b.split(3, i)).collect();
+        assert_eq!(parts, vec![Bytes(4), Bytes(3), Bytes(3)]);
+        let total: Bytes = parts.into_iter().sum();
+        assert_eq!(total, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn byte_split_rejects_zero_parts() {
+        Bytes(1).split(0, 0);
+    }
+
+    #[test]
+    fn transfer_time_exact() {
+        // 1 GiB at 8 Gbps = 2^30 bytes * 8 bits / 8e9 bps = 1.073741824 s.
+        let t = Bandwidth::gbps(8.0).transfer_time(Bytes::gib(1));
+        assert_eq!(t, Nanos(1_073_741_824));
+    }
+
+    #[test]
+    fn transfer_time_zero_rate_is_never() {
+        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes(1)), Nanos::MAX);
+        assert_eq!(Bandwidth::ZERO.transfer_time(Bytes::ZERO), Nanos::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        let b = Bandwidth::gbps(100.0);
+        assert!((b.as_bytes_per_sec() - 12.5e9).abs() < 1.0);
+        assert!((b.as_gbytes_per_sec() - 12.5).abs() < 1e-9);
+        let c = Bandwidth::gibytes_per_sec(12.5);
+        assert!((c.as_gbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_in_interval() {
+        let b = Bandwidth::gbps(8.0); // 1e9 bytes/s
+        assert!((b.bytes_in(Nanos::from_millis(1)) - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bytes::kib(512)), "512KB");
+        assert_eq!(format!("{}", Bytes::mib(128)), "128MB");
+        assert_eq!(format!("{}", Bandwidth::gbps(50.0)), "50.00Gbps");
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let a = Bandwidth::gbps(1.0);
+        let b = Bandwidth::gbps(2.0);
+        assert_eq!((a - b).as_bps(), 0.0);
+        assert_eq!(Bytes(1) - Bytes(2), Bytes::ZERO);
+    }
+}

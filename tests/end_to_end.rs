@@ -1,0 +1,253 @@
+//! Cross-crate integration tests through the `mccs` facade: tenant
+//! programs, the service, the controller policies and the simulated
+//! substrates working together.
+
+use mccs::baseline::{BaselineConfig, BaselineJob, Phase, RingChoice};
+use mccs::collectives::op::all_reduce_sum;
+use mccs::collectives::{algo_bandwidth, CollectiveOp};
+use mccs::control::{optimize_cluster, PolicySpec};
+use mccs::ipc::CommunicatorId;
+use mccs::service::{Cluster, ClusterConfig};
+use mccs::shim::{AppProgram, ScriptStep, ScriptedProgram};
+use mccs::sim::{Bytes, Nanos};
+use mccs::topology::{presets, GpuId};
+use std::sync::Arc;
+
+fn testbed() -> Cluster {
+    Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(99))
+}
+
+fn scripted_app(
+    cluster: &mut Cluster,
+    name: &str,
+    comm: CommunicatorId,
+    gpus: &[GpuId],
+    op: CollectiveOp,
+    size: Bytes,
+    iters: usize,
+    start: Nanos,
+) -> mccs::ipc::AppId {
+    let ranks = gpus
+        .iter()
+        .enumerate()
+        .map(|(rank, &gpu)| {
+            let prog = ScriptedProgram::new(
+                format!("{name}/r{rank}"),
+                vec![
+                    ScriptStep::Alloc { size, slot: 0 },
+                    ScriptStep::Alloc { size, slot: 1 },
+                    ScriptStep::CommInit {
+                        comm,
+                        world: gpus.to_vec(),
+                        rank,
+                    },
+                    ScriptStep::SleepUntil(start),
+                    ScriptStep::Collective {
+                        comm,
+                        op,
+                        size,
+                        send_slot: 0,
+                        recv_slot: 1,
+                    },
+                    ScriptStep::Repeat {
+                        from_step: 4,
+                        times: iters - 1,
+                    },
+                ],
+            );
+            (gpu, Box::new(prog) as Box<dyn AppProgram>)
+        })
+        .collect();
+    cluster.add_app(name, ranks)
+}
+
+/// The controller's locality-aware reconfiguration rescues a tenant whose
+/// VM order interleaves racks — end-to-end through the facade.
+#[test]
+fn controller_rescues_bad_vm_order() {
+    // 8-GPU tenant in rack-interleaved VM order: the rank-order ring
+    // crosses racks on every host hop (4 flows per direction over 2
+    // paths — oversubscribed however ECMP hashes them), while the
+    // locality ring needs one hop per direction.
+    let vm_order = vec![
+        GpuId(0),
+        GpuId(1),
+        GpuId(4),
+        GpuId(5),
+        GpuId(2),
+        GpuId(3),
+        GpuId(6),
+        GpuId(7),
+    ];
+    let size = Bytes::mib(128);
+
+    let run = |optimize: bool| -> f64 {
+        let mut cluster = testbed();
+        let app = scripted_app(
+            &mut cluster,
+            "t",
+            CommunicatorId(5),
+            &vm_order,
+            all_reduce_sum(),
+            size,
+            3,
+            Nanos::from_millis(10),
+        );
+        cluster.run_until(Nanos::from_millis(2));
+        if optimize {
+            optimize_cluster(&mut cluster, &PolicySpec::mccs());
+        }
+        cluster.run_until_quiescent(Nanos::from_secs(60));
+        let lats = cluster.mgmt().tenant_latencies(app);
+        let mean = lats
+            .iter()
+            .map(|&(_, i, d)| (d - i).as_secs_f64())
+            .sum::<f64>()
+            / lats.len() as f64;
+        algo_bandwidth(size, Nanos::from_secs_f64(mean)).as_gbytes_per_sec()
+    };
+
+    let unmanaged = run(false);
+    let managed = run(true);
+    assert!(
+        managed > unmanaged * 1.2,
+        "controller should rescue the interleaved ring: {unmanaged:.2} -> {managed:.2} GB/s"
+    );
+}
+
+/// Service-mode and library-mode tenants coexist in one world and share
+/// bandwidth: a service tenant and a baseline job on disjoint GPUs both
+/// complete, and the shared links are split between them.
+#[test]
+fn service_and_library_tenants_coexist() {
+    let mut cluster = testbed();
+    let svc_gpus = vec![GpuId(0), GpuId(4)];
+    let app = scripted_app(
+        &mut cluster,
+        "svc",
+        CommunicatorId(1),
+        &svc_gpus,
+        all_reduce_sum(),
+        Bytes::mib(64),
+        3,
+        Nanos::from_millis(5),
+    );
+    let lib = BaselineJob::spawn(
+        &mut cluster,
+        "lib",
+        BaselineConfig {
+            channels: 1,
+            ring: RingChoice::RankOrder,
+            ..Default::default()
+        },
+        vec![GpuId(2), GpuId(6)],
+        vec![Phase::Collective {
+            op: all_reduce_sum(),
+            size: Bytes::mib(64),
+        }],
+        3,
+        Nanos::from_millis(5),
+    );
+    cluster.run_until_quiescent(Nanos::from_secs(60));
+    assert_eq!(cluster.mgmt().tenant_latencies(app).len(), 3);
+    assert_eq!(cluster.mgmt().timeline(lib).len(), 3);
+}
+
+/// Memory management through the full stack: alloc via the shim, service
+/// owns the handle, free returns the device memory.
+#[test]
+fn memory_roundtrip_through_the_service() {
+    let mut cluster = testbed();
+    let comm = CommunicatorId(1);
+    let gpus = vec![GpuId(0), GpuId(1)];
+    scripted_app(
+        &mut cluster,
+        "mem",
+        comm,
+        &gpus,
+        all_reduce_sum(),
+        Bytes::mib(8),
+        1,
+        Nanos::ZERO,
+    );
+    cluster.run_until_quiescent(Nanos::from_secs(10));
+    // Two ranks x two 8 MiB buffers remain allocated service-side.
+    assert_eq!(
+        cluster.world.devices.used_memory(GpuId(0)),
+        Bytes::mib(16)
+    );
+    assert_eq!(
+        cluster.world.devices.used_memory(GpuId(1)),
+        Bytes::mib(16)
+    );
+}
+
+/// Different ops through the same stack: AllGather, ReduceScatter and
+/// Broadcast all complete with latencies ordered by their per-edge byte
+/// loads.
+#[test]
+fn op_zoo_latency_ordering() {
+    use mccs::collectives::ReduceKind;
+    let size = Bytes::mib(128);
+    let mut lat = Vec::new();
+    for (i, op) in [
+        CollectiveOp::AllReduce(ReduceKind::Sum),
+        CollectiveOp::AllGather,
+        CollectiveOp::ReduceScatter(ReduceKind::Sum),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut cluster = testbed();
+        let app = scripted_app(
+            &mut cluster,
+            "ops",
+            CommunicatorId(10 + i as u64),
+            &[GpuId(0), GpuId(2), GpuId(4), GpuId(6)],
+            op,
+            size,
+            1,
+            Nanos::from_millis(5),
+        );
+        cluster.run_until_quiescent(Nanos::from_secs(60));
+        let l = cluster.mgmt().tenant_latencies(app);
+        lat.push((d_minus_i(&l[0]), op));
+    }
+    assert!(
+        lat[0].0 > lat[1].0,
+        "AllReduce (2(n-1)/n) must outlast AllGather ((n-1)/n): {lat:?}"
+    );
+    let ratio = lat[1].0.as_secs_f64() / lat[2].0.as_secs_f64();
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "AllGather and ReduceScatter move the same bytes: {lat:?}"
+    );
+}
+
+fn d_minus_i(rec: &(u64, Nanos, Nanos)) -> Nanos {
+    rec.2 - rec.1
+}
+
+/// Whole-stack determinism: two identical cluster runs produce identical
+/// tenant-visible timings.
+#[test]
+fn facade_runs_are_deterministic() {
+    let run = || {
+        let mut cluster = testbed();
+        let app = scripted_app(
+            &mut cluster,
+            "det",
+            CommunicatorId(2),
+            &[GpuId(0), GpuId(2), GpuId(4), GpuId(6)],
+            all_reduce_sum(),
+            Bytes::mib(32),
+            4,
+            Nanos::from_millis(5),
+        );
+        cluster.run_until(Nanos::from_millis(2));
+        optimize_cluster(&mut cluster, &PolicySpec::mccs());
+        cluster.run_until_quiescent(Nanos::from_secs(60));
+        cluster.mgmt().tenant_latencies(app)
+    };
+    assert_eq!(run(), run());
+}

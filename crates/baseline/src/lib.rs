@@ -233,7 +233,8 @@ impl BaselineJob {
             }
         }
         let tokens = w.register_launch(self.comm, seq, 1, tasks.len());
-        w.trace.issued(self.app, self.comm, 0, seq, op, size, issued);
+        w.trace
+            .issued(self.app, self.comm, 0, seq, op, size, issued);
         w.trace.launched(self.comm, 0, seq, 0, w.clock);
         for ((channel, task), token) in tasks.into_iter().zip(tokens) {
             match task {
@@ -258,9 +259,9 @@ impl BaselineJob {
                     let routing = match self.routes.get(channel, src_nic, dst_nic) {
                         Some(r) => RouteChoice::Pinned(r),
                         None => RouteChoice::Ecmp {
-                            hash: self.config_epoch_hash.ecmp_hash(
-                                self.comm, channel, src_nic, dst_nic,
-                            ),
+                            hash: self
+                                .config_epoch_hash
+                                .ecmp_hash(self.comm, channel, src_nic, dst_nic),
                         },
                     };
                     let now = w.clock;

@@ -123,6 +123,71 @@ fn bench_netsim_collective(c: &mut Criterion) {
     });
 }
 
+fn bench_flow_churn(c: &mut Criterion) {
+    // Membership churn on the 768-GPU cluster: one flow admitted and one
+    // cancelled against a standing population of N concurrent flows.
+    // The population models the paper's steady state — many jobs' ring
+    // flows under compact placement, so each flow is rack-local and the
+    // flow×link graph decomposes into rack-sized connected components.
+    // The incremental allocator re-solves only the component the change
+    // touches; the from-scratch oracle re-solves all N flows on every
+    // membership event.
+    let cfg = SpineLeafConfig::paper_large_scale();
+    let topo = Arc::new(presets::spine_leaf(&cfg));
+    let racks = cfg.leaves as u64;
+    let nics_per_rack = (cfg.hosts_per_leaf * cfg.gpus_per_host) as u32;
+    let random_spec = |rng: &mut Rng| {
+        let base = rng.below(racks) as u32 * nics_per_rack;
+        let src = base + rng.below(u64::from(nics_per_rack)) as u32;
+        let mut dst = base + rng.below(u64::from(nics_per_rack)) as u32;
+        if dst == src {
+            dst = base + (dst - base + 1) % nics_per_rack;
+        }
+        // Unbounded fair flows: the population never drains mid-sample.
+        FlowSpec {
+            src: mccs_topology::NicId(src),
+            dst: mccs_topology::NicId(dst),
+            bytes: None,
+            routing: mccs_netsim::RouteChoice::Ecmp {
+                hash: rng.next_u64(),
+            },
+            rate_cap: None,
+            tag: 0,
+            guaranteed: false,
+            tenant: (rng.below(8)) as u32,
+        }
+    };
+    for &n in &[10usize, 100, 1000] {
+        for &(label, incremental) in &[("incremental", true), ("from-scratch", false)] {
+            let mut rng = Rng::seed_from(0xC0FFEE ^ n as u64);
+            let mut net = Network::new(Arc::clone(&topo));
+            net.set_incremental(incremental);
+            for _ in 0..n {
+                net.start_flow(Nanos::ZERO, random_spec(&mut rng));
+            }
+            c.bench_function(&format!("churn/{n}flows/{label}"), |b| {
+                b.iter(|| {
+                    let id = net.start_flow(Nanos::ZERO, random_spec(&mut rng));
+                    net.cancel_flow(Nanos::ZERO, id);
+                })
+            });
+        }
+    }
+    for &n in &[10usize, 100, 1000] {
+        let median = |label: &str| {
+            c.results()
+                .iter()
+                .find(|r| r.name == format!("churn/{n}flows/{label}"))
+                .expect("benched above")
+                .median_ns
+        };
+        println!(
+            "churn/{n}flows incremental speedup: {:.1}x",
+            median("from-scratch") / median("incremental")
+        );
+    }
+}
+
 criterion_group!(
     benches,
     bench_maxmin,
@@ -130,6 +195,7 @@ criterion_group!(
     bench_schedule,
     bench_ffa_solver,
     bench_event_queue,
-    bench_netsim_collective
+    bench_netsim_collective,
+    bench_flow_churn
 );
 criterion_main!(benches);

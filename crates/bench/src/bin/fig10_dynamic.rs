@@ -85,7 +85,10 @@ fn main() {
         },
     );
     cluster.run_until(T4);
-    println!("t={:.1}s  TS: C gated into B's idle windows", T4.as_secs_f64());
+    println!(
+        "t={:.1}s  TS: C gated into B's idle windows",
+        T4.as_secs_f64()
+    );
     let ok = apply_traffic_schedule(&mut cluster, b, &[c]);
     assert!(ok, "B's trace must expose a period for TS");
     cluster.run_until(END);

@@ -9,11 +9,31 @@
 //! Run: `cargo run --release -p mccs-bench --bin fig11_scale [runs]`
 
 use mccs_bench::report::{cdf_rows, print_csv};
-use mccs_bench::scale::{plan_jobs, run_scale, speedups, ScaleConfig, ScaleVariant};
+use mccs_bench::scale::{plan_jobs, run_scale, speedups, JobResult, ScaleConfig, ScaleVariant};
 use mccs_sim::stats::{cdf_points, Summary};
 use mccs_topology::presets::{spine_leaf, SpineLeafConfig};
 use mccs_workloads::Placement;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock and simulated-JCT aggregates for one variant of one panel.
+#[derive(Default)]
+struct VariantStats {
+    wall_secs: f64,
+    jct_secs: Vec<f64>,
+}
+
+impl VariantStats {
+    fn absorb(&mut self, wall: f64, jobs: &[JobResult]) {
+        self.wall_secs += wall;
+        self.jct_secs
+            .extend(jobs.iter().map(|j| j.mean_allreduce.as_secs_f64()));
+    }
+
+    fn mean_jct_ms(&self) -> f64 {
+        Summary::new(self.jct_secs.iter().copied()).mean() * 1e3
+    }
+}
 
 fn main() {
     let runs: u64 = std::env::args()
@@ -24,6 +44,7 @@ fn main() {
     println!("cluster: 16 spines x 24 leaves x 4 hosts x 8 GPUs = 768 GPUs, 200G links\n");
     let topo = Arc::new(spine_leaf(&SpineLeafConfig::paper_large_scale()));
 
+    let mut panels_json = Vec::new();
     for placement in [Placement::Random, Placement::Compact] {
         let label = match placement {
             Placement::Random => "random placement",
@@ -32,20 +53,45 @@ fn main() {
         println!("--- {label} ---");
         let mut or_speedups = Vec::new();
         let mut orffa_speedups = Vec::new();
+        let variants = [
+            ScaleVariant::RandomRing,
+            ScaleVariant::OptimalRing,
+            ScaleVariant::OptimalRingFfa,
+        ];
+        let mut stats: Vec<VariantStats> =
+            variants.iter().map(|_| VariantStats::default()).collect();
         for run in 0..runs {
             let cfg = ScaleConfig::paper(placement, 0xF16 + run);
             let plan = plan_jobs(&topo, &cfg);
-            let random = run_scale(Arc::clone(&topo), &plan, ScaleVariant::RandomRing, &cfg);
-            let or = run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRing, &cfg);
-            let orffa =
-                run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRingFfa, &cfg);
-            or_speedups.extend(speedups(&random, &or));
-            orffa_speedups.extend(speedups(&random, &orffa));
+            let mut results = Vec::new();
+            for (v, s) in variants.iter().zip(&mut stats) {
+                let t0 = Instant::now();
+                let jobs = run_scale(Arc::clone(&topo), &plan, *v, &cfg);
+                s.absorb(t0.elapsed().as_secs_f64(), &jobs);
+                results.push(jobs);
+            }
+            or_speedups.extend(speedups(&results[0], &results[1]));
+            orffa_speedups.extend(speedups(&results[0], &results[2]));
         }
         let or_mean = Summary::new(or_speedups.iter().copied()).mean();
         let orffa_mean = Summary::new(orffa_speedups.iter().copied()).mean();
         println!("OR mean speedup:     {or_mean:.2}x");
-        println!("OR+FFA mean speedup: {orffa_mean:.2}x\n");
+        println!("OR+FFA mean speedup: {orffa_mean:.2}x");
+        let variant_names = ["random_ring", "optimal_ring", "optimal_ring_ffa"];
+        let mut variants_json = Vec::new();
+        for (name, s) in variant_names.iter().zip(&stats) {
+            println!(
+                "{name:<17} wall-clock {:>7.2} s   mean simulated JCT {:>8.2} ms",
+                s.wall_secs,
+                s.mean_jct_ms()
+            );
+            variants_json.push(format!(
+                "{{\"name\":\"{name}\",\"wall_clock_s\":{:.4},\"mean_simulated_jct_ms\":{:.4}}}",
+                s.wall_secs,
+                s.mean_jct_ms()
+            ));
+        }
+        println!();
         print_csv(
             &format!("fig11 {label} OR"),
             &["speedup", "cdf"],
@@ -57,6 +103,25 @@ fn main() {
             &cdf_rows(&cdf_points(orffa_speedups)),
         );
         println!();
+        let placement_name = match placement {
+            Placement::Random => "random",
+            Placement::Compact => "compact",
+        };
+        panels_json.push(format!(
+            "{{\"placement\":\"{placement_name}\",\"or_mean_speedup\":{or_mean:.4},\
+             \"orffa_mean_speedup\":{orffa_mean:.4},\"variants\":[{}]}}",
+            variants_json.join(",")
+        ));
+    }
+    // Machine-readable record alongside the human-readable report.
+    let json = format!(
+        "{{\"bench\":\"fig11_scale\",\"runs\":{runs},\"panels\":[{}]}}\n",
+        panels_json.join(",")
+    );
+    let out = "results/BENCH_fig11_scale.json";
+    match std::fs::write(out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("could not write {out}: {e}"),
     }
     println!(
         "paper shape: random placement OR 2.63x / OR+FFA 3.27x mean speedup;\n\

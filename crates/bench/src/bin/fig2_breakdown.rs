@@ -30,8 +30,7 @@ fn main() {
         3,
         0,
     );
-    let mean_lat: f64 =
-        lat.iter().map(|l| l.as_secs_f64()).sum::<f64>() / lat.len() as f64;
+    let mean_lat: f64 = lat.iter().map(|l| l.as_secs_f64()).sum::<f64>() / lat.len() as f64;
     let bytes_per_sec = probe_size.as_f64() / mean_lat;
     println!(
         "collective pricing: measured AllReduce algorithm bandwidth {:.2} GB/s\n",

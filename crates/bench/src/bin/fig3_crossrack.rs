@@ -54,7 +54,12 @@ fn main() {
     let mut rows = panel(2, "2 hosts/rack");
     rows.extend(panel(4, "4 hosts/rack"));
     print_table(
-        &["panel", "job size (GPUs)", "E[ratio] random ring", "worst case"],
+        &[
+            "panel",
+            "job size (GPUs)",
+            "E[ratio] random ring",
+            "worst case",
+        ],
         &rows,
     );
     println!();

@@ -23,7 +23,8 @@ fn main() {
         .unwrap_or(5);
     println!("== Figure 6: single-application algorithm bandwidth ({trials} trials) ==\n");
 
-    let panels: [(&str, CollectiveOp, fn() -> Vec<mccs_topology::GpuId>); 4] = [
+    type GpuOrder = fn() -> Vec<mccs_topology::GpuId>;
+    let panels: [(&str, CollectiveOp, GpuOrder); 4] = [
         ("AllGather (4-GPU)", CollectiveOp::AllGather, vm_order_4gpu),
         ("AllReduce (4-GPU)", all_reduce_sum(), vm_order_4gpu),
         ("AllGather (8-GPU)", CollectiveOp::AllGather, vm_order_8gpu),

@@ -108,7 +108,10 @@ fn main() {
             0,
         ),
     );
-    println!("t={:.1}s  background flow of 75 Gbps starts", now.as_secs_f64());
+    println!(
+        "t={:.1}s  background flow of 75 Gbps starts",
+        now.as_secs_f64()
+    );
     cluster.run_until(RECONFIG);
     // Phase 3: the controller reverses the ring.
     let info = cluster.mgmt().communicator(comm).expect("registered");
@@ -151,6 +154,12 @@ fn main() {
          flow lands on the clockwise path, immediate recovery after the\n\
          transparent ring reversal)."
     );
-    assert!(during < before * 0.45, "background flow should crush bandwidth");
-    assert!(after > before * 0.9, "reconfiguration should restore bandwidth");
+    assert!(
+        during < before * 0.45,
+        "background flow should crush bandwidth"
+    );
+    assert!(
+        after > before * 0.9,
+        "reconfiguration should restore bandwidth"
+    );
 }

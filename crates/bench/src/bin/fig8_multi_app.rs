@@ -11,8 +11,8 @@
 use mccs_bench::report::{print_csv, print_table};
 use mccs_bench::variants::run_apps;
 use mccs_bench::{multi_app_setup, AppSpec, SystemVariant};
-use mccs_collectives::op::all_reduce_sum;
 use mccs_collectives::bus_bandwidth;
+use mccs_collectives::op::all_reduce_sum;
 use mccs_sim::stats::Summary;
 use mccs_sim::Bytes;
 
@@ -35,7 +35,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
-    println!("== Figure 8: multi-application bus bandwidth ({trials} trials, 128MB AllReduce) ==\n");
+    println!(
+        "== Figure 8: multi-application bus bandwidth ({trials} trials, 128MB AllReduce) ==\n"
+    );
     println!("note: the paper labels the ECMP ablation MCCS(-FFA); it is the same");
     println!("variant as Figure 6's MCCS(-FA).\n");
 
@@ -95,8 +97,10 @@ fn main() {
             csv.push(csv_row);
         }
         let mut headers = vec!["system"];
-        let app_headers: Vec<String> =
-            apps.iter().map(|a| format!("busbw {} (GB/s)", a.name)).collect();
+        let app_headers: Vec<String> = apps
+            .iter()
+            .map(|a| format!("busbw {} (GB/s)", a.name))
+            .collect();
         for h in &app_headers {
             headers.push(h);
         }

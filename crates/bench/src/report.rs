@@ -64,10 +64,7 @@ mod tests {
     fn table_prints_without_panicking() {
         print_table(
             &["col", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["bb".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
         );
         print_csv("t", &["col", "value"], &[vec!["a".into(), "1".into()]]);
     }

@@ -122,22 +122,21 @@ pub fn plan_jobs(topo: &Topology, cfg: &ScaleConfig) -> Vec<PlannedJob> {
     let mut running: Vec<(Nanos, Vec<GpuId>)> = Vec::new();
     let mut queue: std::collections::VecDeque<(usize, Nanos, usize)> = Default::default();
 
-    let try_place =
-        |map: &mut PlacementMap,
-         running: &mut Vec<(Nanos, Vec<GpuId>)>,
-         rng: &mut Rng,
-         id: usize,
-         at: Nanos,
-         size: usize|
-         -> Option<PlannedJob> {
-            let gpus = map.place(topo, size, cfg.placement, rng)?;
-            running.push((at + nominal_duration, gpus.clone()));
-            Some(PlannedJob {
-                id,
-                start: at,
-                gpus,
-            })
-        };
+    let try_place = |map: &mut PlacementMap,
+                     running: &mut Vec<(Nanos, Vec<GpuId>)>,
+                     rng: &mut Rng,
+                     id: usize,
+                     at: Nanos,
+                     size: usize|
+     -> Option<PlannedJob> {
+        let gpus = map.place(topo, size, cfg.placement, rng)?;
+        running.push((at + nominal_duration, gpus.clone()));
+        Some(PlannedJob {
+            id,
+            start: at,
+            gpus,
+        })
+    };
 
     for spec in specs {
         // Free everything that nominally finished by this arrival, then
@@ -184,11 +183,7 @@ pub fn plan_jobs(topo: &Topology, cfg: &ScaleConfig) -> Vec<PlannedJob> {
     while let Some((qid, _, qsize)) = queue.pop_front() {
         loop {
             // earliest departure
-            let Some((idx, &(t, _))) = running
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (t, _))| *t)
-                .map(|(i, r)| (i, r))
+            let Some((idx, &(t, _))) = running.iter().enumerate().min_by_key(|(_, (t, _))| *t)
             else {
                 panic!("job of {qsize} GPUs can never fit");
             };
@@ -242,8 +237,7 @@ pub fn run_scale(
                 cfg.channels,
             ),
             ScaleVariant::OptimalRingFfa => {
-                let rings =
-                    optimal_rings(&topo, &job.gpus, ChannelPolicy::Fixed(cfg.channels));
+                let rings = optimal_rings(&topo, &job.gpus, ChannelPolicy::Fixed(cfg.channels));
                 let flows = JobFlows::from_rings(&topo, &rings, 0).flows;
                 let routes = ffa.place_job(&topo, &flows);
                 (RingChoice::Explicit(rings), routes, cfg.channels)
@@ -311,8 +305,8 @@ pub fn speedups(baseline: &[JobResult], variant: &[JobResult]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mccs_topology::presets::{self, SpineLeafConfig};
     use mccs_sim::Bandwidth;
+    use mccs_topology::presets::{self, SpineLeafConfig};
 
     /// A small 64-GPU cluster so tests run fast: 2 spines, 8 leaves,
     /// 2 hosts/leaf, 4 GPUs/host, oversubscription 2.
@@ -396,8 +390,7 @@ mod tests {
             let cfg = small_cfg(placement);
             let plan = plan_jobs(&topo, &cfg);
             let or = run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRing, &cfg);
-            let orffa =
-                run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRingFfa, &cfg);
+            let orffa = run_scale(Arc::clone(&topo), &plan, ScaleVariant::OptimalRingFfa, &cfg);
             let sp = speedups(&or, &orffa);
             sp.iter().sum::<f64>() / sp.len() as f64
         };

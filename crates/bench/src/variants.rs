@@ -171,13 +171,10 @@ pub fn run_apps(variant: SystemVariant, apps: &[AppSpec], trial: u64) -> Vec<Vec
             };
             // NCCL opens at least two connections per peer; match the
             // tenant's NIC count like the service default does.
-            let channels = mccs_control::optimal_rings(
-                &topo,
-                &spec.placement.gpus,
-                ChannelPolicy::MatchNics,
-            )
-            .len()
-            .max(1);
+            let channels =
+                mccs_control::optimal_rings(&topo, &spec.placement.gpus, ChannelPolicy::MatchNics)
+                    .len()
+                    .max(1);
             let app = BaselineJob::spawn(
                 &mut cluster,
                 spec.placement.name,
@@ -292,7 +289,10 @@ mod tests {
         let [nccl, nccl_or, mccs_nofa, mccs] = bw[..] else {
             unreachable!()
         };
-        assert!(nccl < nccl_or, "NCCL {nccl} should trail NCCL(OR) {nccl_or}");
+        assert!(
+            nccl < nccl_or,
+            "NCCL {nccl} should trail NCCL(OR) {nccl_or}"
+        );
         assert!(mccs > 3.9, "MCCS near the 4.17 GB/s line rate, got {mccs}");
         assert!(
             (mccs_nofa - nccl_or).abs() / nccl_or < 0.1,

@@ -90,12 +90,7 @@ pub fn worst_case_ratio(topo: &Topology, hosts: &[HostId]) -> f64 {
             .enumerate()
             .filter(|(i, q)| Some(*i) != prev && !q.is_empty())
             .max_by_key(|(_, q)| q.len())
-            .or_else(|| {
-                queues
-                    .iter()
-                    .enumerate()
-                    .find(|(_, q)| !q.is_empty())
-            })
+            .or_else(|| queues.iter().enumerate().find(|(_, q)| !q.is_empty()))
             .expect("hosts remain");
         ring.push(queues[idx].pop().expect("nonempty"));
         prev = Some(idx);
@@ -106,8 +101,8 @@ pub fn worst_case_ratio(topo: &Topology, hosts: &[HostId]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mccs_topology::presets::{self, SpineLeafConfig};
     use mccs_sim::Bandwidth;
+    use mccs_topology::presets::{self, SpineLeafConfig};
 
     fn topo_hosts_per_rack(hpr: usize, racks: usize) -> Topology {
         presets::spine_leaf(&SpineLeafConfig {

@@ -111,7 +111,9 @@ impl CollectiveOp {
     pub fn is_reducing(self) -> bool {
         matches!(
             self,
-            CollectiveOp::AllReduce(_) | CollectiveOp::ReduceScatter(_) | CollectiveOp::Reduce { .. }
+            CollectiveOp::AllReduce(_)
+                | CollectiveOp::ReduceScatter(_)
+                | CollectiveOp::Reduce { .. }
         )
     }
 
@@ -162,15 +164,15 @@ mod tests {
             Bytes::new(s.as_u64() * 3 / 4)
         );
         // Broadcast carries S on each edge
-        assert_eq!(
-            CollectiveOp::Broadcast { root: 0 }.ring_edge_bytes(s, 4),
-            s
-        );
+        assert_eq!(CollectiveOp::Broadcast { root: 0 }.ring_edge_bytes(s, 4), s);
     }
 
     #[test]
     fn single_rank_is_free() {
-        assert_eq!(all_reduce_sum().ring_edge_bytes(Bytes::mib(1), 1), Bytes::ZERO);
+        assert_eq!(
+            all_reduce_sum().ring_edge_bytes(Bytes::mib(1), 1),
+            Bytes::ZERO
+        );
     }
 
     #[test]
@@ -186,7 +188,11 @@ mod tests {
     #[test]
     fn reducing_classification() {
         assert!(all_reduce_sum().is_reducing());
-        assert!(CollectiveOp::Reduce { root: 0, kind: ReduceKind::Max }.is_reducing());
+        assert!(CollectiveOp::Reduce {
+            root: 0,
+            kind: ReduceKind::Max
+        }
+        .is_reducing());
         assert!(!CollectiveOp::AllGather.is_reducing());
         assert!(!CollectiveOp::Broadcast { root: 2 }.is_reducing());
     }

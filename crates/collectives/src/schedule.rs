@@ -330,12 +330,8 @@ mod tests {
         // 4-GPU setup: one GPU per host; 2 channels must both exit through
         // the single NIC each host contributes.
         let ring = RingOrder::new(vec![GpuId(0), GpuId(2), GpuId(4), GpuId(6)]);
-        let s = CollectiveSchedule::ring(
-            &t,
-            all_reduce_sum(),
-            Bytes::mib(8),
-            &[ring.clone(), ring],
-        );
+        let s =
+            CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(8), &[ring.clone(), ring]);
         let nics: Vec<NicId> = s
             .channels
             .iter()

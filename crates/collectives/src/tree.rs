@@ -100,7 +100,10 @@ pub fn tree_schedule(
 ) -> CollectiveSchedule {
     assert!(!trees.is_empty(), "need at least one channel tree");
     let n = trees[0].len();
-    assert!(trees.iter().all(|t| t.len() == n), "trees over different GPU sets");
+    assert!(
+        trees.iter().all(|t| t.len() == n),
+        "trees over different GPU sets"
+    );
     let k = trees.len() as u64;
     let channels = trees
         .iter()
@@ -210,8 +213,7 @@ mod tests {
         let s = tree_schedule(&topo, all_reduce_sum(), Bytes::mib(4), &[tree]);
         // 7 edges, 2 tasks each
         assert_eq!(s.task_count(), 14);
-        assert!(s
-            .channels[0]
+        assert!(s.channels[0]
             .tasks
             .iter()
             .all(|t| t.bytes() == Bytes::mib(4)));

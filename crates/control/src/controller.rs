@@ -124,11 +124,7 @@ pub fn optimize_cluster(cluster: &mut Cluster, policy: &PolicySpec) -> Vec<Commu
 
 /// Apply TS: profile `prioritized`'s trace and gate every app in `gated`
 /// into its idle windows. Returns `true` if a schedule was installed.
-pub fn apply_traffic_schedule(
-    cluster: &mut Cluster,
-    prioritized: AppId,
-    gated: &[AppId],
-) -> bool {
+pub fn apply_traffic_schedule(cluster: &mut Cluster, prioritized: AppId, gated: &[AppId]) -> bool {
     let trace = cluster.mgmt().timeline(prioritized);
     let Some(windows) = infer_windows(&trace) else {
         return false;

@@ -64,7 +64,14 @@ fn best_fit(
     dst: NicId,
     allowed: impl Fn(RouteId) -> bool,
 ) -> RouteId {
-    best_fit_with_demand(topo, load, src, dst, topo.nic(src).bandwidth.as_bps(), allowed)
+    best_fit_with_demand(
+        topo,
+        load,
+        src,
+        dst,
+        topo.nic(src).bandwidth.as_bps(),
+        allowed,
+    )
 }
 
 /// As [`best_fit`] but with an explicit demand estimate (bps).
@@ -186,11 +193,7 @@ impl IncrementalFfa {
     /// flow's demand estimate is the NIC rate divided by how many of the
     /// job's own flows share that source NIC (channels over one NIC split
     /// its line rate).
-    pub fn place_job(
-        &mut self,
-        topo: &Topology,
-        flows: &[(usize, NicId, NicId)],
-    ) -> RouteMap {
+    pub fn place_job(&mut self, topo: &Topology, flows: &[(usize, NicId, NicId)]) -> RouteMap {
         let mut per_nic: HashMap<NicId, usize> = HashMap::new();
         for &(_, src, _) in flows {
             *per_nic.entry(src).or_default() += 1;
@@ -205,12 +208,7 @@ impl IncrementalFfa {
     }
 
     /// Return a departing job's load.
-    pub fn remove_job(
-        &mut self,
-        topo: &Topology,
-        flows: &[(usize, NicId, NicId)],
-        map: &RouteMap,
-    ) {
+    pub fn remove_job(&mut self, topo: &Topology, flows: &[(usize, NicId, NicId)], map: &RouteMap) {
         let mut per_nic: HashMap<NicId, usize> = HashMap::new();
         for &(_, src, _) in flows {
             *per_nic.entry(src).or_default() += 1;
@@ -272,7 +270,10 @@ mod tests {
         }
         for (_, ids) in per_direction {
             assert_eq!(ids.len(), 2);
-            assert_ne!(ids[0], ids[1], "two flows in one direction must not collide");
+            assert_ne!(
+                ids[0], ids[1],
+                "two flows in one direction must not collide"
+            );
         }
     }
 
@@ -357,7 +358,7 @@ mod tests {
         let topo = presets::testbed();
         let ring = RingOrder::new((0..8).map(GpuId).collect());
         let jf = JobFlows::from_rings(&topo, &[ring.clone(), ring], 0);
-        let maps = ffa(&topo, &[jf.clone()]);
+        let maps = ffa(&topo, std::slice::from_ref(&jf));
         let mut per_direction: HashMap<bool, BTreeSet<RouteId>> = HashMap::new();
         for &(ch, s, d) in &jf.flows {
             // cross-rack flows only (H1<->H2 boundary and wrap-around)

@@ -30,11 +30,7 @@ pub enum ChannelPolicy {
 /// All channels share the same locality-optimal order (channel NIC
 /// rotation happens in the schedule layer); what differs per channel is
 /// the route assignment, which is the flow policy's job.
-pub fn optimal_rings(
-    topo: &Topology,
-    gpus: &[GpuId],
-    channels: ChannelPolicy,
-) -> Vec<RingOrder> {
+pub fn optimal_rings(topo: &Topology, gpus: &[GpuId], channels: ChannelPolicy) -> Vec<RingOrder> {
     assert!(!gpus.is_empty(), "empty communicator");
     let map = LocalityMap::build(topo, gpus);
     let ring = RingOrder::new(map.locality_order());

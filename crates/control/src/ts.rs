@@ -54,10 +54,7 @@ pub fn infer_windows(records: &[TraceRecord]) -> Option<TrafficWindows> {
         return None;
     }
     // Busy span: median burst duration.
-    let mut busy: Vec<u64> = bursts
-        .iter()
-        .map(|&(s, e)| (e - s).as_nanos())
-        .collect();
+    let mut busy: Vec<u64> = bursts.iter().map(|&(s, e)| (e - s).as_nanos()).collect();
     busy.sort_unstable();
     let busy = Nanos::from_nanos(busy[busy.len() / 2]);
     if busy >= period {
@@ -113,7 +110,11 @@ mod tests {
         let trace = periodic_trace(10, 1000, 300);
         let w = infer_windows(&trace).expect("clear periodicity");
         assert_eq!(w.period, Nanos::from_millis(1));
-        assert!((w.duty_cycle() - 0.7).abs() < 0.01, "duty {}", w.duty_cycle());
+        assert!(
+            (w.duty_cycle() - 0.7).abs() < 0.01,
+            "duty {}",
+            w.duty_cycle()
+        );
     }
 
     #[test]

@@ -87,11 +87,7 @@ impl Cluster {
     /// Attach a tenant application: one `(GPU, program)` pair per rank.
     /// Creates the rank endpoints, one frontend engine per occupied host,
     /// and one app engine per rank. Returns the application id.
-    pub fn add_app(
-        &mut self,
-        name: &str,
-        ranks: Vec<(GpuId, Box<dyn AppProgram>)>,
-    ) -> AppId {
+    pub fn add_app(&mut self, name: &str, ranks: Vec<(GpuId, Box<dyn AppProgram>)>) -> AppId {
         assert!(!ranks.is_empty(), "application needs at least one rank");
         let app = AppId(self.next_app);
         self.next_app += 1;
@@ -196,11 +192,7 @@ impl Cluster {
 
     /// Names of live engines (deadlock diagnostics).
     pub fn live_engine_names(&self) -> Vec<String> {
-        self.pool
-            .live_names()
-            .into_iter()
-            .map(|(_, n)| n)
-            .collect()
+        self.pool.live_names().into_iter().map(|(_, n)| n).collect()
     }
 }
 

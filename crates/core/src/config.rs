@@ -85,13 +85,7 @@ impl CollectiveConfig {
     /// (communicator, epoch, channel, NIC pair) — connections are
     /// established once per configuration, as in NCCL, so every collective
     /// reuses the same path until a reconfiguration re-establishes them.
-    pub fn ecmp_hash(
-        &self,
-        comm: CommunicatorId,
-        channel: usize,
-        src: NicId,
-        dst: NicId,
-    ) -> u64 {
+    pub fn ecmp_hash(&self, comm: CommunicatorId, channel: usize, src: NicId, dst: NicId) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         for v in [
             comm.0,
@@ -127,6 +121,11 @@ pub struct ServiceConfig {
     /// Time to tear down and re-establish peer connections when a
     /// reconfiguration is applied.
     pub reconnect_delay: Nanos,
+    /// Cache derived collective schedules per `(op, size, epoch)` on each
+    /// communicator rank so steady-state iterations skip ring/chunk
+    /// re-derivation. Semantically transparent; exposed as a switch so
+    /// tests can compare against the uncached path.
+    pub cache_schedules: bool,
 }
 
 impl Default for ServiceConfig {
@@ -135,6 +134,7 @@ impl Default for ServiceConfig {
             control_ring_latency: Nanos::from_micros(30),
             control_jitter_frac: 0.5,
             reconnect_delay: Nanos::from_micros(500),
+            cache_schedules: true,
         }
     }
 }

@@ -7,9 +7,9 @@
 use crate::config::CollectiveConfig;
 use mccs_device::EventId;
 use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId};
+use mccs_netsim::RouteChoice;
 use mccs_sim::Bytes;
 use mccs_topology::{GpuId, NicId};
-use mccs_netsim::RouteChoice;
 use std::collections::BTreeMap;
 
 /// Messages into a proxy engine's inbox.

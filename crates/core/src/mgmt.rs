@@ -88,12 +88,7 @@ impl<'a> Management<'a> {
     ///
     /// # Panics
     /// Panics if the communicator is unknown or not fully registered.
-    pub fn reconfigure(
-        &mut self,
-        comm: CommunicatorId,
-        rings: Vec<RingOrder>,
-        routes: RouteMap,
-    ) {
+    pub fn reconfigure(&mut self, comm: CommunicatorId, rings: Vec<RingOrder>, routes: RouteMap) {
         let info = self
             .communicator(comm)
             .unwrap_or_else(|| panic!("reconfigure of unknown {comm}"));
@@ -136,12 +131,7 @@ impl<'a> Management<'a> {
 
     /// All trace records of an application (the §4.3 tracing API).
     pub fn trace(&self, app: AppId) -> Vec<TraceRecord> {
-        self.world
-            .trace
-            .for_app(app)
-            .into_iter()
-            .cloned()
-            .collect()
+        self.world.trace.for_app(app).into_iter().cloned().collect()
     }
 
     /// An application's rank-0 completed-collective timeline.

@@ -30,7 +30,7 @@ use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ShimCompletion};
 use mccs_netsim::RouteChoice;
 use mccs_sim::{Bytes, Engine, Nanos, Poll};
 use mccs_topology::GpuId;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// A sequenced, not-yet-launched collective.
 #[derive(Clone, Debug)]
@@ -112,6 +112,11 @@ pub struct CommRank {
     pub resume_at: Nanos,
     /// Barrier gossip that arrived before this rank's own `Req`.
     pub pending_gossip: Vec<(u64, BTreeMap<usize, Option<u64>>, usize)>,
+    /// This rank's local edge tasks per `(op, size, epoch)`, so repeated
+    /// collectives skip schedule re-derivation. Cleared when a
+    /// reconfiguration is applied; the epoch key makes a stale hit
+    /// impossible even across the clear.
+    pub schedule_cache: HashMap<(CollectiveOp, Bytes, u64), Vec<(usize, EdgeTask)>>,
 }
 
 impl CommRank {
@@ -127,16 +132,31 @@ impl CommRank {
 }
 
 /// Send/recv byte footprints implied by an op of reference size `size`
-/// over `n` ranks (NCCL buffer semantics) — what the service validates
-/// tenant buffer ranges against.
-pub fn buffer_demands(op: CollectiveOp, size: Bytes, n: usize) -> (Bytes, Bytes) {
+/// over `n` ranks, as seen from `rank` (NCCL buffer semantics) — what the
+/// service validates tenant buffer ranges against. Rooted ops are
+/// asymmetric: `Broadcast` reads the send buffer only at the root (every
+/// rank receives), and `Reduce` writes the recv buffer only at the root
+/// (every rank sends).
+pub fn buffer_demands(op: CollectiveOp, size: Bytes, n: usize, rank: usize) -> (Bytes, Bytes) {
     let n = n.max(1) as u64;
     match op {
         CollectiveOp::AllReduce(_) => (size, size),
         CollectiveOp::AllGather => (size / n, size),
         CollectiveOp::ReduceScatter(_) => (size, size / n),
-        CollectiveOp::Broadcast { .. } => (size, size),
-        CollectiveOp::Reduce { .. } => (size, size),
+        CollectiveOp::Broadcast { root } => {
+            if rank == root {
+                (size, size)
+            } else {
+                (Bytes::ZERO, size)
+            }
+        }
+        CollectiveOp::Reduce { root, .. } => {
+            if rank == root {
+                (size, size)
+            } else {
+                (size, Bytes::ZERO)
+            }
+        }
     }
 }
 
@@ -181,6 +201,7 @@ impl ProxyEngine {
                         reconfig: ReconfigState::Normal,
                         resume_at: Nanos::ZERO,
                         pending_gossip: Vec::new(),
+                        schedule_cache: HashMap::new(),
                     },
                 );
                 assert!(
@@ -253,7 +274,7 @@ impl ProxyEngine {
             return;
         };
         // Validate tenant buffer ranges (the §4.1 service-side check).
-        let (send_bytes, recv_bytes) = buffer_demands(coll.op, coll.size, rank.size());
+        let (send_bytes, recv_bytes) = buffer_demands(coll.op, coll.size, rank.size(), rank.rank);
         let send_ok = w
             .devices
             .validate(coll.send.0, coll.send.1, send_bytes.as_u64());
@@ -280,10 +301,18 @@ impl ProxyEngine {
         w.send_completion(endpoint, ShimCompletion::CollectiveLaunched { req, seq });
     }
 
-    fn handle_reconfigure(&mut self, w: &mut World, comm: CommunicatorId, config: CollectiveConfig) {
+    fn handle_reconfigure(
+        &mut self,
+        w: &mut World,
+        comm: CommunicatorId,
+        config: CollectiveConfig,
+    ) {
         let key = (comm, self.gpu);
         let Some(mut rank) = w.comms.remove(&key) else {
-            panic!("reconfigure for unknown communicator {comm} on {}", self.gpu);
+            panic!(
+                "reconfigure for unknown communicator {comm} on {}",
+                self.gpu
+            );
         };
         assert!(
             matches!(rank.reconfig, ReconfigState::Normal),
@@ -297,18 +326,28 @@ impl ProxyEngine {
         let epoch = config.epoch;
         let mut entries = BTreeMap::new();
         entries.insert(rank.rank, rank.last_launched);
-        // Merge gossip that arrived before our own request.
+        // Merge gossip that arrived before our own request. Epochs can
+        // legitimately skew: a neighbour's `Req` may land (and its gossip
+        // reach us) before ours does, so matching-epoch gossip folds into
+        // our barrier view, while gossip for a *later* epoch is held for
+        // the reconfiguration that will consume it. Stale gossip cannot be
+        // held here: `Normal` state only holds entries newer than the
+        // applied epoch, so anything older indicates protocol corruption.
         let pending = std::mem::take(&mut rank.pending_gossip);
         let n = rank.size();
-        let mut to_forward = Vec::new();
         for (e, gossip, hops) in pending {
-            if e == epoch {
-                for (r, v) in &gossip {
-                    entries.insert(*r, *v);
+            match e.cmp(&epoch) {
+                std::cmp::Ordering::Equal => {
+                    for (r, v) in &gossip {
+                        entries.insert(*r, *v);
+                    }
                 }
-                if hops > 1 {
-                    to_forward.push((gossip, hops - 1));
-                }
+                std::cmp::Ordering::Greater => rank.pending_gossip.push((e, gossip, hops)),
+                std::cmp::Ordering::Less => panic!(
+                    "stale barrier gossip for epoch {e} held across reconfiguration \
+                     to epoch {epoch} on {comm} rank {}",
+                    rank.rank
+                ),
             }
         }
         rank.reconfig = ReconfigState::Barrier {
@@ -316,6 +355,9 @@ impl ProxyEngine {
             entries: entries.clone(),
         };
         // Contribute to the AllGather: send own view to the next rank.
+        // The merged view subsumes any held gossip, and it circulates the
+        // whole ring (`n - 1` hops), so held messages need no separate
+        // re-forwarding.
         let next_gpu = rank.next_rank_gpu();
         w.comms.insert(key, rank);
         if n > 1 {
@@ -328,17 +370,6 @@ impl ProxyEngine {
                     hops_left: n - 1,
                 },
             );
-            for (gossip, hops) in to_forward {
-                w.send_control(
-                    next_gpu,
-                    ProxyMsg::BarrierGossip {
-                        comm,
-                        epoch,
-                        entries: gossip,
-                        hops_left: hops,
-                    },
-                );
-            }
         }
         self.maybe_finish_barrier(w, comm);
     }
@@ -355,16 +386,75 @@ impl ProxyEngine {
         let Some(rank) = w.comms.get_mut(&key) else {
             panic!("gossip for unknown communicator {comm} on {}", self.gpu)
         };
+        let next_gpu = rank.next_rank_gpu();
         match &mut rank.reconfig {
             ReconfigState::Normal => {
-                // Our own Req has not arrived yet; hold the gossip.
-                rank.pending_gossip.push((epoch, gossip, hops_left));
-            }
-            ReconfigState::Barrier { entries, .. } => {
-                for (r, v) in &gossip {
-                    entries.insert(*r, *v);
+                if epoch > rank.config.epoch {
+                    // Our own Req has not arrived yet; hold the gossip for
+                    // the reconfiguration that will consume it.
+                    rank.pending_gossip.push((epoch, gossip, hops_left));
+                } else if hops_left > 1 {
+                    // Late circulation of a barrier we already completed
+                    // and applied. We must not merge or hold it, but a
+                    // slower rank downstream may still be gathering, so
+                    // keep the ring chain alive.
+                    w.send_control(
+                        next_gpu,
+                        ProxyMsg::BarrierGossip {
+                            comm,
+                            epoch,
+                            entries: gossip,
+                            hops_left: hops_left - 1,
+                        },
+                    );
                 }
-                let next_gpu = rank.next_rank_gpu();
+            }
+            ReconfigState::Barrier {
+                entries,
+                new_config,
+            } => {
+                if epoch == new_config.epoch {
+                    for (r, v) in &gossip {
+                        entries.insert(*r, *v);
+                    }
+                    if hops_left > 1 {
+                        // Forward the *merged* view rather than the message
+                        // as received: it is a superset, so one message can
+                        // satisfy several downstream barriers at once.
+                        let merged = entries.clone();
+                        w.send_control(
+                            next_gpu,
+                            ProxyMsg::BarrierGossip {
+                                comm,
+                                epoch,
+                                entries: merged,
+                                hops_left: hops_left - 1,
+                            },
+                        );
+                    }
+                    self.maybe_finish_barrier(w, comm);
+                } else if epoch > new_config.epoch {
+                    // Gossip from a reconfiguration we have not seen yet;
+                    // hold it rather than corrupt the current barrier.
+                    rank.pending_gossip.push((epoch, gossip, hops_left));
+                } else if hops_left > 1 {
+                    // Stale epoch: a slower rank may still need it — keep
+                    // it circulating without merging.
+                    w.send_control(
+                        next_gpu,
+                        ProxyMsg::BarrierGossip {
+                            comm,
+                            epoch,
+                            entries: gossip,
+                            hops_left: hops_left - 1,
+                        },
+                    );
+                }
+            }
+            ReconfigState::Draining { .. } => {
+                // Our barrier is complete, but ranks downstream on the
+                // control ring may still be gathering: dropping the message
+                // here would break the forwarding chain and deadlock them.
                 if hops_left > 1 {
                     w.send_control(
                         next_gpu,
@@ -376,10 +466,6 @@ impl ProxyEngine {
                         },
                     );
                 }
-                self.maybe_finish_barrier(w, comm);
-            }
-            ReconfigState::Draining { .. } => {
-                // Late-circulating gossip after our barrier completed.
             }
         }
     }
@@ -424,10 +510,7 @@ impl ProxyEngine {
                     w.devices
                         .enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
                     w.trace.completed(comm, rank.rank, seq, done_at);
-                    w.send_completion(
-                        rank.endpoint,
-                        ShimCompletion::CollectiveDone { comm, seq },
-                    );
+                    w.send_completion(rank.endpoint, ShimCompletion::CollectiveDone { comm, seq });
                     rank.inflight = None;
                     progressed = true;
                 }
@@ -457,12 +540,22 @@ impl ProxyEngine {
             }
         }
 
-        // 3. Apply a drained reconfiguration.
-        if let ReconfigState::Draining { new_config, max_seq } = &rank.reconfig {
-            let drained = rank.inflight.is_none() && rank.last_launched >= *max_seq;
+        // 3. Apply a drained reconfiguration. Draining completes when
+        // nothing is in flight and either no rank had launched anything
+        // (`max_seq` is `None`) or we have launched up through the barrier
+        // maximum. Our own contribution is part of the barrier max, so
+        // `last_launched` can only be `None` when `max_seq` permits it.
+        if let ReconfigState::Draining {
+            new_config,
+            max_seq,
+        } = &rank.reconfig
+        {
+            let caught_up = max_seq.is_none_or(|m| rank.last_launched.is_some_and(|l| l >= m));
+            let drained = rank.inflight.is_none() && caught_up;
             if drained {
                 rank.config = new_config.clone();
                 rank.reconfig = ReconfigState::Normal;
+                rank.schedule_cache.clear();
                 // Tear down / re-establish peer connections.
                 rank.resume_at = w.clock + w.svc.reconnect_delay;
                 w.schedule_wake(rank.resume_at);
@@ -475,10 +568,9 @@ impl ProxyEngine {
             let admissible = match &rank.reconfig {
                 ReconfigState::Normal => true,
                 ReconfigState::Barrier { .. } => false,
-                ReconfigState::Draining { max_seq, .. } => rank
-                    .queue
-                    .front()
-                    .is_some_and(|p| Some(p.seq) <= *max_seq),
+                ReconfigState::Draining { max_seq, .. } => {
+                    rank.queue.front().is_some_and(|p| Some(p.seq) <= *max_seq)
+                }
             };
             if admissible {
                 if let Some(p) = rank.queue.front() {
@@ -508,13 +600,23 @@ fn ensure_stream(rank: &mut CommRank, channel: usize, w: &mut World) -> StreamId
 
 /// Compute the schedule and launch this rank's local edge tasks.
 fn launch_tasks(rank: &mut CommRank, w: &mut World, p: &PendingCollective) {
-    let schedule = CollectiveSchedule::ring(
-        &w.topo,
-        p.coll.op,
-        p.coll.size,
-        &rank.config.channel_rings,
-    );
-    let local = schedule.tasks_from_gpu(rank.gpu);
+    let derive = |rank: &CommRank, w: &World| {
+        CollectiveSchedule::ring(&w.topo, p.coll.op, p.coll.size, &rank.config.channel_rings)
+            .tasks_from_gpu(rank.gpu)
+    };
+    let local = if w.svc.cache_schedules {
+        let cache_key = (p.coll.op, p.coll.size, rank.config.epoch);
+        match rank.schedule_cache.get(&cache_key) {
+            Some(tasks) => tasks.clone(),
+            None => {
+                let tasks = derive(rank, w);
+                rank.schedule_cache.insert(cache_key, tasks.clone());
+                tasks
+            }
+        }
+    } else {
+        derive(rank, w)
+    };
     let tokens = w.register_launch(p.coll.comm, p.seq, rank.size(), local.len());
     w.trace
         .launched(p.coll.comm, rank.rank, p.seq, rank.config.epoch, w.clock);
@@ -595,5 +697,43 @@ impl Engine<World> for ProxyEngine {
 
     fn name(&self) -> String {
         format!("proxy({})", self.gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccs_collectives::ReduceKind;
+
+    #[test]
+    fn buffer_demands_follow_nccl_root_semantics() {
+        let s = Bytes::mib(8);
+        let n = 4;
+        // Symmetric ops are rank-independent.
+        for rank in 0..n {
+            assert_eq!(
+                buffer_demands(CollectiveOp::AllReduce(ReduceKind::Sum), s, n, rank),
+                (s, s)
+            );
+            assert_eq!(
+                buffer_demands(CollectiveOp::AllGather, s, n, rank),
+                (s / n as u64, s)
+            );
+            assert_eq!(
+                buffer_demands(CollectiveOp::ReduceScatter(ReduceKind::Sum), s, n, rank),
+                (s, s / n as u64)
+            );
+        }
+        // Broadcast: send buffer significant only at the root.
+        let bcast = CollectiveOp::Broadcast { root: 2 };
+        assert_eq!(buffer_demands(bcast, s, n, 2), (s, s));
+        assert_eq!(buffer_demands(bcast, s, n, 0), (Bytes::ZERO, s));
+        // Reduce: recv buffer significant only at the root.
+        let reduce = CollectiveOp::Reduce {
+            root: 1,
+            kind: ReduceKind::Sum,
+        };
+        assert_eq!(buffer_demands(reduce, s, n, 1), (s, s));
+        assert_eq!(buffer_demands(reduce, s, n, 3), (s, Bytes::ZERO));
     }
 }

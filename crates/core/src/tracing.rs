@@ -204,7 +204,10 @@ mod tests {
         // completions at 50 and issue of next at 150 -> gap (50, 100)
         let t = collector_with(&[(0, 10, 50), (1, 150, 200), (2, 200, 260)]);
         let gaps = t.idle_gaps(AppId(0));
-        assert_eq!(gaps, vec![(Nanos::from_micros(50), Nanos::from_micros(100))]);
+        assert_eq!(
+            gaps,
+            vec![(Nanos::from_micros(50), Nanos::from_micros(100))]
+        );
     }
 
     #[test]

@@ -141,10 +141,7 @@ impl TransportEngine {
         let ids: Vec<FlowId> = self.active.keys().copied().collect();
         for id in ids {
             let f = self.active.get_mut(&id).expect("listed");
-            let open = self
-                .windows
-                .get(&f.app)
-                .is_none_or(|win| win.is_open(now));
+            let open = self.windows.get(&f.app).is_none_or(|win| win.is_open(now));
             if f.paused == open {
                 // state mismatch: paused && open -> resume; !paused && !open -> pause
                 w.net.set_paused(now, id, !open);

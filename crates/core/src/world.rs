@@ -9,7 +9,9 @@ use crate::config::ServiceConfig;
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::proxy::CommRank;
 use crate::tracing::TraceCollector;
-use mccs_device::{DeviceConfig, DeviceFabric, DeviceNotification, DevicePtr, EventId, MemHandle, StreamId};
+use mccs_device::{
+    DeviceConfig, DeviceFabric, DeviceNotification, DevicePtr, EventId, MemHandle, StreamId,
+};
 use mccs_ipc::{AppId, CommunicatorId, IpcConfig, LatencyQueue, ShimCommand, ShimCompletion};
 use mccs_netsim::{FlowCompletion, FlowId, Network};
 use mccs_shim::ShimPort;
@@ -170,7 +172,8 @@ impl TenantLog {
                     // unique per communicator in practice; we keep the comm
                     // from the completion. Use a placeholder comm of 0 and
                     // fix up at done time via (endpoint, seq) scan.
-                    self.issued.insert((endpoint, CommunicatorId(u64::MAX), *seq), t);
+                    self.issued
+                        .insert((endpoint, CommunicatorId(u64::MAX), *seq), t);
                 }
             }
             ShimCompletion::CollectiveDone { comm, seq } => {
@@ -288,11 +291,9 @@ impl World {
                 .expect("completed flow has no registered owner")
             {
                 FlowOwner::Transport(nic) => self.transport_flow_events[nic].push(c),
-                FlowOwner::External(owner) => self
-                    .external_flow_events
-                    .entry(owner)
-                    .or_default()
-                    .push(c),
+                FlowOwner::External(owner) => {
+                    self.external_flow_events.entry(owner).or_default().push(c)
+                }
             }
         }
         for n in self.devices.advance_to(t) {
@@ -421,9 +422,7 @@ impl World {
 
     /// Drain the completed flows of an external owner.
     pub fn take_external_events(&mut self, owner: u32) -> Vec<FlowCompletion> {
-        self.external_flow_events
-            .remove(&owner)
-            .unwrap_or_default()
+        self.external_flow_events.remove(&owner).unwrap_or_default()
     }
 
     /// The GPUs an application's endpoints occupy.
@@ -488,10 +487,9 @@ impl ShimPort for EndpointPort<'_> {
     }
 
     fn enqueue_kernel(&mut self, stream: StreamId, duration: Nanos) {
-        self.world.devices.enqueue(
-            stream,
-            mccs_device::StreamOp::Kernel { duration, token: 0 },
-        );
+        self.world
+            .devices
+            .enqueue(stream, mccs_device::StreamOp::Kernel { duration, token: 0 });
     }
 
     fn enqueue_record(&mut self, stream: StreamId, event: EventId) {
@@ -586,11 +584,14 @@ mod tests {
     fn next_time_sees_queued_messages() {
         let mut w = world();
         assert_eq!(w.next_time(), None);
-        w.send_to_proxy(GpuId(0), ProxyMsg::CommDestroy {
-            endpoint: 0,
-            req: 0,
-            comm: CommunicatorId(0),
-        });
+        w.send_to_proxy(
+            GpuId(0),
+            ProxyMsg::CommDestroy {
+                endpoint: 0,
+                req: 0,
+                comm: CommunicatorId(0),
+            },
+        );
         let t = w.next_time().expect("queued message");
         assert!(t > Nanos::ZERO);
         w.advance_to(t);
@@ -603,11 +604,14 @@ mod tests {
         let mut w = world();
         let mut times = Vec::new();
         for g in 0..4u32 {
-            w.send_control(GpuId(g), ProxyMsg::CommDestroy {
-                endpoint: 0,
-                req: 0,
-                comm: CommunicatorId(0),
-            });
+            w.send_control(
+                GpuId(g),
+                ProxyMsg::CommDestroy {
+                    endpoint: 0,
+                    req: 0,
+                    comm: CommunicatorId(0),
+                },
+            );
             times.push(w.proxy_inbox[g as usize].next_visible().expect("sent"));
         }
         // with 50% jitter, four sends almost surely differ

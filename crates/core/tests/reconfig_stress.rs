@@ -71,15 +71,14 @@ fn repeated_reconfigurations_are_safe_across_seeds() {
         let reconfigs = 3 + (rng.below(3) as usize);
         let mut t = Nanos::from_millis(5);
         for _ in 0..reconfigs {
-            t = t + Nanos::from_micros(rng.range(3_000, 25_000));
+            t += Nanos::from_micros(rng.range(3_000, 25_000));
             cluster.run_until(t);
             let info = cluster.mgmt().communicator(comm).expect("registered");
-            let flipped: Vec<RingOrder> =
-                info.rings.iter().map(RingOrder::reversed).collect();
+            let flipped: Vec<RingOrder> = info.rings.iter().map(RingOrder::reversed).collect();
             cluster.mgmt().reconfigure(comm, flipped, RouteMap::ecmp());
             // Let the barrier settle before the next request (the protocol
             // forbids overlapping reconfigurations per communicator).
-            t = t + Nanos::from_millis(30);
+            t += Nanos::from_millis(30);
             cluster.run_until(t);
         }
         cluster.run_until_quiescent(Nanos::from_secs(120));
@@ -97,7 +96,11 @@ fn repeated_reconfigurations_are_safe_across_seeds() {
         }
         let mut prev_epoch = 0;
         for (seq, epochs) in &by_seq {
-            assert_eq!(epochs.len(), gpus.len(), "seed {seed}: seq {seq} missing ranks");
+            assert_eq!(
+                epochs.len(),
+                gpus.len(),
+                "seed {seed}: seq {seq} missing ranks"
+            );
             assert!(
                 epochs.windows(2).all(|w| w[0] == w[1]),
                 "seed {seed}: seq {seq} mixed epochs {epochs:?}"
@@ -122,10 +125,7 @@ fn repeated_reconfigurations_are_safe_across_seeds() {
 fn reconfiguration_of_idle_communicator_applies_immediately() {
     // The barrier max over "nothing launched" is None: the new config
     // must apply without waiting for any collective.
-    let mut cluster = Cluster::new(
-        Arc::new(presets::testbed()),
-        ClusterConfig::with_seed(77),
-    );
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(77));
     let comm = CommunicatorId(1);
     let gpus = [GpuId(0), GpuId(2)];
     // Workload starts late; reconfigure while fully idle.

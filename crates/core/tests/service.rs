@@ -3,9 +3,9 @@
 //! testbed fabric.
 
 use mccs_collectives::op::all_reduce_sum;
-use mccs_collectives::{bandwidth, CollectiveOp, RingOrder};
+use mccs_collectives::{bandwidth, CollectiveOp, ReduceKind, RingOrder};
 use mccs_core::config::RouteMap;
-use mccs_core::{Cluster, ClusterConfig, TrafficWindows};
+use mccs_core::{Cluster, ClusterConfig, ServiceConfig, TrafficWindows};
 use mccs_ipc::CommunicatorId;
 use mccs_shim::{ScriptStep, ScriptedProgram};
 use mccs_sim::{Bytes, Nanos};
@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 /// A rank program: alloc two buffers, init the communicator, run `iters`
 /// collectives back to back.
+#[allow(clippy::too_many_arguments)]
 fn rank_program(
     name: &str,
     comm: CommunicatorId,
@@ -128,15 +129,7 @@ fn four_host_allreduce_hits_line_rate() {
     // (NCCL-like) ring is already rack-contiguous.
     let gpus = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
     let size = Bytes::mib(64);
-    spawn_app(
-        &mut cluster,
-        "ar4",
-        comm,
-        &gpus,
-        all_reduce_sum(),
-        size,
-        3,
-    );
+    spawn_app(&mut cluster, "ar4", comm, &gpus, all_reduce_sum(), size, 3);
     cluster.run_until_quiescent(Nanos::from_secs(10));
     let tl = cluster.mgmt().timeline(mccs_ipc::AppId(0));
     assert_eq!(tl.len(), 3);
@@ -177,10 +170,7 @@ fn eight_gpu_two_channels_engage_both_nics() {
         1,
     );
     cluster.run_until_quiescent(Nanos::from_secs(10));
-    let info = cluster
-        .mgmt()
-        .communicator(comm)
-        .expect("registered");
+    let info = cluster.mgmt().communicator(comm).expect("registered");
     assert_eq!(info.channels, 2, "2 GPUs/host -> 2 channels");
     assert_eq!(info.registered_ranks, 8);
     let tl = cluster.mgmt().timeline(mccs_ipc::AppId(0));
@@ -290,6 +280,290 @@ fn reconfiguration_is_safe_and_epochs_agree() {
     assert!(saw_epoch1, "no collective ran under the new configuration");
 }
 
+/// Check the Figure 4 safety property on a completed run: every sequence
+/// number executed under one epoch on all `ranks` ranks.
+fn assert_epochs_agree(cluster: &mut Cluster, app: mccs_ipc::AppId, ranks: usize) {
+    let records = cluster.mgmt().trace(app);
+    let mut by_seq: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for r in &records {
+        by_seq.entry(r.seq).or_default().push(r.epoch);
+    }
+    for (seq, epochs) in &by_seq {
+        assert_eq!(epochs.len(), ranks, "seq {seq} missing rank records");
+        assert!(
+            epochs.windows(2).all(|w| w[0] == w[1]),
+            "seq {seq} executed under mixed epochs: {epochs:?}"
+        );
+    }
+}
+
+#[test]
+fn reconfiguration_survives_skewed_req_arrival() {
+    // Crank control-message jitter so a `Req` can take up to 9 hop
+    // latencies to reach a rank: a neighbour's barrier gossip then often
+    // arrives *before* the rank's own request (the pending-gossip path)
+    // and late gossip keeps circulating past ranks that already finished
+    // their barrier. The protocol must still quiesce safely.
+    for seed in [11u64, 12, 13, 14] {
+        let cfg = ClusterConfig {
+            service: ServiceConfig {
+                control_jitter_frac: 8.0,
+                ..ServiceConfig::default()
+            },
+            ..ClusterConfig::with_seed(seed)
+        };
+        let mut cluster = Cluster::new(Arc::new(presets::testbed()), cfg);
+        let comm = CommunicatorId(3);
+        let gpus = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+        let iters = 10;
+        let app = spawn_app(
+            &mut cluster,
+            "skew",
+            comm,
+            &gpus,
+            all_reduce_sum(),
+            Bytes::mib(16),
+            iters,
+        );
+        cluster.run_until(Nanos::from_millis(20));
+        let info = cluster.mgmt().communicator(comm).expect("registered");
+        let reversed: Vec<RingOrder> = info.rings.iter().map(RingOrder::reversed).collect();
+        cluster.mgmt().reconfigure(comm, reversed, RouteMap::ecmp());
+        cluster.run_until_quiescent(Nanos::from_secs(30));
+
+        let tl = cluster.mgmt().timeline(app);
+        assert_eq!(tl.len(), iters, "seed {seed}: collectives lost");
+        let info = cluster.mgmt().communicator(comm).expect("registered");
+        assert_eq!(info.epoch, 1, "seed {seed}: reconfiguration never applied");
+        assert_epochs_agree(&mut cluster, app, gpus.len());
+    }
+}
+
+#[test]
+fn back_to_back_reconfigurations_tolerate_late_gossip() {
+    // Issue a second reconfiguration as soon as the first is applied,
+    // while epoch-1 gossip may still be circulating the control ring:
+    // stale messages must neither corrupt the epoch-2 barrier nor
+    // deadlock it.
+    let cfg = ClusterConfig {
+        service: ServiceConfig {
+            control_jitter_frac: 8.0,
+            ..ServiceConfig::default()
+        },
+        ..ClusterConfig::with_seed(17)
+    };
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), cfg);
+    let comm = CommunicatorId(3);
+    let gpus = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+    let iters = 14;
+    let app = spawn_app(
+        &mut cluster,
+        "twice",
+        comm,
+        &gpus,
+        all_reduce_sum(),
+        Bytes::mib(16),
+        iters,
+    );
+    cluster.run_until(Nanos::from_millis(20));
+    let info = cluster.mgmt().communicator(comm).expect("registered");
+    let reversed: Vec<RingOrder> = info.rings.iter().map(RingOrder::reversed).collect();
+    cluster
+        .mgmt()
+        .reconfigure(comm, reversed.clone(), RouteMap::ecmp());
+    // Step in small increments and fire the second reconfiguration the
+    // moment the first lands on rank 0.
+    let mut t = Nanos::from_millis(20);
+    loop {
+        t += Nanos::from_millis(1);
+        cluster.run_until(t);
+        let info = cluster.mgmt().communicator(comm).expect("registered");
+        if info.epoch == 1 {
+            let back: Vec<RingOrder> = info.rings.iter().map(RingOrder::reversed).collect();
+            cluster.mgmt().reconfigure(comm, back, RouteMap::ecmp());
+            break;
+        }
+        assert!(
+            t < Nanos::from_secs(30),
+            "first reconfiguration never applied"
+        );
+    }
+    cluster.run_until_quiescent(Nanos::from_secs(60));
+
+    let tl = cluster.mgmt().timeline(app);
+    assert_eq!(tl.len(), iters, "collectives lost across reconfigurations");
+    let info = cluster.mgmt().communicator(comm).expect("registered");
+    assert_eq!(info.epoch, 2, "second reconfiguration never applied");
+    assert_epochs_agree(&mut cluster, app, gpus.len());
+}
+
+#[test]
+fn schedule_caching_reproduces_uncached_timings() {
+    // The per-rank schedule cache is a pure memoization: a run with it on
+    // must produce bit-identical completion times to a run with it off,
+    // including across a mid-run reconfiguration (cache invalidation).
+    let run = |cache: bool| -> Vec<Nanos> {
+        let cfg = ClusterConfig {
+            service: ServiceConfig {
+                cache_schedules: cache,
+                ..ServiceConfig::default()
+            },
+            ..ClusterConfig::with_seed(23)
+        };
+        let mut cluster = Cluster::new(Arc::new(presets::testbed()), cfg);
+        let comm = CommunicatorId(3);
+        let gpus = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+        let app = spawn_app(
+            &mut cluster,
+            "cache",
+            comm,
+            &gpus,
+            all_reduce_sum(),
+            Bytes::mib(16),
+            8,
+        );
+        cluster.run_until(Nanos::from_millis(20));
+        let info = cluster.mgmt().communicator(comm).expect("registered");
+        let reversed: Vec<RingOrder> = info.rings.iter().map(RingOrder::reversed).collect();
+        cluster.mgmt().reconfigure(comm, reversed, RouteMap::ecmp());
+        cluster.run_until_quiescent(Nanos::from_secs(30));
+        cluster
+            .mgmt()
+            .timeline(app)
+            .iter()
+            .map(|r| r.completed_at.expect("done"))
+            .collect()
+    };
+    let cached = run(true);
+    let uncached = run(false);
+    assert_eq!(cached.len(), 8);
+    assert_eq!(
+        cached, uncached,
+        "schedule caching changed observable timings"
+    );
+}
+
+#[test]
+fn rooted_collectives_validate_buffers_per_rank() {
+    // NCCL semantics: Broadcast reads the send buffer only at the root and
+    // Reduce writes the recv buffer only at the root. Non-root ranks with
+    // a token-sized buffer on the insignificant side must pass validation.
+    let size = Bytes::mib(1);
+    let run = |op: CollectiveOp, small_send: bool| {
+        let mut cluster = testbed_cluster(31);
+        let comm = CommunicatorId(1);
+        let gpus = [GpuId(0), GpuId(1)];
+        let progs: Vec<(GpuId, Box<dyn mccs_shim::AppProgram>)> = gpus
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                // rank 1 is non-root: shrink the insignificant buffer.
+                let tiny = rank == 1;
+                let (send_size, recv_size) = match (tiny, small_send) {
+                    (true, true) => (Bytes::kib(4), size),
+                    (true, false) => (size, Bytes::kib(4)),
+                    (false, _) => (size, size),
+                };
+                let prog = ScriptedProgram::new(
+                    format!("rooted/r{rank}"),
+                    vec![
+                        ScriptStep::Alloc {
+                            size: send_size,
+                            slot: 0,
+                        },
+                        ScriptStep::Alloc {
+                            size: recv_size,
+                            slot: 1,
+                        },
+                        ScriptStep::CommInit {
+                            comm,
+                            world: gpus.to_vec(),
+                            rank,
+                        },
+                        ScriptStep::Collective {
+                            comm,
+                            op,
+                            size,
+                            send_slot: 0,
+                            recv_slot: 1,
+                        },
+                    ],
+                );
+                (gpu, Box::new(prog) as Box<dyn mccs_shim::AppProgram>)
+            })
+            .collect();
+        let app = cluster.add_app("rooted", progs);
+        cluster.run_until_quiescent(Nanos::from_secs(5));
+        let tl = cluster.mgmt().timeline(app);
+        assert_eq!(tl.len(), 1, "collective did not complete for {op:?}");
+        tl[0].latency().expect("complete");
+    };
+    // Non-root Broadcast rank needs no send buffer ...
+    run(CollectiveOp::Broadcast { root: 0 }, true);
+    // ... and a non-root Reduce rank needs no recv buffer.
+    run(
+        CollectiveOp::Reduce {
+            root: 0,
+            kind: ReduceKind::Sum,
+        },
+        false,
+    );
+}
+
+#[test]
+fn rooted_collectives_still_reject_undersized_significant_buffers() {
+    // The root's send buffer for Broadcast stays significant: shrinking it
+    // must still trip the service-side validation.
+    let size = Bytes::mib(1);
+    let mut cluster = testbed_cluster(33);
+    let comm = CommunicatorId(1);
+    let gpus = [GpuId(0), GpuId(1)];
+    let progs: Vec<(GpuId, Box<dyn mccs_shim::AppProgram>)> = gpus
+        .iter()
+        .enumerate()
+        .map(|(rank, &gpu)| {
+            let send_size = if rank == 0 { Bytes::kib(4) } else { size };
+            let prog = ScriptedProgram::new(
+                format!("badroot/r{rank}"),
+                vec![
+                    ScriptStep::Alloc {
+                        size: send_size,
+                        slot: 0,
+                    },
+                    ScriptStep::Alloc { size, slot: 1 },
+                    ScriptStep::CommInit {
+                        comm,
+                        world: gpus.to_vec(),
+                        rank,
+                    },
+                    ScriptStep::Collective {
+                        comm,
+                        op: CollectiveOp::Broadcast { root: 0 },
+                        size,
+                        send_slot: 0,
+                        recv_slot: 1,
+                    },
+                ],
+            );
+            (gpu, Box::new(prog) as Box<dyn mccs_shim::AppProgram>)
+        })
+        .collect();
+    cluster.add_app("badroot", progs);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cluster.run_until_quiescent(Nanos::from_secs(5));
+    }))
+    .expect_err("root's undersized send buffer must be rejected");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("buffer validation failed"),
+        "unexpected panic: {msg}"
+    );
+}
+
 #[test]
 fn pinned_routes_beat_colliding_ecmp() {
     // Two 2-rank apps, both crossing racks on the same NIC pairs. With a
@@ -331,8 +605,26 @@ fn pinned_routes_beat_colliding_ecmp() {
         let a = CommunicatorId(colliding_pair.0);
         let b = CommunicatorId(colliding_pair.1);
         let start = Nanos::from_millis(5);
-        spawn_app_at(&mut cluster, "A", a, &gpus_a, all_reduce_sum(), size, 2, start);
-        spawn_app_at(&mut cluster, "B", b, &gpus_b, all_reduce_sum(), size, 2, start);
+        spawn_app_at(
+            &mut cluster,
+            "A",
+            a,
+            &gpus_a,
+            all_reduce_sum(),
+            size,
+            2,
+            start,
+        );
+        spawn_app_at(
+            &mut cluster,
+            "B",
+            b,
+            &gpus_b,
+            all_reduce_sum(),
+            size,
+            2,
+            start,
+        );
         // wait for registration (collectives start only at 5 ms)
         cluster.run_until(Nanos::from_millis(1));
         if pin {
@@ -398,15 +690,7 @@ fn traffic_windows_gate_and_release_flows() {
 
     // Reference run without gating.
     let mut free = testbed_cluster(8);
-    spawn_app(
-        &mut free,
-        "free",
-        comm,
-        &gpus,
-        all_reduce_sum(),
-        size,
-        2,
-    );
+    spawn_app(&mut free, "free", comm, &gpus, all_reduce_sum(), size, 2);
     free.run_until_quiescent(Nanos::from_secs(60));
     let free_last = free
         .mgmt()

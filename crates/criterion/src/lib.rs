@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of the criterion API its benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is auto-calibrated to a target
+//! measurement time, then sampled repeatedly; the report prints
+//! `min / median / mean` nanoseconds per iteration. No plots, no
+//! statistical regression — numbers land on stdout and in
+//! [`Criterion::results`] for programmatic use.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim always times per-batch and subtracts setup).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// One benchmark's aggregated timing.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id as passed to `bench_function`.
+    pub name: String,
+    /// Fastest observed sample, ns per iteration.
+    pub min_ns: f64,
+    /// Median sample, ns per iteration.
+    pub median_ns: f64,
+    /// Mean over all samples, ns per iteration.
+    pub mean_ns: f64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target_time: Duration,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(300),
+            samples: 12,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Override the sample count.
+    pub fn sample_count(mut self, n: usize) -> Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Time `f`'s routine and print a one-line report.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: grow the iteration count until one sample fills its
+        // share of the measurement budget.
+        let per_sample = self.target_time / self.samples as u32;
+        let mut iters = 1u64;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= per_sample || iters >= 1 << 24 {
+                break;
+            }
+            let grow = if b.elapsed.is_zero() {
+                100
+            } else {
+                // Aim straight for the budget with 2x headroom.
+                (per_sample.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 100) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min_ns = per_iter[0];
+        let median_ns = per_iter[per_iter.len() / 2];
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({iters} iters/sample)",
+            fmt_ns(min_ns),
+            fmt_ns(median_ns),
+            fmt_ns(mean_ns),
+        );
+        self.results.push(BenchResult {
+            name: id.to_owned(),
+            min_ns,
+            median_ns,
+            mean_ns,
+        });
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs, excluding `setup` time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -28,7 +28,10 @@ impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::OutOfMemory { requested, free } => {
-                write!(f, "out of device memory: requested {requested}B, {free}B free")
+                write!(
+                    f,
+                    "out of device memory: requested {requested}B, {free}B free"
+                )
             }
             AllocError::ZeroSize => write!(f, "zero-sized allocation"),
         }

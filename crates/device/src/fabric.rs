@@ -214,12 +214,15 @@ impl DeviceFabric {
                     self.clock = t;
                     // Complete every stream whose op finishes exactly at t.
                     let mut finished = Vec::new();
-                    while let Some((&(ft, i), ())) = self.running_finishes.iter().next().map(|(k, v)| (k, *v)) {
+                    while let Some((&(ft, i), ())) =
+                        self.running_finishes.iter().next().map(|(k, v)| (k, *v))
+                    {
                         if ft > t {
                             break;
                         }
                         self.running_finishes.remove(&(ft, i));
-                        let (token, _) = self.streams[i].running.take().expect("indexed running op");
+                        let (token, _) =
+                            self.streams[i].running.take().expect("indexed running op");
                         if token != 0 {
                             self.pending.push(DeviceNotification::OpDone {
                                 stream: StreamId(i as u32),
@@ -342,9 +345,9 @@ mod tests {
         let notes = f.advance_to(Nanos::from_micros(10));
         assert_eq!(notes.len(), 2);
         // both finished at 10us — parallel, not serialized
-        assert!(notes
-            .iter()
-            .all(|n| matches!(n, DeviceNotification::OpDone { at, .. } if *at == Nanos::from_micros(10))));
+        assert!(notes.iter().all(
+            |n| matches!(n, DeviceNotification::OpDone { at, .. } if *at == Nanos::from_micros(10))
+        ));
     }
 
     #[test]
@@ -378,7 +381,11 @@ mod tests {
         f.enqueue(s, StreamOp::WaitEvent(ev));
         f.enqueue(s, kernel(5, 3));
         let notes = f.advance_to(Nanos::from_micros(5));
-        assert_eq!(notes.len(), 1, "wait on never-recorded event must not block");
+        assert_eq!(
+            notes.len(),
+            1,
+            "wait on never-recorded event must not block"
+        );
     }
 
     #[test]
@@ -404,10 +411,13 @@ mod tests {
 
     #[test]
     fn transfer_duration_from_bandwidth() {
-        let mut f = DeviceFabric::new(1, DeviceConfig {
-            kernel_launch_overhead: Nanos::ZERO,
-            ..DeviceConfig::default()
-        });
+        let mut f = DeviceFabric::new(
+            1,
+            DeviceConfig {
+                kernel_launch_overhead: Nanos::ZERO,
+                ..DeviceConfig::default()
+            },
+        );
         let s = f.create_stream(GpuId(0));
         f.enqueue(
             s,
@@ -434,7 +444,8 @@ mod tests {
         assert_eq!(f.used_memory(GpuId(0)), Bytes::ZERO);
         let p = f.open(h).expect("live");
         assert_eq!(p.gpu, GpuId(1));
-        f.validate(h, 0, Bytes::mib(4).as_u64()).expect("whole range");
+        f.validate(h, 0, Bytes::mib(4).as_u64())
+            .expect("whole range");
         assert!(f.validate(h, 1, Bytes::mib(4).as_u64()).is_err());
         f.free(h).expect("live");
         assert_eq!(f.used_memory(GpuId(1)), Bytes::ZERO);

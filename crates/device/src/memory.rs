@@ -106,8 +106,7 @@ impl MemoryTable {
             Registration {
                 gpu,
                 addr,
-                size: size.as_u64().div_ceil(crate::alloc::ALIGNMENT)
-                    * crate::alloc::ALIGNMENT,
+                size: size.as_u64().div_ceil(crate::alloc::ALIGNMENT) * crate::alloc::ALIGNMENT,
             },
         );
         Ok(handle)
@@ -161,9 +160,7 @@ impl MemoryTable {
             .handles
             .get(&handle)
             .ok_or(MemError::UnknownHandle(handle))?;
-        let fits = offset
-            .checked_add(len)
-            .is_some_and(|end| end <= reg.size);
+        let fits = offset.checked_add(len).is_some_and(|end| end <= reg.size);
         if !fits {
             return Err(MemError::RangeOutOfBounds {
                 handle,

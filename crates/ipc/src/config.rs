@@ -80,9 +80,7 @@ impl IpcConfig {
     /// command + 2 internal hops + completion. Useful for latency
     /// assertions in tests.
     pub fn round_trip_floor(&self) -> Nanos {
-        self.command_latency
-            + self.engine_hop_latency * 2
-            + self.completion_latency
+        self.command_latency + self.engine_hop_latency * 2 + self.completion_latency
     }
 }
 

@@ -16,7 +16,5 @@ pub mod protocol;
 pub mod queue;
 
 pub use config::IpcConfig;
-pub use protocol::{
-    AppId, CollectiveRequest, CommunicatorId, ShimCommand, ShimCompletion,
-};
+pub use protocol::{AppId, CollectiveRequest, CommunicatorId, ShimCommand, ShimCompletion};
 pub use queue::LatencyQueue;

@@ -90,7 +90,8 @@ mod tests {
     #[test]
     fn items_invisible_until_latency_elapses() {
         let mut q = LatencyQueue::new(8);
-        q.push(Nanos::ZERO, Nanos::from_micros(20), "a").expect("room");
+        q.push(Nanos::ZERO, Nanos::from_micros(20), "a")
+            .expect("room");
         assert_eq!(q.pop(Nanos::from_micros(19)), None);
         assert_eq!(q.peek(Nanos::from_micros(20)), Some(&"a"));
         assert_eq!(q.pop(Nanos::from_micros(20)), Some("a"));
@@ -100,7 +101,8 @@ mod tests {
     #[test]
     fn fifo_preserved_despite_latency_inversion() {
         let mut q = LatencyQueue::new(8);
-        q.push(Nanos::ZERO, Nanos::from_micros(50), 1).expect("room");
+        q.push(Nanos::ZERO, Nanos::from_micros(50), 1)
+            .expect("room");
         // pushed later with a shorter latency — must still arrive second
         q.push(Nanos::from_micros(10), Nanos::from_micros(10), 2)
             .expect("room");
@@ -150,7 +152,7 @@ mod tests {
                 let mut pushed = Vec::new();
                 let mut t = Nanos::ZERO;
                 for (i, &(gap, lat)) in pushes.iter().enumerate() {
-                    t = t + Nanos::from_micros(gap);
+                    t += Nanos::from_micros(gap);
                     q.push(t, Nanos::from_micros(lat), i).expect("large capacity");
                     pushed.push((t, Nanos::from_micros(lat)));
                 }

@@ -43,10 +43,7 @@ impl FlowDemand {
 
 /// Two-class allocation: guaranteed flows water-fill first (among
 /// themselves), then fair flows water-fill over the leftover capacity.
-pub fn allocate_with_priority(
-    flows: &[FlowDemand],
-    capacities: &[Bandwidth],
-) -> Vec<Bandwidth> {
+pub fn allocate_with_priority(flows: &[FlowDemand], capacities: &[Bandwidth]) -> Vec<Bandwidth> {
     let any_guaranteed = flows.iter().any(|f| f.guaranteed);
     if !any_guaranteed {
         return allocate(flows, capacities);
@@ -143,12 +140,11 @@ pub fn allocate(flows: &[FlowDemand], capacities: &[Bandwidth]) -> Vec<Bandwidth
             if frozen[i] {
                 continue;
             }
-            let capped = f
-                .cap
-                .is_some_and(|c| c.as_bps() <= level * (1.0 + 1e-12));
-            let bottlenecked = f.links.iter().any(|&l| {
-                remaining[l] / active_count[l] as f64 <= level * (1.0 + 1e-12)
-            });
+            let capped = f.cap.is_some_and(|c| c.as_bps() <= level * (1.0 + 1e-12));
+            let bottlenecked = f
+                .links
+                .iter()
+                .any(|&l| remaining[l] / active_count[l] as f64 <= level * (1.0 + 1e-12));
             if capped || bottlenecked {
                 let r = if capped {
                     f.cap.expect("checked").as_bps().min(level)
@@ -182,6 +178,95 @@ pub fn allocate(flows: &[FlowDemand], capacities: &[Bandwidth]) -> Vec<Bandwidth
         }
     }
     rate
+}
+
+/// Like [`check_invariants`] but aware of the two-class priority of
+/// [`allocate_with_priority`]: guaranteed flows are checked against the
+/// full capacities among themselves, fair flows against the residual after
+/// the guaranteed load — mirroring how the allocation is computed.
+#[cfg(test)]
+pub(crate) fn check_invariants_with_priority(
+    flows: &[FlowDemand],
+    caps: &[Bandwidth],
+    rates: &[Bandwidth],
+) {
+    let hi: Vec<FlowDemand> = flows.iter().filter(|f| f.guaranteed).cloned().collect();
+    let hi_rates: Vec<Bandwidth> = flows
+        .iter()
+        .zip(rates)
+        .filter(|(f, _)| f.guaranteed)
+        .map(|(_, &r)| r)
+        .collect();
+    check_invariants(&hi, caps, &hi_rates);
+    let mut leftover: Vec<f64> = caps.iter().map(|c| c.as_bps()).collect();
+    for (f, r) in hi.iter().zip(&hi_rates) {
+        for &l in &f.links {
+            leftover[l] = (leftover[l] - r.as_bps()).max(0.0);
+        }
+    }
+    let lo: Vec<FlowDemand> = flows.iter().filter(|f| !f.guaranteed).cloned().collect();
+    let lo_rates: Vec<Bandwidth> = flows
+        .iter()
+        .zip(rates)
+        .filter(|(f, _)| !f.guaranteed)
+        .map(|(_, &r)| r)
+        .collect();
+    let lo_caps: Vec<Bandwidth> = leftover.into_iter().map(Bandwidth::bps).collect();
+    check_invariants(&lo, &lo_caps, &lo_rates);
+}
+
+/// The max-min invariants the property tests check (feasibility, cap
+/// respect, bottleneck justification) — reusable by other modules' tests.
+#[cfg(test)]
+pub(crate) fn check_invariants(flows: &[FlowDemand], caps: &[Bandwidth], rates: &[Bandwidth]) {
+    let tol = 1e-6; // bps tolerance relative to multi-Gbps scales
+                    // 1. feasibility
+    for (l, cap) in caps.iter().enumerate() {
+        let load: f64 = flows
+            .iter()
+            .zip(rates)
+            .filter(|(f, _)| f.links.contains(&l))
+            .map(|(_, r)| r.as_bps())
+            .sum();
+        assert!(
+            load <= cap.as_bps() * (1.0 + tol) + 1.0,
+            "link {l} overloaded: {load} > {}",
+            cap.as_bps()
+        );
+    }
+    // 2. caps
+    for (f, r) in flows.iter().zip(rates) {
+        if let Some(c) = f.cap {
+            assert!(r.as_bps() <= c.as_bps() * (1.0 + tol) + 1.0);
+        }
+    }
+    // 3. bottleneck justification
+    for (i, f) in flows.iter().enumerate() {
+        if f.cap
+            .is_some_and(|c| (rates[i].as_bps() - c.as_bps()).abs() < 1.0)
+        {
+            continue; // at cap
+        }
+        if f.links.is_empty() {
+            continue;
+        }
+        let justified = f.links.iter().any(|&l| {
+            let load: f64 = flows
+                .iter()
+                .zip(rates)
+                .filter(|(g, _)| g.links.contains(&l))
+                .map(|(_, r)| r.as_bps())
+                .sum();
+            let saturated = load >= caps[l].as_bps() * (1.0 - 1e-6) - 1.0;
+            let maximal = flows
+                .iter()
+                .zip(rates)
+                .filter(|(g, _)| g.links.contains(&l))
+                .all(|(_, r)| r.as_bps() <= rates[i].as_bps() * (1.0 + 1e-6) + 1.0);
+            saturated && maximal
+        });
+        assert!(justified, "flow {i} is neither capped nor bottlenecked");
+    }
 }
 
 #[cfg(test)]
@@ -226,10 +311,7 @@ mod tests {
     #[test]
     fn caps_are_respected_and_released_capacity_shared() {
         // Two flows on a 100G link; one capped at 10G -> other gets 90G.
-        let flows = [
-            FlowDemand::fair(vec![0], Some(gbps(10.0))),
-            demand(&[0]),
-        ];
+        let flows = [FlowDemand::fair(vec![0], Some(gbps(10.0))), demand(&[0])];
         let rates = allocate(&flows, &[gbps(100.0)]);
         assert!((rates[0].as_gbps() - 10.0).abs() < 1e-9);
         assert!((rates[1].as_gbps() - 90.0).abs() < 1e-9);
@@ -249,62 +331,9 @@ mod tests {
 
     #[test]
     fn disjoint_flows_each_get_full_capacity() {
-        let rates = allocate(
-            &[demand(&[0]), demand(&[1])],
-            &[gbps(40.0), gbps(25.0)],
-        );
+        let rates = allocate(&[demand(&[0]), demand(&[1])], &[gbps(40.0), gbps(25.0)]);
         assert!((rates[0].as_gbps() - 40.0).abs() < 1e-9);
         assert!((rates[1].as_gbps() - 25.0).abs() < 1e-9);
-    }
-
-    /// The invariants the property tests below check, reusable by callers.
-    fn check_invariants(flows: &[FlowDemand], caps: &[Bandwidth], rates: &[Bandwidth]) {
-        let tol = 1e-6; // bps tolerance relative to multi-Gbps scales
-        // 1. feasibility
-        for (l, cap) in caps.iter().enumerate() {
-            let load: f64 = flows
-                .iter()
-                .zip(rates)
-                .filter(|(f, _)| f.links.contains(&l))
-                .map(|(_, r)| r.as_bps())
-                .sum();
-            assert!(
-                load <= cap.as_bps() * (1.0 + tol) + 1.0,
-                "link {l} overloaded: {load} > {}",
-                cap.as_bps()
-            );
-        }
-        // 2. caps
-        for (f, r) in flows.iter().zip(rates) {
-            if let Some(c) = f.cap {
-                assert!(r.as_bps() <= c.as_bps() * (1.0 + tol) + 1.0);
-            }
-        }
-        // 3. bottleneck justification
-        for (i, f) in flows.iter().enumerate() {
-            if f.cap.is_some_and(|c| (rates[i].as_bps() - c.as_bps()).abs() < 1.0) {
-                continue; // at cap
-            }
-            if f.links.is_empty() {
-                continue;
-            }
-            let justified = f.links.iter().any(|&l| {
-                let load: f64 = flows
-                    .iter()
-                    .zip(rates)
-                    .filter(|(g, _)| g.links.contains(&l))
-                    .map(|(_, r)| r.as_bps())
-                    .sum();
-                let saturated = load >= caps[l].as_bps() * (1.0 - 1e-6) - 1.0;
-                let maximal = flows
-                    .iter()
-                    .zip(rates)
-                    .filter(|(g, _)| g.links.contains(&l))
-                    .all(|(_, r)| r.as_bps() <= rates[i].as_bps() * (1.0 + 1e-6) + 1.0);
-                saturated && maximal
-            });
-            assert!(justified, "flow {i} is neither capped nor bottlenecked");
-        }
     }
 
     #[test]
@@ -323,10 +352,7 @@ mod tests {
         assert!((rates[0].as_gbps() - 75.0).abs() < 1e-9);
         assert!((rates[1].as_gbps() - 25.0).abs() < 1e-9);
         // Without the guarantee the same flows split 50/50 (cap unmet).
-        let fair = [
-            FlowDemand::fair(vec![0], Some(gbps(75.0))),
-            demand(&[0]),
-        ];
+        let fair = [FlowDemand::fair(vec![0], Some(gbps(75.0))), demand(&[0])];
         let rates = allocate_with_priority(&fair, &[gbps(100.0)]);
         assert!((rates[0].as_gbps() - 50.0).abs() < 1e-9);
         assert!((rates[1].as_gbps() - 50.0).abs() < 1e-9);
@@ -375,10 +401,9 @@ mod tests {
                         proptest::collection::btree_set(0usize..nl, 1..=nl.min(5)),
                         proptest::option::of(1.0f64..200.0),
                     )
-                        .prop_map(|(links, cap)| FlowDemand::fair(
-                            links.into_iter().collect(),
-                            cap.map(Bandwidth::gbps),
-                        )),
+                        .prop_map(|(links, cap)| {
+                            FlowDemand::fair(links.into_iter().collect(), cap.map(Bandwidth::gbps))
+                        }),
                     nf,
                 );
                 (flows, caps)

@@ -6,12 +6,19 @@
 //! cancellation, pause/resume, route re-pin) — between changes each flow
 //! progresses linearly, so completions can be computed exactly rather than
 //! by time-stepping.
+//!
+//! Recomputation is **incremental**: a membership change re-solves only
+//! the flows that share a link — transitively — with the changed flow's
+//! links. Connected components of the flow×link graph are independent
+//! max-min problems, so disjoint flows keep their rates untouched. The
+//! from-scratch path ([`allocate_with_priority`] over every active flow)
+//! remains available via [`Network::set_incremental`] as the oracle.
 
 use crate::flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
 use crate::maxmin::{allocate_with_priority, FlowDemand};
 use mccs_sim::{Bandwidth, Bytes, Nanos};
 use mccs_topology::{LinkId, Route, RouteId, Topology};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 #[derive(Clone, Debug)]
@@ -48,6 +55,16 @@ pub struct Network {
     /// Capacity fraction lost on links shared by multiple tenants
     /// (uncoordinated congestion control; 0.0 = ideal fluid sharing).
     cross_tenant_penalty: f64,
+    /// Link index -> active (unpaused) flows crossing it. Paused flows
+    /// hold no bandwidth and are kept out of the index entirely.
+    link_flows: HashMap<usize, BTreeSet<FlowId>>,
+    /// Links whose flow set (or effective capacity) changed since the last
+    /// rate solve. The next solve covers exactly the connected components
+    /// these links belong to.
+    dirty_links: BTreeSet<usize>,
+    /// When false, every solve is from scratch over all active flows (the
+    /// oracle path for tests and benchmarks).
+    incremental: bool,
 }
 
 impl Network {
@@ -61,6 +78,9 @@ impl Network {
             clock: Nanos::ZERO,
             capacities,
             cross_tenant_penalty: DEFAULT_CROSS_TENANT_PENALTY,
+            link_flows: HashMap::new(),
+            dirty_links: BTreeSet::new(),
+            incremental: true,
         }
     }
 
@@ -68,7 +88,16 @@ impl Network {
     pub fn set_cross_tenant_penalty(&mut self, penalty: f64) {
         assert!((0.0..1.0).contains(&penalty), "penalty must be in [0,1)");
         self.cross_tenant_penalty = penalty;
+        // The effective capacity of every busy link may have changed.
+        self.dirty_links.extend(self.link_flows.keys().copied());
         self.recompute_rates();
+    }
+
+    /// Toggle incremental rate recomputation (on by default). With it off
+    /// every membership change re-solves the full active flow set — the
+    /// from-scratch oracle the incremental path is tested against.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.incremental = enabled;
     }
 
     /// The topology this network runs on.
@@ -114,6 +143,7 @@ impl Network {
                 started: now,
             },
         );
+        self.index_insert(id);
         self.recompute_rates();
         id
     }
@@ -122,7 +152,9 @@ impl Network {
     /// reconfiguration teardown). No completion record is produced.
     pub fn cancel_flow(&mut self, now: Nanos, id: FlowId) {
         self.catch_up(now);
-        assert!(self.flows.remove(&id).is_some(), "cancel of unknown {id:?}");
+        assert!(self.flows.contains_key(&id), "cancel of unknown {id:?}");
+        self.index_remove(id);
+        self.flows.remove(&id);
         self.recompute_rates();
     }
 
@@ -130,9 +162,21 @@ impl Network {
     /// time-window traffic scheduling.
     pub fn set_paused(&mut self, now: Nanos, id: FlowId, paused: bool) {
         self.catch_up(now);
-        let f = self.flows.get_mut(&id).unwrap_or_else(|| panic!("pause of unknown {id:?}"));
-        if f.paused != paused {
-            f.paused = paused;
+        let was = self
+            .flows
+            .get(&id)
+            .unwrap_or_else(|| panic!("pause of unknown {id:?}"))
+            .paused;
+        if was != paused {
+            if paused {
+                self.index_remove(id);
+                let f = self.flows.get_mut(&id).expect("checked above");
+                f.paused = true;
+                f.rate = Bandwidth::ZERO;
+            } else {
+                self.flows.get_mut(&id).expect("checked above").paused = false;
+                self.index_insert(id);
+            }
             self.recompute_rates();
         }
     }
@@ -141,13 +185,18 @@ impl Network {
     pub fn repin_flow(&mut self, now: Nanos, id: FlowId, route: RouteId) {
         self.catch_up(now);
         let (src, dst) = {
-            let f = self.flows.get(&id).unwrap_or_else(|| panic!("repin of unknown {id:?}"));
+            let f = self
+                .flows
+                .get(&id)
+                .unwrap_or_else(|| panic!("repin of unknown {id:?}"));
             (f.spec.src, f.spec.dst)
         };
         let new_route = self.topo.pinned_route(src, dst, route);
+        self.index_remove(id);
         let f = self.flows.get_mut(&id).expect("checked above");
         f.route = new_route;
         f.spec.routing = RouteChoice::Pinned(route);
+        self.index_insert(id);
         self.recompute_rates();
     }
 
@@ -204,7 +253,10 @@ impl Network {
 
     /// Current allocated rate of a flow.
     pub fn flow_rate(&self, id: FlowId) -> Bandwidth {
-        self.flows.get(&id).map(|f| f.rate).unwrap_or(Bandwidth::ZERO)
+        self.flows
+            .get(&id)
+            .map(|f| f.rate)
+            .unwrap_or(Bandwidth::ZERO)
     }
 
     /// Bytes a flow has moved so far.
@@ -244,7 +296,11 @@ impl Network {
     // ---- internals --------------------------------------------------------
 
     fn catch_up(&mut self, now: Nanos) {
-        assert!(now >= self.clock, "mutation in the past: {now} < {}", self.clock);
+        assert!(
+            now >= self.clock,
+            "mutation in the past: {now} < {}",
+            self.clock
+        );
         self.accrue(now);
     }
 
@@ -265,13 +321,12 @@ impl Network {
             .flows
             .iter()
             .filter(|(_, f)| {
-                f.active()
-                    && f.remaining()
-                        .is_some_and(|r| r <= COMPLETION_EPSILON_BYTES)
+                f.active() && f.remaining().is_some_and(|r| r <= COMPLETION_EPSILON_BYTES)
             })
             .map(|(&id, _)| id)
             .collect();
         for id in done {
+            self.index_remove(id);
             let f = self.flows.remove(&id).expect("listed above");
             out.push(FlowCompletion {
                 id,
@@ -283,54 +338,154 @@ impl Network {
         }
     }
 
-    fn recompute_rates(&mut self) {
-        // Remap to the compact set of links actually carrying flows: the
-        // allocator's cost is then proportional to active traffic, not to
-        // the whole fabric (the 768-GPU cluster has ~14k links but a few
-        // hundred busy ones at any instant).
-        let mut compact: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
-        let mut compact_caps: Vec<Bandwidth> = Vec::new();
-        // (first tenant seen, shared across tenants?) per compact link
-        let mut link_tenants: Vec<(u32, bool)> = Vec::new();
-        let mut ids = Vec::new();
-        let mut demands = Vec::new();
-        for (&id, f) in &self.flows {
-            if f.active() {
-                ids.push(id);
-                let tenant = f.spec.tenant;
-                // Guaranteed (background) flows model aggregate external
-                // traffic whose cost is already its bandwidth share; only
-                // tenant collective flows trigger the cross-tenant penalty.
-                let counts_for_sharing = !f.spec.guaranteed;
-                let links: Vec<usize> = f
-                    .route
-                    .links
-                    .iter()
-                    .map(|l| {
+    /// Add an active flow's links to the link index, marking them dirty.
+    /// No-op for paused flows: they hold no bandwidth, so their links (and
+    /// sharers) are unaffected until they resume.
+    fn index_insert(&mut self, id: FlowId) {
+        if !self.flows[&id].active() {
+            return;
+        }
+        let links: Vec<usize> = self.flows[&id]
+            .route
+            .links
+            .iter()
+            .map(|l| l.index())
+            .collect();
+        for idx in links {
+            self.link_flows.entry(idx).or_default().insert(id);
+            self.dirty_links.insert(idx);
+        }
+    }
+
+    /// Remove a flow from the link index, marking its links dirty.
+    /// No-op for paused flows, which were never indexed.
+    fn index_remove(&mut self, id: FlowId) {
+        if !self.flows[&id].active() {
+            return;
+        }
+        let links: Vec<usize> = self.flows[&id]
+            .route
+            .links
+            .iter()
+            .map(|l| l.index())
+            .collect();
+        for idx in links {
+            if let Some(set) = self.link_flows.get_mut(&idx) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.link_flows.remove(&idx);
+                }
+            }
+            self.dirty_links.insert(idx);
+        }
+    }
+
+    /// The flows sharing a link — transitively — with any dirty link: the
+    /// union of connected components of the flow×link graph that a change
+    /// touched. Components are closed, so flows outside keep valid rates.
+    /// Consumes the dirty set.
+    fn affected_flows(&mut self) -> Vec<FlowId> {
+        let active_total = self.flows.values().filter(|f| f.active()).count();
+        let mut frontier: Vec<usize> = std::mem::take(&mut self.dirty_links).into_iter().collect();
+        let mut seen_links: HashSet<usize> = frontier.iter().copied().collect();
+        let mut seen_flows: BTreeSet<FlowId> = BTreeSet::new();
+        'bfs: while let Some(link) = frontier.pop() {
+            let Some(flows) = self.link_flows.get(&link) else {
+                continue;
+            };
+            for &id in flows {
+                if seen_flows.insert(id) {
+                    // Every active flow is already in the component: no
+                    // link left to expand can reveal a new one.
+                    if seen_flows.len() == active_total {
+                        break 'bfs;
+                    }
+                    for l in self.flows[&id].route.links.iter() {
                         let idx = l.index();
-                        *compact.entry(idx).or_insert_with(|| {
-                            compact_caps.push(self.capacities[idx]);
-                            link_tenants.push((u32::MAX, false));
-                            compact_caps.len() - 1
-                        })
-                    })
-                    .collect();
-                if counts_for_sharing {
-                    for &cl in &links {
-                        match link_tenants[cl].0 {
-                            u32::MAX => link_tenants[cl].0 = tenant,
-                            t if t != tenant => link_tenants[cl].1 = true,
-                            _ => {}
+                        if seen_links.insert(idx) {
+                            frontier.push(idx);
                         }
                     }
                 }
-                demands.push(FlowDemand {
-                    links,
-                    cap: f.spec.rate_cap,
-                    guaranteed: f.spec.guaranteed,
-                });
             }
+        }
+        seen_flows.into_iter().collect()
+    }
+
+    fn recompute_rates(&mut self) {
+        if self.incremental {
+            let affected = self.affected_flows();
+            if !affected.is_empty() {
+                self.solve_for(&affected);
+            }
+        } else {
+            self.dirty_links.clear();
+            let all: Vec<FlowId> = self
+                .flows
+                .iter()
+                .filter(|(_, f)| f.active())
+                .map(|(&id, _)| id)
+                .collect();
+            self.solve_for(&all);
+        }
+    }
+
+    /// Max-min solve restricted to `ids` (which must be a union of
+    /// connected components — or the full active set).
+    fn solve_for(&mut self, ids: &[FlowId]) {
+        let (demands, compact_caps) = self.build_problem(ids);
+        let rates = allocate_with_priority(&demands, &compact_caps);
+        for (&id, rate) in ids.iter().zip(rates) {
+            self.flows.get_mut(&id).expect("listed above").rate = rate;
+        }
+    }
+
+    /// Build the allocation problem for `ids`. Remaps to the compact set
+    /// of links those flows actually cross: the allocator's cost is then
+    /// proportional to the traffic touched by a change, not to the whole
+    /// fabric (the 768-GPU cluster has ~14k links but a few hundred busy
+    /// ones at any instant).
+    fn build_problem(&self, ids: &[FlowId]) -> (Vec<FlowDemand>, Vec<Bandwidth>) {
+        let mut compact: HashMap<usize, usize> = HashMap::new();
+        let mut compact_caps: Vec<Bandwidth> = Vec::new();
+        // (first tenant seen, shared across tenants?) per compact link
+        let mut link_tenants: Vec<(u32, bool)> = Vec::new();
+        let mut demands = Vec::new();
+        for &id in ids {
+            let f = &self.flows[&id];
+            debug_assert!(f.active(), "solving for a paused flow");
+            let tenant = f.spec.tenant;
+            // Guaranteed (background) flows model aggregate external
+            // traffic whose cost is already its bandwidth share; only
+            // tenant collective flows trigger the cross-tenant penalty.
+            let counts_for_sharing = !f.spec.guaranteed;
+            let links: Vec<usize> = f
+                .route
+                .links
+                .iter()
+                .map(|l| {
+                    let idx = l.index();
+                    *compact.entry(idx).or_insert_with(|| {
+                        compact_caps.push(self.capacities[idx]);
+                        link_tenants.push((u32::MAX, false));
+                        compact_caps.len() - 1
+                    })
+                })
+                .collect();
+            if counts_for_sharing {
+                for &cl in &links {
+                    match link_tenants[cl].0 {
+                        u32::MAX => link_tenants[cl].0 = tenant,
+                        t if t != tenant => link_tenants[cl].1 = true,
+                        _ => {}
+                    }
+                }
+            }
+            demands.push(FlowDemand {
+                links,
+                cap: f.spec.rate_cap,
+                guaranteed: f.spec.guaranteed,
+            });
         }
         if self.cross_tenant_penalty > 0.0 {
             for (cl, &(_, shared)) in link_tenants.iter().enumerate() {
@@ -339,13 +494,7 @@ impl Network {
                 }
             }
         }
-        let rates = allocate_with_priority(&demands, &compact_caps);
-        for f in self.flows.values_mut() {
-            f.rate = Bandwidth::ZERO;
-        }
-        for (id, rate) in ids.into_iter().zip(rates) {
-            self.flows.get_mut(&id).expect("listed above").rate = rate;
-        }
+        (demands, compact_caps)
     }
 }
 
@@ -376,7 +525,10 @@ mod tests {
     fn single_flow_runs_at_line_rate_and_completes_exactly() {
         let mut net = testbed_net();
         // same-rack flow: bottleneck is the 50G NIC links.
-        let id = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(64), 0));
+        let id = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(64), 0),
+        );
         assert!((net.flow_rate(id).as_gbps() - 50.0).abs() < 1e-6);
         let expect = Bandwidth::gbps(50.0).transfer_time(Bytes::mib(64));
         let next = net.next_completion_time().expect("one flow");
@@ -391,8 +543,14 @@ mod tests {
     fn sharing_then_speedup_after_completion() {
         let mut net = testbed_net();
         // Two same-rack flows sharing the destination NIC downlink.
-        let a = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(10), 0));
-        let b = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(1), nic(2), Bytes::mib(30), 1));
+        let a = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(10), 0),
+        );
+        let b = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(1), nic(2), Bytes::mib(30), 1),
+        );
         // wait: flows to the SAME nic share its 50G downlink -> 25G each
         assert!((net.flow_rate(a).as_gbps() - 25.0).abs() < 1e-6);
         assert!((net.flow_rate(b).as_gbps() - 25.0).abs() < 1e-6);
@@ -412,12 +570,19 @@ mod tests {
                 .as_secs_f64();
         // B: 10MiB at 25G alongside A, then 20MiB at 50G.
         let expect_b = Nanos::from_secs_f64(
-            Bandwidth::gbps(25.0).transfer_time(Bytes::mib(10)).as_secs_f64()
-                + Bandwidth::gbps(50.0).transfer_time(Bytes::mib(20)).as_secs_f64(),
+            Bandwidth::gbps(25.0)
+                .transfer_time(Bytes::mib(10))
+                .as_secs_f64()
+                + Bandwidth::gbps(50.0)
+                    .transfer_time(Bytes::mib(20))
+                    .as_secs_f64(),
         );
         let got = done[1].finished_at;
         let diff = got.as_secs_f64() - expect_b.as_secs_f64();
-        assert!(diff.abs() < 1e-6, "B finished at {got}, expected {expect_b} ({rem_t})");
+        assert!(
+            diff.abs() < 1e-6,
+            "B finished at {got}, expected {expect_b} ({rem_t})"
+        );
     }
 
     #[test]
@@ -499,7 +664,10 @@ mod tests {
     #[test]
     fn pause_resume_gates_bandwidth() {
         let mut net = testbed_net();
-        let f = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(50), 0));
+        let f = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(50), 0),
+        );
         net.set_paused(Nanos::from_millis(1), f, true);
         assert_eq!(net.flow_rate(f).as_bps(), 0.0);
         assert_eq!(net.next_completion_time(), None);
@@ -516,7 +684,12 @@ mod tests {
         let t50 = Bandwidth::gbps(50.0).transfer_time(Bytes::mib(50));
         let expected_finish = t50 + Nanos::from_millis(4);
         let d = done[0].finished_at.as_secs_f64() - expected_finish.as_secs_f64();
-        assert!(d.abs() < 1e-6, "finish {} vs {}", done[0].finished_at, expected_finish);
+        assert!(
+            d.abs() < 1e-6,
+            "finish {} vs {}",
+            done[0].finished_at,
+            expected_finish
+        );
     }
 
     #[test]
@@ -539,7 +712,10 @@ mod tests {
     #[test]
     fn link_load_and_utilization() {
         let mut net = testbed_net();
-        let f = net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(1), 0));
+        let f = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(1), 0),
+        );
         let route = net.flow_route(f).expect("present").clone();
         for &l in route.links.iter() {
             assert!((net.link_load(l).as_gbps() - 50.0).abs() < 1e-6);
@@ -551,7 +727,10 @@ mod tests {
     #[should_panic(expected = "time went backwards")]
     fn rejects_time_reversal() {
         let mut net = testbed_net();
-        net.start_flow(Nanos::from_secs(1), FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(1), 0));
+        net.start_flow(
+            Nanos::from_secs(1),
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(1), 0),
+        );
         net.advance_to(Nanos::from_millis(1));
     }
 
@@ -559,7 +738,10 @@ mod tests {
     #[should_panic(expected = "flow to self")]
     fn rejects_self_flow() {
         let mut net = testbed_net();
-        net.start_flow(Nanos::ZERO, FlowSpec::ecmp(nic(0), nic(0), Bytes::mib(1), 0));
+        net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(0), Bytes::mib(1), 0),
+        );
     }
 
     #[test]
@@ -599,6 +781,113 @@ mod tests {
                 // each flow's mean rate can never beat the 50G NIC
                 for c in &done {
                     prop_assert!(c.mean_rate().as_gbps() <= 50.0 + 1e-6);
+                }
+            }
+
+            /// Incremental dirty-link recomputation matches the
+            /// from-scratch oracle over random flow-churn sequences
+            /// (starts, cancels, pauses, repins, completions, tenants and
+            /// capped background flows all mixed), and the incremental
+            /// net's rates satisfy the max-min invariants after every op.
+            #[test]
+            fn incremental_matches_from_scratch_under_churn(
+                ops in proptest::collection::vec(
+                    (0u8..8, 0u32..8, 0u32..8, 0u64..64, any::<u64>()), 1..32)
+            ) {
+                let mut inc = testbed_net();
+                let mut full = testbed_net();
+                full.set_incremental(false);
+                let mut now = Nanos::ZERO;
+                // (id, src, dst) of flows not yet finished or cancelled
+                let mut live: Vec<(FlowId, u32, u32)> = Vec::new();
+                for &(kind, a, b, c, d) in &ops {
+                    match kind {
+                        0..=2 => {
+                            let (s, t) = (a % 8, b % 8);
+                            if s == t { continue; }
+                            let spec = FlowSpec::ecmp(nic(s), nic(t), Bytes::mib(1 + c % 64), d)
+                                .with_tenant(a % 3);
+                            let i1 = inc.start_flow(now, spec);
+                            let i2 = full.start_flow(now, spec);
+                            prop_assert_eq!(i1, i2);
+                            live.push((i1, s, t));
+                        }
+                        3 => {
+                            // capped, guaranteed background traffic
+                            let (s, t) = (a % 8, b % 8);
+                            if s == t { continue; }
+                            let rate = Bandwidth::gbps(5.0 + (c % 40) as f64);
+                            let spec = FlowSpec::background(nic(s), nic(t), rate, d);
+                            let i1 = inc.start_flow(now, spec);
+                            let i2 = full.start_flow(now, spec);
+                            prop_assert_eq!(i1, i2);
+                            live.push((i1, s, t));
+                        }
+                        4 => {
+                            if live.is_empty() { continue; }
+                            let (id, _, _) = live.remove((c as usize) % live.len());
+                            inc.cancel_flow(now, id);
+                            full.cancel_flow(now, id);
+                        }
+                        5 => {
+                            if live.is_empty() { continue; }
+                            let (id, _, _) = live[(c as usize) % live.len()];
+                            let paused = d % 2 == 0;
+                            inc.set_paused(now, id, paused);
+                            full.set_paused(now, id, paused);
+                        }
+                        6 => {
+                            now += Nanos::from_micros(1 + c % 2000);
+                            let done_inc = inc.advance_to(now);
+                            let done_full = full.advance_to(now);
+                            let t_inc: BTreeMap<FlowId, Nanos> =
+                                done_inc.iter().map(|x| (x.id, x.finished_at)).collect();
+                            let t_full: BTreeMap<FlowId, Nanos> =
+                                done_full.iter().map(|x| (x.id, x.finished_at)).collect();
+                            prop_assert_eq!(
+                                t_inc.keys().collect::<Vec<_>>(),
+                                t_full.keys().collect::<Vec<_>>()
+                            );
+                            for (id, ti) in &t_inc {
+                                let tf = t_full[id];
+                                prop_assert!(
+                                    ti.as_nanos().abs_diff(tf.as_nanos()) <= 1,
+                                    "completion time diverged for {:?}: {} vs {}", id, ti, tf
+                                );
+                            }
+                            live.retain(|(id, _, _)| inc.contains(*id));
+                        }
+                        _ => {
+                            // repin a cross-rack flow onto an explicit spine
+                            if live.is_empty() { continue; }
+                            let (id, s, t) = live[(c as usize) % live.len()];
+                            if (s < 4) == (t < 4) { continue; }
+                            let route = RouteId((d % 2) as u32);
+                            inc.repin_flow(now, id, route);
+                            full.repin_flow(now, id, route);
+                        }
+                    }
+                    // 1. Every live flow's rate matches the oracle.
+                    for &(id, _, _) in &live {
+                        let ri = inc.flow_rate(id).as_bps();
+                        let rf = full.flow_rate(id).as_bps();
+                        prop_assert!(
+                            (ri - rf).abs() <= rf.abs() * 1e-9 + 1e-3,
+                            "rate diverged for {:?}: incremental {} vs full {}", id, ri, rf
+                        );
+                    }
+                    // 2. The incremental rates are a valid max-min
+                    // allocation in their own right.
+                    let ids: Vec<FlowId> = inc
+                        .flows
+                        .iter()
+                        .filter(|(_, f)| f.active())
+                        .map(|(&i, _)| i)
+                        .collect();
+                    let (demands, caps) = inc.build_problem(&ids);
+                    let rates: Vec<Bandwidth> =
+                        ids.iter().map(|&i| inc.flow_rate(i)).collect();
+                    crate::maxmin::check_invariants_with_priority(&demands, &caps, &rates);
                 }
             }
 

@@ -77,7 +77,8 @@ impl<'a> ShimApi<'a> {
     /// service per §4.1).
     pub fn alloc(&mut self, size: Bytes) -> ReqId {
         let gpu = self.gpu;
-        self.session.submit(ShimCommand::MemAlloc { req: 0, gpu, size })
+        self.session
+            .submit(ShimCommand::MemAlloc { req: 0, gpu, size })
     }
 
     /// Poll an allocation.
@@ -123,7 +124,8 @@ impl<'a> ShimApi<'a> {
 
     /// Tear down this rank of a communicator.
     pub fn comm_destroy(&mut self, comm: CommunicatorId) -> ReqId {
-        self.session.submit(ShimCommand::CommDestroy { req: 0, comm })
+        self.session
+            .submit(ShimCommand::CommDestroy { req: 0, comm })
     }
 
     /// Poll a destroy.
@@ -141,7 +143,14 @@ impl<'a> ShimApi<'a> {
         send: (MemHandle, u64),
         recv: (MemHandle, u64),
     ) -> ReqId {
-        self.collective(comm, CollectiveOp::AllReduce(ReduceKind::Sum), size, send, recv, None)
+        self.collective(
+            comm,
+            CollectiveOp::AllReduce(ReduceKind::Sum),
+            size,
+            send,
+            recv,
+            None,
+        )
     }
 
     /// Issue an AllGather (cf. `ncclAllGather`). `size` is the output

@@ -273,7 +273,7 @@ mod tests {
                 AppStatus::Finished => return polls,
                 _ => {
                     polls += 1;
-                    port.now = port.now + Nanos::from_micros(10);
+                    port.now += Nanos::from_micros(10);
                     assert!(polls < 10_000, "script did not terminate");
                 }
             }
@@ -345,10 +345,8 @@ mod tests {
 
     #[test]
     fn sleep_until_waits_for_clock() {
-        let mut prog = ScriptedProgram::new(
-            "sleep",
-            vec![ScriptStep::SleepUntil(Nanos::from_millis(5))],
-        );
+        let mut prog =
+            ScriptedProgram::new("sleep", vec![ScriptStep::SleepUntil(Nanos::from_millis(5))]);
         let mut port = LoopbackPort::new();
         let mut session = ShimSession::new();
         {

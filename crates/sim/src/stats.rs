@@ -79,12 +79,7 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .sorted
-            .iter()
-            .map(|x| (x - m).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var = self.sorted.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 
@@ -97,7 +92,13 @@ impl Summary {
     /// One-line rendering: `mean [p5, p95] (n)`.
     pub fn brief(&self) -> String {
         let (lo, hi) = self.p95_interval();
-        format!("{:.3} [{:.3}, {:.3}] (n={})", self.mean(), lo, hi, self.len())
+        format!(
+            "{:.3} [{:.3}, {:.3}] (n={})",
+            self.mean(),
+            lo,
+            hi,
+            self.len()
+        )
     }
 }
 

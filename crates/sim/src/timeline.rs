@@ -144,7 +144,10 @@ mod tests {
     fn windowed_means_cover_range() {
         let ts = series();
         let w = ts.windowed_means(Nanos::from_secs(2));
-        assert_eq!(w, vec![(Nanos::from_secs(0), 1.5), (Nanos::from_secs(2), 6.0)]);
+        assert_eq!(
+            w,
+            vec![(Nanos::from_secs(0), 1.5), (Nanos::from_secs(2), 6.0)]
+        );
     }
 
     #[test]

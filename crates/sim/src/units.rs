@@ -145,7 +145,10 @@ impl Bandwidth {
 
     /// From bits per second.
     pub fn bps(b: f64) -> Self {
-        assert!(b.is_finite() && b >= 0.0, "bandwidth must be finite and non-negative");
+        assert!(
+            b.is_finite() && b >= 0.0,
+            "bandwidth must be finite and non-negative"
+        );
         Bandwidth(b)
     }
 

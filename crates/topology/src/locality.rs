@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(m.host_count(), 3);
         let order = m.locality_order();
         // H0's GPUs (0,1) contiguous, then H2 (4), then H3 (6,7).
-        assert_eq!(order, vec![GpuId(0), GpuId(1), GpuId(4), GpuId(6), GpuId(7)]);
+        assert_eq!(
+            order,
+            vec![GpuId(0), GpuId(1), GpuId(4), GpuId(6), GpuId(7)]
+        );
     }
 
     #[test]

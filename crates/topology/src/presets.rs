@@ -48,9 +48,8 @@ impl SpineLeafConfig {
     /// Oversubscription ratio: host uplink capacity per leaf over
     /// leaf-to-spine capacity.
     pub fn oversubscription(&self) -> f64 {
-        let up = self.hosts_per_leaf as f64
-            * self.gpus_per_host as f64
-            * self.nic_bandwidth.as_bps();
+        let up =
+            self.hosts_per_leaf as f64 * self.gpus_per_host as f64 * self.nic_bandwidth.as_bps();
         let down = self.spines as f64 * self.leaf_spine_bandwidth.as_bps();
         up / down
     }

@@ -49,10 +49,13 @@ impl Route {
     }
 }
 
+/// The memoized equal-cost route set for one (src, dst) NIC pair.
+type PathSet = Arc<Vec<Route>>;
+
 /// Memoized equal-cost path sets. Owned by [`Topology`].
 #[derive(Default, Debug)]
 pub(crate) struct RouteCache {
-    cache: RwLock<HashMap<(NicId, NicId), Arc<Vec<Route>>>>,
+    cache: RwLock<HashMap<(NicId, NicId), PathSet>>,
 }
 
 impl Topology {
@@ -64,7 +67,13 @@ impl Topology {
     /// fabric is partitioned between the two NICs.
     pub fn ecmp_paths(&self, src: NicId, dst: NicId) -> Arc<Vec<Route>> {
         assert_ne!(src, dst, "no route from a NIC to itself");
-        if let Some(hit) = self.route_cache.cache.read().expect("route cache poisoned").get(&(src, dst)) {
+        if let Some(hit) = self
+            .route_cache
+            .cache
+            .read()
+            .expect("route cache poisoned")
+            .get(&(src, dst))
+        {
             return Arc::clone(hit);
         }
         let routes = Arc::new(self.enumerate_shortest(src, dst));
@@ -179,7 +188,16 @@ impl Topology {
         let total = dist[goal.index()];
         let mut routes = Vec::new();
         let mut stack: Vec<LinkId> = Vec::new();
-        self.dfs_paths(start, goal, total, &dist_to_goal, &mut stack, &mut routes, src, dst);
+        self.dfs_paths(
+            start,
+            goal,
+            total,
+            &dist_to_goal,
+            &mut stack,
+            &mut routes,
+            src,
+            dst,
+        );
         for (i, r) in routes.iter_mut().enumerate() {
             r.id = RouteId(i as u32);
         }
@@ -216,7 +234,16 @@ impl Topology {
             if let Endpoint::Switch(peer) = self.link(lid).to {
                 if dist_to_goal[peer.index()] == remaining - 1 {
                     stack.push(lid);
-                    self.dfs_paths(peer, goal, remaining - 1, dist_to_goal, stack, out, src, dst);
+                    self.dfs_paths(
+                        peer,
+                        goal,
+                        remaining - 1,
+                        dist_to_goal,
+                        stack,
+                        out,
+                        src,
+                        dst,
+                    );
                     stack.pop();
                 }
             }
@@ -285,8 +312,9 @@ mod tests {
         let a = t.ecmp_route(NicId(0), NicId(1), 1);
         let b = t.ecmp_route(NicId(0), NicId(1), 1);
         assert_eq!(a, b);
-        let chosen: std::collections::HashSet<RouteId> =
-            (0..32u64).map(|h| t.ecmp_route(NicId(0), NicId(1), h).id).collect();
+        let chosen: std::collections::HashSet<RouteId> = (0..32u64)
+            .map(|h| t.ecmp_route(NicId(0), NicId(1), h).id)
+            .collect();
         assert_eq!(chosen.len(), 2, "hash never spread across both paths");
     }
 
@@ -339,7 +367,7 @@ mod tests {
         let paths = t.ecmp_paths(NicId(0), NicId(1));
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].hop_count(), 3); // up, sw0->sw1, down
-        // Opposite corners: both directions are 2 switch hops -> 2 paths.
+                                             // Opposite corners: both directions are 2 switch hops -> 2 paths.
         let paths = t.ecmp_paths(NicId(0), NicId(2));
         assert_eq!(paths.len(), 2);
     }

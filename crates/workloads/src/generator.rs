@@ -13,8 +13,8 @@ use crate::trace::{IterationTrace, TracePhase};
 use mccs_baseline::Phase as BaselinePhase;
 use mccs_device::MemHandle;
 use mccs_ipc::CommunicatorId;
-use mccs_sim::{Bytes, Nanos};
 use mccs_shim::{AppProgram, AppStatus, ReqId, ShimApi};
+use mccs_sim::{Bytes, Nanos};
 use mccs_topology::GpuId;
 
 enum GenState {
@@ -123,11 +123,7 @@ impl AppProgram for TrafficGenerator {
                 },
                 GenState::Init(req) => match req {
                     None => {
-                        *req = Some(api.comm_init_rank(
-                            self.comm,
-                            self.world.clone(),
-                            self.rank,
-                        ));
+                        *req = Some(api.comm_init_rank(self.comm, self.world.clone(), self.rank));
                         api.pump();
                     }
                     Some(r) => match api.comm_result(*r) {
@@ -262,14 +258,8 @@ pub fn spawn_traffic_app(
         .iter()
         .enumerate()
         .map(|(rank, &gpu)| {
-            let gen = TrafficGenerator::new(
-                name,
-                comm,
-                gpus.to_vec(),
-                rank,
-                trace.clone(),
-                start_at,
-            );
+            let gen =
+                TrafficGenerator::new(name, comm, gpus.to_vec(), rank, trace.clone(), start_at);
             (gpu, Box::new(gen) as Box<dyn AppProgram>)
         })
         .collect();
@@ -287,10 +277,7 @@ mod tests {
 
     #[test]
     fn generator_replays_a_trace_end_to_end() {
-        let mut cluster = Cluster::new(
-            Arc::new(presets::testbed()),
-            ClusterConfig::with_seed(11),
-        );
+        let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(11));
         let trace = models::resnet50_data_parallel(2);
         let gpus = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
         let app = spawn_traffic_app(
@@ -317,10 +304,7 @@ mod tests {
 
     #[test]
     fn trace_gaps_are_discoverable_by_ts() {
-        let mut cluster = Cluster::new(
-            Arc::new(presets::testbed()),
-            ClusterConfig::with_seed(12),
-        );
+        let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(12));
         let trace = models::resnet50_data_parallel(4);
         let gpus = [GpuId(0), GpuId(2)];
         let app = spawn_traffic_app(

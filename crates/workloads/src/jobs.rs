@@ -33,12 +33,7 @@ pub struct JobSpec {
 
 /// Generate `count` jobs with Poisson arrivals of mean `mean_gap` and
 /// sizes drawn uniformly from `sizes`.
-pub fn poisson_jobs(
-    count: usize,
-    mean_gap: Nanos,
-    sizes: &[usize],
-    rng: &mut Rng,
-) -> Vec<JobSpec> {
+pub fn poisson_jobs(count: usize, mean_gap: Nanos, sizes: &[usize], rng: &mut Rng) -> Vec<JobSpec> {
     assert!(!sizes.is_empty());
     let mut t = Nanos::ZERO;
     (0..count)
@@ -242,7 +237,9 @@ mod tests {
         let mut map = PlacementMap::new(&topo);
         let mut rng = Rng::seed_from(5);
         assert_eq!(map.total(), 768);
-        let a = map.place(&topo, 16, Placement::Random, &mut rng).expect("fits");
+        let a = map
+            .place(&topo, 16, Placement::Random, &mut rng)
+            .expect("fits");
         assert_eq!(map.free_count(), 768 - 16);
         map.release(&a);
         assert_eq!(map.free_count(), 768);
@@ -254,7 +251,9 @@ mod tests {
         let mut map = PlacementMap::new(&topo);
         let mut rng = Rng::seed_from(6);
         assert!(map.place(&topo, 9, Placement::Random, &mut rng).is_none());
-        let _ = map.place(&topo, 8, Placement::Random, &mut rng).expect("all");
+        let _ = map
+            .place(&topo, 8, Placement::Random, &mut rng)
+            .expect("all");
         assert!(map.place(&topo, 1, Placement::Compact, &mut rng).is_none());
     }
 

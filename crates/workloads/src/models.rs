@@ -28,7 +28,7 @@ pub fn vgg19_data_parallel(iterations: usize) -> IterationTrace {
     phases.push(TracePhase::Memcpy(Nanos::from_millis(4)));
     phases.push(TracePhase::Compute(Nanos::from_millis(60)));
     // backward: gradient buckets become ready back to front
-    let bwd_slice = Nanos::from_micros(130_000 / buckets as u64 * 1); // ~130ms total backward
+    let bwd_slice = Nanos::from_micros(130_000 / buckets as u64); // ~130ms total backward
     for b in 0..buckets {
         phases.push(TracePhase::Compute(bwd_slice));
         let size = if b == buckets - 1 {
@@ -178,9 +178,7 @@ mod tests {
         assert_eq!(profiles.len(), 4);
         let comm_fracs: Vec<f64> = profiles
             .iter()
-            .map(|t| {
-                Breakdown::of(t, |s| Bandwidth::gibytes_per_sec(4.0).transfer_time(s)).comm
-            })
+            .map(|t| Breakdown::of(t, |s| Bandwidth::gibytes_per_sec(4.0).transfer_time(s)).comm)
             .collect();
         // A most communication-bound, D least
         assert!(comm_fracs[0] > comm_fracs[3]);

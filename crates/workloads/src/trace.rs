@@ -176,9 +176,7 @@ mod tests {
     fn breakdown_normalizes() {
         let t = trace();
         // price collectives at 5 GB/s algorithm bandwidth
-        let b = Breakdown::of(&t, |s| {
-            Bandwidth::gibytes_per_sec(5.0).transfer_time(s)
-        });
+        let b = Breakdown::of(&t, |s| Bandwidth::gibytes_per_sec(5.0).transfer_time(s));
         assert!(b.is_normalized());
         // 2 x 25MiB at 5GB/s ~ 10.5ms comm vs 40ms fixed
         assert!(b.comm > 0.15 && b.comm < 0.30, "comm {}", b.comm);

@@ -46,10 +46,7 @@ fn main() {
 
     // ---- a tenant scattered across racks -----------------------------------
     // One GPU from each host, in a deliberately rack-interleaved order.
-    let tenant: Vec<GpuId> = all_hosts
-        .iter()
-        .map(|&h| topo.host(h).gpus[0])
-        .collect();
+    let tenant: Vec<GpuId> = all_hosts.iter().map(|&h| topo.host(h).gpus[0]).collect();
     let scattered: Vec<GpuId> = {
         let mut v = tenant.clone();
         v.swap(1, 4); // interleave racks
@@ -73,7 +70,7 @@ fn main() {
     );
 
     let flows = JobFlows::from_rings(&topo, &rings, 0);
-    let routes = ffa(&topo, &[flows.clone()]).remove(0);
+    let routes = ffa(&topo, std::slice::from_ref(&flows)).remove(0);
     println!(
         "FFA pinned {} of {} connections explicitly",
         routes.len(),

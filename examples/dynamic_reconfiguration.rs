@@ -96,7 +96,12 @@ fn main() {
 
     // Phase 1: free run.
     cluster.run_until(Nanos::from_millis(700));
-    report(&mut cluster, "free run           ", Nanos::from_millis(100), Nanos::from_millis(700));
+    report(
+        &mut cluster,
+        "free run           ",
+        Nanos::from_millis(100),
+        Nanos::from_millis(700),
+    );
 
     // Phase 2: a 75G background flow lands on the clockwise sw0->sw1 link
     // (between the traffic hosts at switches 0 and 1: NICs 8 and 9).
@@ -106,7 +111,12 @@ fn main() {
         FlowSpec::background(NicId(8), NicId(9), Bandwidth::gbps(75.0), 0),
     );
     cluster.run_until(Nanos::from_millis(1_400));
-    report(&mut cluster, "background flow    ", Nanos::from_millis(800), Nanos::from_millis(1_400));
+    report(
+        &mut cluster,
+        "background flow    ",
+        Nanos::from_millis(800),
+        Nanos::from_millis(1_400),
+    );
 
     // Phase 3: the provider reverses the ring without touching the tenant.
     let info = cluster.mgmt().communicator(comm).expect("registered");
@@ -114,7 +124,12 @@ fn main() {
     cluster.mgmt().reconfigure(comm, reversed, RouteMap::ecmp());
     let epoch_before = info.epoch;
     cluster.run_until(Nanos::from_millis(2_100));
-    report(&mut cluster, "after reversal     ", Nanos::from_millis(1_500), Nanos::from_millis(2_100));
+    report(
+        &mut cluster,
+        "after reversal     ",
+        Nanos::from_millis(1_500),
+        Nanos::from_millis(2_100),
+    );
 
     let info = cluster.mgmt().communicator(comm).expect("registered");
     println!(

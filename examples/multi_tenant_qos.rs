@@ -95,7 +95,11 @@ fn main() {
     cluster.run_until_quiescent(Nanos::from_secs(120));
 
     println!("\njob completion times:");
-    for (app, name) in [(a, "A (VGG, priority 0)"), (b, "B (GPT, TS-boosted)"), (c, "C (GPT, gated)")] {
+    for (app, name) in [
+        (a, "A (VGG, priority 0)"),
+        (b, "B (GPT, TS-boosted)"),
+        (c, "C (GPT, gated)"),
+    ] {
         let tl = cluster.mgmt().timeline(app);
         let done = tl.last().expect("finished").completed_at.expect("done");
         println!(

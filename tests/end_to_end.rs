@@ -17,6 +17,7 @@ fn testbed() -> Cluster {
     Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(99))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn scripted_app(
     cluster: &mut Cluster,
     name: &str,
@@ -172,14 +173,8 @@ fn memory_roundtrip_through_the_service() {
     );
     cluster.run_until_quiescent(Nanos::from_secs(10));
     // Two ranks x two 8 MiB buffers remain allocated service-side.
-    assert_eq!(
-        cluster.world.devices.used_memory(GpuId(0)),
-        Bytes::mib(16)
-    );
-    assert_eq!(
-        cluster.world.devices.used_memory(GpuId(1)),
-        Bytes::mib(16)
-    );
+    assert_eq!(cluster.world.devices.used_memory(GpuId(0)), Bytes::mib(16));
+    assert_eq!(cluster.world.devices.used_memory(GpuId(1)), Bytes::mib(16));
 }
 
 /// Different ops through the same stack: AllGather, ReduceScatter and

@@ -232,7 +232,7 @@ impl BaselineJob {
                 tasks.push((ch.channel, *task));
             }
         }
-        let tokens = w.register_launch(self.comm, seq, 1, tasks.len());
+        let tokens = w.register_launch(self.comm, seq, 0, 1, tasks.len());
         w.trace
             .issued(self.app, self.comm, 0, seq, op, size, issued);
         w.trace.launched(self.comm, 0, seq, 0, w.clock);

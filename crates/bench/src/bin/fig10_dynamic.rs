@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig10_dynamic`
 
-use mccs_bench::report::print_csv;
+use mccs_bench::report::{json_rows, print_csv, write_bench_json};
 use mccs_bench::setups::multi_app_setup;
 use mccs_control::{
     apply_traffic_schedule, optimize_cluster, ChannelPolicy, FlowAssignment, PolicySpec,
@@ -141,6 +141,18 @@ fn main() {
         }
     }
     print_csv("fig10", &["app", "elapsed_s", "normalized_tput"], &all_rows);
+    write_bench_json(
+        "fig10_dynamic",
+        &format!(
+            "\"timeline_s\":{{\"b_arrives\":{:.3},\"c_arrives\":{:.3},\
+             \"pfa\":{:.3},\"ts\":{:.3}}},\"rows\":{}",
+            T1.as_secs_f64(),
+            T2.as_secs_f64(),
+            T3.as_secs_f64(),
+            T4.as_secs_f64(),
+            json_rows(&["app", "elapsed_s", "normalized_tput"], &all_rows)
+        ),
+    );
     println!(
         "\ntimeline: B arrives {:.0}s, C arrives {:.0}s, PFA {:.0}s, TS {:.0}s",
         T1.as_secs_f64(),

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig11_scale [runs]`
 
-use mccs_bench::report::{cdf_rows, print_csv};
+use mccs_bench::report::{cdf_rows, print_csv, write_bench_json};
 use mccs_bench::scale::{plan_jobs, run_scale, speedups, JobResult, ScaleConfig, ScaleVariant};
 use mccs_sim::stats::{cdf_points, Summary};
 use mccs_topology::presets::{spine_leaf, SpineLeafConfig};
@@ -114,15 +114,10 @@ fn main() {
         ));
     }
     // Machine-readable record alongside the human-readable report.
-    let json = format!(
-        "{{\"bench\":\"fig11_scale\",\"runs\":{runs},\"panels\":[{}]}}\n",
-        panels_json.join(",")
+    write_bench_json(
+        "fig11_scale",
+        &format!("\"runs\":{runs},\"panels\":[{}]", panels_json.join(",")),
     );
-    let out = "results/BENCH_fig11_scale.json";
-    match std::fs::write(out, &json) {
-        Ok(()) => println!("wrote {out}"),
-        Err(e) => eprintln!("could not write {out}: {e}"),
-    }
     println!(
         "paper shape: random placement OR 2.63x / OR+FFA 3.27x mean speedup;\n\
          compact placement OR 3.28x / OR+FFA 3.43x, with FFA adding little\n\

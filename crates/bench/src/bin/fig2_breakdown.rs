@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig2_breakdown`
 
-use mccs_bench::report::{print_csv, print_table};
+use mccs_bench::report::{json_rows, print_csv, print_table, write_bench_json};
 use mccs_bench::{run_single_app, vm_order_8gpu, SystemVariant};
 use mccs_collectives::op::all_reduce_sum;
 use mccs_sim::{Bytes, Nanos};
@@ -57,6 +57,14 @@ fn main() {
         "fig2",
         &["group", "idle", "memcpy", "compute", "comm"],
         &rows,
+    );
+    write_bench_json(
+        "fig2_breakdown",
+        &format!(
+            "\"allreduce_bandwidth_gbps\":{:.4},\"groups\":{}",
+            bytes_per_sec / 1e9,
+            json_rows(&["group", "idle", "memcpy", "compute", "comm"], &rows)
+        ),
     );
     println!(
         "\npaper shape: communication is a significant share of training time\n\

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig3_crossrack`
 
-use mccs_bench::report::{print_csv, print_table};
+use mccs_bench::report::{json_rows, print_csv, print_table, write_bench_json};
 use mccs_collectives::crossrack;
 use mccs_sim::{Bandwidth, Rng};
 use mccs_topology::presets::{spine_leaf, SpineLeafConfig};
@@ -67,6 +67,16 @@ fn main() {
         "fig3",
         &["panel", "job_gpus", "expected_ratio", "worst_case"],
         &rows,
+    );
+    write_bench_json(
+        "fig3_crossrack",
+        &format!(
+            "\"rows\":{}",
+            json_rows(
+                &["panel", "job_gpus", "expected_ratio", "worst_case"],
+                &rows
+            )
+        ),
     );
     println!(
         "\npaper shape: the expected ratio grows with job size toward the\n\

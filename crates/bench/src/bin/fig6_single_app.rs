@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig6_single_app [trials]`
 
-use mccs_bench::report::{print_csv, print_table};
+use mccs_bench::report::{json_rows, print_csv, print_table, write_bench_json};
 use mccs_bench::{run_single_app, vm_order_4gpu, vm_order_8gpu, SystemVariant};
 use mccs_collectives::op::all_reduce_sum;
 use mccs_collectives::{algo_bandwidth, CollectiveOp};
@@ -31,6 +31,7 @@ fn main() {
         ("AllReduce (8-GPU)", all_reduce_sum(), vm_order_8gpu),
     ];
 
+    let mut panels_json = Vec::new();
     for (panel, op, gpus_fn) in panels {
         println!("--- {panel} ---");
         let mut rows = Vec::new();
@@ -79,7 +80,15 @@ fn main() {
         ];
         print_csv(&format!("fig6 {panel}"), &csv_headers, &csv);
         println!();
+        panels_json.push(format!(
+            "{{\"panel\":\"{panel}\",\"rows\":{}}}",
+            json_rows(&csv_headers, &csv)
+        ));
     }
+    write_bench_json(
+        "fig6_single_app",
+        &format!("\"trials\":{trials},\"panels\":[{}]", panels_json.join(",")),
+    );
     println!(
         "paper shape: MCCS trails the library baselines below ~8MB (IPC\n\
          latency), converges by 8MB, and wins at large sizes — up to ~2.4x\n\

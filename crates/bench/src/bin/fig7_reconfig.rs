@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig7_reconfig`
 
-use mccs_bench::report::print_csv;
+use mccs_bench::report::{json_rows, print_csv, write_bench_json};
 use mccs_collectives::op::all_reduce_sum;
 use mccs_collectives::{algo_bandwidth, RingOrder};
 use mccs_core::config::RouteMap;
@@ -149,6 +149,14 @@ fn main() {
     let during = phase(BG_START + Nanos::from_millis(500), RECONFIG);
     let after = phase(RECONFIG + Nanos::from_millis(500), END);
     println!("\nphase means (GB/s): before={before:.2}  during-bg={during:.2}  after-reconfig={after:.2}");
+    write_bench_json(
+        "fig7_reconfig",
+        &format!(
+            "\"phase_means_gbps\":{{\"before\":{before:.4},\"during_bg\":{during:.4},\
+             \"after_reconfig\":{after:.4}}},\"series\":{}",
+            json_rows(&["elapsed_s", "algbw_gbs"], &rows)
+        ),
+    );
     println!(
         "paper shape: ~5.9 -> ~1.7 -> ~5.9 GB/s (drop when the background\n\
          flow lands on the clockwise path, immediate recovery after the\n\

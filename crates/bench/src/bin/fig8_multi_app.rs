@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p mccs-bench --bin fig8_multi_app [trials]`
 
-use mccs_bench::report::{print_csv, print_table};
+use mccs_bench::report::{json_rows, print_csv, print_table, write_bench_json};
 use mccs_bench::variants::run_apps;
 use mccs_bench::{multi_app_setup, AppSpec, SystemVariant};
 use mccs_collectives::bus_bandwidth;
@@ -41,6 +41,7 @@ fn main() {
     println!("note: the paper labels the ECMP ablation MCCS(-FFA); it is the same");
     println!("variant as Figure 6's MCCS(-FA).\n");
 
+    let mut setups_json = Vec::new();
     for setup in 1..=4usize {
         let apps = multi_app_setup(setup);
         println!(
@@ -114,7 +115,15 @@ fn main() {
         csv_headers.push("aggregate");
         print_csv(&format!("fig8 setup{setup}"), &csv_headers, &csv);
         println!();
+        setups_json.push(format!(
+            "{{\"setup\":{setup},\"rows\":{}}}",
+            json_rows(&csv_headers, &csv)
+        ));
     }
+    write_bench_json(
+        "fig8_multi_app",
+        &format!("\"trials\":{trials},\"setups\":[{}]", setups_json.join(",")),
+    );
     println!(
         "paper shape: MCCS achieves the highest aggregate in every setup\n\
          (+75% over NCCL on average) and fair splits — equal shares in\n\

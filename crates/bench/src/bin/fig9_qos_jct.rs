@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p mccs-bench --bin fig9_qos_jct [trials]`
 
 use mccs_bench::qos::{run_qos, QosStrategy};
-use mccs_bench::report::{print_csv, print_table};
+use mccs_bench::report::{json_rows, print_csv, print_table, write_bench_json};
 use mccs_sim::stats::Summary;
 
 fn main() {
@@ -53,6 +53,13 @@ fn main() {
     print_table(&headers, &rows);
     println!();
     print_csv("fig9", &["strategy", "vgg_a", "gpt_b", "gpt_c"], &csv);
+    write_bench_json(
+        "fig9_qos_jct",
+        &format!(
+            "\"trials\":{trials},\"normalized_to\":\"ffa\",\"rows\":{}",
+            json_rows(&["strategy", "vgg_a", "gpt_b", "gpt_c"], &csv)
+        ),
+    );
     println!(
         "\npaper shape: ECMP slows every workload vs FFA (18/22/14%); PFA\n\
          speeds A up further (13% vs FFA / 34% vs ECMP) at B/C's expense;\n\

@@ -100,6 +100,7 @@ mod tests {
                     issued_at: issued,
                     launched_at: Some(issued),
                     completed_at: Some(issued + Nanos::from_micros(busy_us)),
+                    failed_at: None,
                 }
             })
             .collect()

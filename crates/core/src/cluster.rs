@@ -6,10 +6,12 @@ use crate::config::ServiceConfig;
 use crate::frontend::FrontendEngine;
 use crate::mgmt::Management;
 use crate::proxy::ProxyEngine;
+use crate::recovery::{RecoveryEngine, RecoveryPolicy};
 use crate::transport::TransportEngine;
 use crate::world::{Endpoint, World};
 use mccs_device::DeviceConfig;
 use mccs_ipc::{AppId, IpcConfig, LatencyQueue};
+use mccs_netsim::FaultPlan;
 use mccs_shim::AppProgram;
 use mccs_sim::{Nanos, RuntimePool};
 use mccs_topology::{GpuId, Topology};
@@ -76,6 +78,9 @@ impl Cluster {
             for nic in topo.nics() {
                 pool.spawn(Box::new(TransportEngine::new(nic.id)));
             }
+            // The failure monitor. Polls Idle instantly unless a fault
+            // plan is installed, so fault-free runs pay nothing for it.
+            pool.spawn(Box::new(RecoveryEngine::new()));
         }
         Cluster {
             world,
@@ -133,6 +138,21 @@ impl Cluster {
         self.next_app += 1;
         self.world.app_names.push(name.to_owned());
         app
+    }
+
+    /// Install a deterministic fault schedule. All fault machinery —
+    /// transport retry timers, proxy liveness checks, gossip re-sends,
+    /// the recovery engine — activates only once a plan is installed;
+    /// without one, runs are byte-identical to a build without fault
+    /// support.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.world.fault_plan = Some(plan);
+    }
+
+    /// Install a controller recovery policy consulted for corrective
+    /// configurations after failures (default: the built-in detour policy).
+    pub fn set_recovery_policy(&mut self, policy: Box<dyn RecoveryPolicy>) {
+        self.world.recovery_policy = Some(policy);
     }
 
     /// Current virtual time.

@@ -121,11 +121,27 @@ pub struct ServiceConfig {
     /// Time to tear down and re-establish peer connections when a
     /// reconfiguration is applied.
     pub reconnect_delay: Nanos,
-    /// Cache derived collective schedules per `(op, size, epoch)` on each
-    /// communicator rank so steady-state iterations skip ring/chunk
-    /// re-derivation. Semantically transparent; exposed as a switch so
-    /// tests can compare against the uncached path.
+    /// Cache derived collective schedules per `(op, size)` and epoch,
+    /// shared across the ranks of a communicator, so steady-state
+    /// iterations skip ring/chunk re-derivation. Semantically transparent;
+    /// exposed as a switch so tests can compare against the uncached path.
     pub cache_schedules: bool,
+    /// How long a transport waits for a flow making no progress before
+    /// retrying it on another route. Only checked when a fault plan is
+    /// installed — with none, no timers are armed at all.
+    pub flow_timeout: Nanos,
+    /// Retries per flow (with exponential backoff) before the owning
+    /// collective is cleanly failed back to the tenant.
+    pub flow_max_retries: u32,
+    /// How long a proxy lets a launched collective sit incomplete before
+    /// reporting it stalled to the recovery engine. Plan-gated.
+    pub liveness_timeout: Nanos,
+    /// How long a rank sits in the reconfiguration barrier before
+    /// re-sending its gossip (suspected control-message loss). Plan-gated.
+    pub gossip_retry: Nanos,
+    /// Corrective reconfigurations the recovery engine attempts per
+    /// communicator-and-collective before aborting the collective.
+    pub recovery_max_attempts: u32,
 }
 
 impl Default for ServiceConfig {
@@ -135,6 +151,11 @@ impl Default for ServiceConfig {
             control_jitter_frac: 0.5,
             reconnect_delay: Nanos::from_micros(500),
             cache_schedules: true,
+            flow_timeout: Nanos::from_millis(2),
+            flow_max_retries: 4,
+            liveness_timeout: Nanos::from_millis(20),
+            gossip_retry: Nanos::from_micros(300),
+            recovery_max_attempts: 3,
         }
     }
 }

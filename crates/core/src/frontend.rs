@@ -7,7 +7,7 @@
 
 use crate::messages::ProxyMsg;
 use crate::world::World;
-use mccs_ipc::{AppId, ShimCommand, ShimCompletion};
+use mccs_ipc::{AppId, ErrorCode, ShimCommand, ShimCompletion};
 use mccs_sim::{Engine, Poll};
 use mccs_topology::{GpuId, HostId};
 
@@ -45,6 +45,7 @@ impl FrontendEngine {
                         endpoint,
                         ShimCompletion::Error {
                             req,
+                            code: ErrorCode::InvalidArgument,
                             message: format!("{gpu} is not assigned to this application"),
                         },
                     );
@@ -58,6 +59,7 @@ impl FrontendEngine {
                         endpoint,
                         ShimCompletion::Error {
                             req,
+                            code: ErrorCode::InvalidArgument,
                             message: format!("allocation failed: {e}"),
                         },
                     ),
@@ -69,6 +71,7 @@ impl FrontendEngine {
                     endpoint,
                     ShimCompletion::Error {
                         req,
+                        code: ErrorCode::InvalidArgument,
                         message: format!("free failed: {e}"),
                     },
                 ),
@@ -85,6 +88,7 @@ impl FrontendEngine {
                         endpoint,
                         ShimCompletion::Error {
                             req,
+                            code: ErrorCode::InvalidUsage,
                             message: format!(
                                 "rank {rank} of {comm} does not map to this endpoint's {gpu}"
                             ),

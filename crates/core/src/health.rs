@@ -1,0 +1,224 @@
+//! Failure observability — the health half of the management plane.
+//!
+//! The service records every fault it observes (links and hosts going
+//! down and up, flow retries, stalled collectives) and every corrective
+//! action it takes (re-pins, recoveries, clean failures) in a single
+//! [`HealthRegistry`] on the world. The controller's recovery policy
+//! consumes the event log; tests and the management API read the
+//! counters. With no fault plan installed nothing ever writes here, so
+//! an all-default registry doubles as the zero-overhead regression check.
+
+use mccs_ipc::CommunicatorId;
+use mccs_sim::Nanos;
+use mccs_topology::{HostId, LinkId};
+use std::collections::BTreeSet;
+
+/// One observed failure or recovery action, timestamped in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// A link lost all capacity.
+    LinkDown {
+        /// The failed link.
+        link: LinkId,
+        /// When it went down.
+        at: Nanos,
+    },
+    /// A link came back.
+    LinkUp {
+        /// The repaired link.
+        link: LinkId,
+        /// When it came back.
+        at: Nanos,
+    },
+    /// A host crashed (its service engines froze).
+    HostDown {
+        /// The crashed host.
+        host: HostId,
+        /// When it crashed.
+        at: Nanos,
+    },
+    /// A crashed host warm-restarted.
+    HostUp {
+        /// The restarted host.
+        host: HostId,
+        /// When it restarted.
+        at: Nanos,
+    },
+    /// A transport retried a stalled or killed flow.
+    FlowRetried {
+        /// Owning communicator.
+        comm: CommunicatorId,
+        /// The collective the flow belongs to.
+        seq: u64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// When the retry fired.
+        at: Nanos,
+    },
+    /// A transport gave up on a flow after exhausting its retries.
+    FlowExhausted {
+        /// Owning communicator.
+        comm: CommunicatorId,
+        /// The collective the flow belonged to.
+        seq: u64,
+        /// When retries ran out.
+        at: Nanos,
+    },
+    /// A proxy's liveness timer fired on an in-flight collective.
+    CollectiveStalled {
+        /// The communicator.
+        comm: CommunicatorId,
+        /// The stalled collective.
+        seq: u64,
+        /// When the timer fired.
+        at: Nanos,
+    },
+    /// The recovery engine issued a corrective reconfiguration.
+    RecoveryIssued {
+        /// The communicator being re-formed.
+        comm: CommunicatorId,
+        /// The target epoch of the corrective configuration.
+        epoch: u64,
+        /// When it was issued.
+        at: Nanos,
+    },
+    /// A proxy rejected a reconfiguration request (unknown communicator,
+    /// wrong epoch, or mid-barrier) instead of panicking.
+    ReconfigRejected {
+        /// The communicator named by the request.
+        comm: CommunicatorId,
+        /// When it was rejected.
+        at: Nanos,
+    },
+}
+
+/// Monotonic recovery counters the management API exposes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthCounters {
+    /// Flows restarted after a stall or kill.
+    pub flow_retries: u64,
+    /// Retries that moved the flow to a different equal-cost route.
+    pub flow_repins: u64,
+    /// Flows abandoned after exhausting retries.
+    pub flow_failures: u64,
+    /// `CollectiveFailed` completions delivered to tenant ranks.
+    pub collectives_failed: u64,
+    /// Corrective reconfigurations issued by the recovery engine.
+    pub recoveries: u64,
+    /// Barrier gossip resends after suspected control-message loss.
+    pub gossip_resends: u64,
+    /// Reconfiguration requests rejected instead of applied.
+    pub reconfig_rejects: u64,
+}
+
+/// Per-link/host status plus the failure event log and counters.
+#[derive(Debug, Default)]
+pub struct HealthRegistry {
+    links_down: BTreeSet<LinkId>,
+    hosts_down: BTreeSet<HostId>,
+    events: Vec<FailureEvent>,
+    /// Monotonic counters (public: hot paths bump them directly).
+    pub counters: HealthCounters,
+}
+
+impl HealthRegistry {
+    /// A fresh, all-healthy registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a link going down.
+    pub fn link_down(&mut self, link: LinkId, at: Nanos) {
+        if self.links_down.insert(link) {
+            self.events.push(FailureEvent::LinkDown { link, at });
+        }
+    }
+
+    /// Record a link repair.
+    pub fn link_up(&mut self, link: LinkId, at: Nanos) {
+        if self.links_down.remove(&link) {
+            self.events.push(FailureEvent::LinkUp { link, at });
+        }
+    }
+
+    /// Record a host crash.
+    pub fn host_down(&mut self, host: HostId, at: Nanos) {
+        if self.hosts_down.insert(host) {
+            self.events.push(FailureEvent::HostDown { host, at });
+        }
+    }
+
+    /// Record a host restart.
+    pub fn host_up(&mut self, host: HostId, at: Nanos) {
+        if self.hosts_down.remove(&host) {
+            self.events.push(FailureEvent::HostUp { host, at });
+        }
+    }
+
+    /// Append a non-topology failure event.
+    pub fn record(&mut self, event: FailureEvent) {
+        self.events.push(event);
+    }
+
+    /// Whether this link is currently believed down.
+    pub fn is_link_down(&self, link: LinkId) -> bool {
+        self.links_down.contains(&link)
+    }
+
+    /// Whether this host is currently crashed.
+    pub fn is_host_down(&self, host: HostId) -> bool {
+        self.hosts_down.contains(&host)
+    }
+
+    /// Links currently down.
+    pub fn links_down(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.links_down.iter().copied()
+    }
+
+    /// Hosts currently down.
+    pub fn hosts_down(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.hosts_down.iter().copied()
+    }
+
+    /// The full failure event log, in observation order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// True when nothing was ever recorded — the invariant a run without
+    /// a fault plan must preserve.
+    pub fn is_quiet(&self) -> bool {
+        self.events.is_empty()
+            && self.links_down.is_empty()
+            && self.hosts_down.is_empty()
+            && self.counters == HealthCounters::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_sets_dedupe_and_log_everything() {
+        let mut h = HealthRegistry::new();
+        assert!(h.is_quiet());
+        h.link_down(LinkId(3), Nanos::from_micros(1));
+        h.link_down(LinkId(3), Nanos::from_micros(2));
+        assert!(h.is_link_down(LinkId(3)));
+        assert_eq!(h.events().len(), 1, "duplicate down not re-logged");
+        h.link_up(LinkId(3), Nanos::from_micros(5));
+        assert!(!h.is_link_down(LinkId(3)));
+        h.host_down(HostId(1), Nanos::from_micros(6));
+        assert!(h.is_host_down(HostId(1)));
+        assert_eq!(h.events().len(), 3);
+        assert!(!h.is_quiet());
+    }
+
+    #[test]
+    fn counters_break_quiet() {
+        let mut h = HealthRegistry::new();
+        h.counters.flow_retries += 1;
+        assert!(!h.is_quiet());
+    }
+}

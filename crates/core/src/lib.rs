@@ -36,18 +36,24 @@
 pub mod app;
 pub mod cluster;
 pub mod config;
+pub mod error;
 pub mod frontend;
+pub mod health;
 pub mod messages;
 pub mod mgmt;
 pub mod proxy;
 pub mod qos;
+pub mod recovery;
 pub mod tracing;
 pub mod transport;
 pub mod world;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use config::{CollectiveConfig, RouteMap, ServiceConfig};
+pub use error::ServiceError;
+pub use health::{FailureEvent, HealthCounters, HealthRegistry};
 pub use mgmt::CommInfo;
 pub use qos::TrafficWindows;
+pub use recovery::{DetourPolicy, RecoveryEngine, RecoveryPolicy};
 pub use tracing::{TraceCollector, TraceRecord};
 pub use world::World;

@@ -62,6 +62,10 @@ pub enum ProxyMsg {
         comm: CommunicatorId,
         /// Target epoch of the pending reconfiguration.
         epoch: u64,
+        /// The pending configuration itself. Lets a rank whose `Req` was
+        /// lost enter the barrier straight from gossip (implicit request)
+        /// instead of deadlocking the ring.
+        config: CollectiveConfig,
         /// rank -> last launched sequence (`None` = nothing launched).
         entries: BTreeMap<usize, Option<u64>>,
         /// Remaining forward hops around the ring.
@@ -110,6 +114,11 @@ mod tests {
         let m = ProxyMsg::BarrierGossip {
             comm: CommunicatorId(1),
             epoch: 2,
+            config: CollectiveConfig {
+                epoch: 2,
+                channel_rings: Vec::new(),
+                routes: crate::config::RouteMap::ecmp(),
+            },
             entries: BTreeMap::from([(0, Some(5)), (1, None)]),
             hops_left: 3,
         };

@@ -8,6 +8,7 @@
 //! maps (FFA/PFA) and traffic windows (TS).
 
 use crate::config::{CollectiveConfig, RouteMap};
+use crate::health::{FailureEvent, HealthCounters};
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::qos::TrafficWindows;
 use crate::tracing::TraceRecord;
@@ -187,6 +188,26 @@ impl<'a> Management<'a> {
     /// The most utilized link right now, if any traffic is flowing.
     pub fn hottest_link(&self) -> Option<(mccs_topology::LinkId, f64)> {
         self.link_utilization().into_iter().next()
+    }
+
+    /// The provider's health view: links currently down.
+    pub fn links_down(&self) -> Vec<mccs_topology::LinkId> {
+        self.world.health.links_down().collect()
+    }
+
+    /// The provider's health view: hosts currently down.
+    pub fn hosts_down(&self) -> Vec<mccs_topology::HostId> {
+        self.world.health.hosts_down().collect()
+    }
+
+    /// Retry/recovery counters accumulated since boot.
+    pub fn health_counters(&self) -> HealthCounters {
+        self.world.health.counters
+    }
+
+    /// The full failure-event log, in occurrence order.
+    pub fn failure_events(&self) -> &[FailureEvent] {
+        self.world.health.events()
     }
 
     /// Resolve an application id by the name given at `add_app`.

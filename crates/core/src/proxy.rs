@@ -22,15 +22,18 @@
 //! and an absent reconfiguration adds zero overhead to the data path.
 
 use crate::config::CollectiveConfig;
+use crate::error::ServiceError;
+use crate::health::FailureEvent;
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::world::World;
 use mccs_collectives::{CollectiveOp, CollectiveSchedule, EdgeTask};
 use mccs_device::{EventId, StreamId, StreamOp};
-use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ShimCompletion};
+use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ErrorCode, ShimCompletion};
 use mccs_netsim::RouteChoice;
 use mccs_sim::{Bytes, Engine, Nanos, Poll};
 use mccs_topology::GpuId;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// A sequenced, not-yet-launched collective.
 #[derive(Clone, Debug)]
@@ -52,6 +55,10 @@ pub struct Inflight {
     pub dependency: Option<EventId>,
     /// Whether transfers have been launched.
     pub launched: bool,
+    /// When transfers were launched (liveness timer base).
+    pub launched_at: Option<Nanos>,
+    /// Stall reports already escalated to the recovery engine.
+    pub stall_reports: u32,
 }
 
 /// Reconfiguration protocol state (Figure 4).
@@ -75,6 +82,10 @@ pub enum ReconfigState {
         max_seq: Option<u64>,
     },
 }
+
+/// A barrier-gossip message parked until this rank enters the barrier:
+/// `(epoch, pending config, entries, hops_left)`.
+pub type PendingGossip = (u64, CollectiveConfig, BTreeMap<usize, Option<u64>>, usize);
 
 /// One communicator rank's service-side state (lives in
 /// [`World::comms`](crate::world::World) so the management API can see it).
@@ -110,13 +121,12 @@ pub struct CommRank {
     pub reconfig: ReconfigState,
     /// Launches are gated until this time (connection re-establishment).
     pub resume_at: Nanos,
-    /// Barrier gossip that arrived before this rank's own `Req`.
-    pub pending_gossip: Vec<(u64, BTreeMap<usize, Option<u64>>, usize)>,
-    /// This rank's local edge tasks per `(op, size, epoch)`, so repeated
-    /// collectives skip schedule re-derivation. Cleared when a
-    /// reconfiguration is applied; the epoch key makes a stale hit
-    /// impossible even across the clear.
-    pub schedule_cache: HashMap<(CollectiveOp, Bytes, u64), Vec<(usize, EdgeTask)>>,
+    /// Barrier gossip that arrived before this rank's own `Req`:
+    /// `(epoch, pending config, entries, hops_left)`.
+    pub pending_gossip: Vec<PendingGossip>,
+    /// When this rank last sent its barrier gossip (`Some` only while in
+    /// the barrier). Drives the plan-gated gossip re-send timer.
+    pub barrier_since: Option<Nanos>,
 }
 
 impl CommRank {
@@ -201,7 +211,7 @@ impl ProxyEngine {
                         reconfig: ReconfigState::Normal,
                         resume_at: Nanos::ZERO,
                         pending_gossip: Vec::new(),
-                        schedule_cache: HashMap::new(),
+                        barrier_since: None,
                     },
                 );
                 assert!(
@@ -228,20 +238,23 @@ impl ProxyEngine {
                 if busy {
                     w.send_completion(
                         endpoint,
-                        ShimCompletion::Error {
-                            req,
-                            message: format!("{comm} still has collectives in flight"),
-                        },
+                        ServiceError::invalid_usage(format!(
+                            "{comm} still has collectives in flight"
+                        ))
+                        .completion(req),
                     );
                 } else if w.comms.remove(&key).is_some() {
+                    // Last rank gone -> drop the communicator's shared
+                    // schedule cache.
+                    if !w.comms.keys().any(|(c, _)| *c == comm) {
+                        w.schedule_cache.remove(&comm);
+                    }
                     w.send_completion(endpoint, ShimCompletion::CommDestroy { req });
                 } else {
                     w.send_completion(
                         endpoint,
-                        ShimCompletion::Error {
-                            req,
-                            message: format!("unknown communicator {comm}"),
-                        },
+                        ServiceError::invalid_usage(format!("unknown communicator {comm}"))
+                            .completion(req),
                     );
                 }
             }
@@ -249,9 +262,10 @@ impl ProxyEngine {
             ProxyMsg::BarrierGossip {
                 comm,
                 epoch,
+                config,
                 entries,
                 hops_left,
-            } => self.handle_gossip(w, comm, epoch, entries, hops_left),
+            } => self.handle_gossip(w, comm, epoch, config, entries, hops_left),
         }
     }
 
@@ -266,10 +280,11 @@ impl ProxyEngine {
         let Some(rank) = w.comms.get(&key) else {
             w.send_completion(
                 endpoint,
-                ShimCompletion::Error {
-                    req,
-                    message: format!("collective on unknown communicator {}", coll.comm),
-                },
+                ServiceError::invalid_usage(format!(
+                    "collective on unknown communicator {}",
+                    coll.comm
+                ))
+                .completion(req),
             );
             return;
         };
@@ -284,10 +299,8 @@ impl ProxyEngine {
         if let Err(e) = send_ok.and(recv_ok) {
             w.send_completion(
                 endpoint,
-                ShimCompletion::Error {
-                    req,
-                    message: format!("buffer validation failed: {e}"),
-                },
+                ServiceError::invalid_argument(format!("buffer validation failed: {e}"))
+                    .completion(req),
             );
             return;
         }
@@ -308,23 +321,53 @@ impl ProxyEngine {
         config: CollectiveConfig,
     ) {
         let key = (comm, self.gpu);
-        let Some(mut rank) = w.comms.remove(&key) else {
-            panic!(
-                "reconfigure for unknown communicator {comm} on {}",
-                self.gpu
-            );
+        let Some(rank) = w.comms.get(&key) else {
+            // A corrective Req can race a teardown; count it rather than
+            // bring the service down.
+            w.health.counters.reconfig_rejects += 1;
+            w.health
+                .record(FailureEvent::ReconfigRejected { comm, at: w.clock });
+            return;
         };
-        assert!(
-            matches!(rank.reconfig, ReconfigState::Normal),
-            "overlapping reconfigurations on {comm}"
-        );
-        assert_eq!(
-            config.epoch,
-            rank.config.epoch + 1,
-            "reconfiguration must advance the epoch by one"
-        );
+        match &rank.reconfig {
+            ReconfigState::Normal if config.epoch == rank.config.epoch + 1 => {}
+            ReconfigState::Barrier { new_config, .. }
+            | ReconfigState::Draining { new_config, .. }
+                if new_config.epoch == config.epoch =>
+            {
+                // Duplicate of a barrier we already entered (e.g. our
+                // implicit request from gossip beat the explicit one).
+                return;
+            }
+            _ => {
+                // Overlapping or epoch-skipping reconfiguration — reject.
+                // With a fault plan installed these can legitimately race
+                // (the recovery engine and the controller both correcting);
+                // without one the controller is misbehaving, but either way
+                // the safe response is to drop the request and count it.
+                w.health.counters.reconfig_rejects += 1;
+                w.health
+                    .record(FailureEvent::ReconfigRejected { comm, at: w.clock });
+                return;
+            }
+        }
+        self.begin_barrier(w, comm, config, BTreeMap::new());
+    }
+
+    /// Enter the reconfiguration barrier for `config` (from an explicit
+    /// `Req` or implicitly from another rank's gossip when ours was lost),
+    /// seeding the AllGather view with `seed` entries gathered elsewhere.
+    fn begin_barrier(
+        &mut self,
+        w: &mut World,
+        comm: CommunicatorId,
+        config: CollectiveConfig,
+        seed: BTreeMap<usize, Option<u64>>,
+    ) {
+        let key = (comm, self.gpu);
+        let mut rank = w.comms.remove(&key).expect("caller verified");
         let epoch = config.epoch;
-        let mut entries = BTreeMap::new();
+        let mut entries = seed;
         entries.insert(rank.rank, rank.last_launched);
         // Merge gossip that arrived before our own request. Epochs can
         // legitimately skew: a neighbour's `Req` may land (and its gossip
@@ -335,14 +378,14 @@ impl ProxyEngine {
         // applied epoch, so anything older indicates protocol corruption.
         let pending = std::mem::take(&mut rank.pending_gossip);
         let n = rank.size();
-        for (e, gossip, hops) in pending {
+        for (e, cfg, gossip, hops) in pending {
             match e.cmp(&epoch) {
                 std::cmp::Ordering::Equal => {
                     for (r, v) in &gossip {
                         entries.insert(*r, *v);
                     }
                 }
-                std::cmp::Ordering::Greater => rank.pending_gossip.push((e, gossip, hops)),
+                std::cmp::Ordering::Greater => rank.pending_gossip.push((e, cfg, gossip, hops)),
                 std::cmp::Ordering::Less => panic!(
                     "stale barrier gossip for epoch {e} held across reconfiguration \
                      to epoch {epoch} on {comm} rank {}",
@@ -351,9 +394,14 @@ impl ProxyEngine {
             }
         }
         rank.reconfig = ReconfigState::Barrier {
-            new_config: config,
+            new_config: config.clone(),
             entries: entries.clone(),
         };
+        rank.barrier_since = Some(w.clock);
+        if w.fault_plan.is_some() {
+            // Arm the gossip re-send timer (control messages can be lost).
+            w.schedule_wake(w.clock + w.svc.gossip_retry);
+        }
         // Contribute to the AllGather: send own view to the next rank.
         // The merged view subsumes any held gossip, and it circulates the
         // whole ring (`n - 1` hops), so held messages need no separate
@@ -366,6 +414,7 @@ impl ProxyEngine {
                 ProxyMsg::BarrierGossip {
                     comm,
                     epoch,
+                    config,
                     entries,
                     hops_left: n - 1,
                 },
@@ -374,25 +423,43 @@ impl ProxyEngine {
         self.maybe_finish_barrier(w, comm);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_gossip(
         &mut self,
         w: &mut World,
         comm: CommunicatorId,
         epoch: u64,
+        config: CollectiveConfig,
         gossip: BTreeMap<usize, Option<u64>>,
         hops_left: usize,
     ) {
         let key = (comm, self.gpu);
-        let Some(rank) = w.comms.get_mut(&key) else {
-            panic!("gossip for unknown communicator {comm} on {}", self.gpu)
+        if !w.comms.contains_key(&key) {
+            // Late gossip for a communicator this GPU already tore down.
+            return;
+        }
+        // Implicit request: with a fault plan installed our own `Req` may
+        // have been lost. Gossip for exactly the next epoch carries the
+        // pending config, so enter the barrier from it instead of holding
+        // the message forever (which would deadlock the ring).
+        let implicit = {
+            let rank = &w.comms[&key];
+            w.fault_plan.is_some()
+                && matches!(rank.reconfig, ReconfigState::Normal)
+                && epoch == rank.config.epoch + 1
         };
+        if implicit {
+            self.begin_barrier(w, comm, config, gossip);
+            return;
+        }
+        let rank = w.comms.get_mut(&key).expect("checked above");
         let next_gpu = rank.next_rank_gpu();
         match &mut rank.reconfig {
             ReconfigState::Normal => {
                 if epoch > rank.config.epoch {
                     // Our own Req has not arrived yet; hold the gossip for
                     // the reconfiguration that will consume it.
-                    rank.pending_gossip.push((epoch, gossip, hops_left));
+                    rank.pending_gossip.push((epoch, config, gossip, hops_left));
                 } else if hops_left > 1 {
                     // Late circulation of a barrier we already completed
                     // and applied. We must not merge or hold it, but a
@@ -403,6 +470,7 @@ impl ProxyEngine {
                         ProxyMsg::BarrierGossip {
                             comm,
                             epoch,
+                            config,
                             entries: gossip,
                             hops_left: hops_left - 1,
                         },
@@ -427,6 +495,7 @@ impl ProxyEngine {
                             ProxyMsg::BarrierGossip {
                                 comm,
                                 epoch,
+                                config,
                                 entries: merged,
                                 hops_left: hops_left - 1,
                             },
@@ -436,7 +505,7 @@ impl ProxyEngine {
                 } else if epoch > new_config.epoch {
                     // Gossip from a reconfiguration we have not seen yet;
                     // hold it rather than corrupt the current barrier.
-                    rank.pending_gossip.push((epoch, gossip, hops_left));
+                    rank.pending_gossip.push((epoch, config, gossip, hops_left));
                 } else if hops_left > 1 {
                     // Stale epoch: a slower rank may still need it — keep
                     // it circulating without merging.
@@ -445,6 +514,7 @@ impl ProxyEngine {
                         ProxyMsg::BarrierGossip {
                             comm,
                             epoch,
+                            config,
                             entries: gossip,
                             hops_left: hops_left - 1,
                         },
@@ -461,6 +531,7 @@ impl ProxyEngine {
                         ProxyMsg::BarrierGossip {
                             comm,
                             epoch,
+                            config,
                             entries: gossip,
                             hops_left: hops_left - 1,
                         },
@@ -488,6 +559,7 @@ impl ProxyEngine {
             new_config: new_config.clone(),
             max_seq,
         };
+        rank.barrier_since = None;
     }
 
     /// Advance one communicator rank's execution state machine. Returns
@@ -499,7 +571,7 @@ impl ProxyEngine {
         };
         let mut progressed = false;
 
-        // 1. Finalize a completed in-flight collective.
+        // 1. Finalize a completed (or cleanly failed) in-flight collective.
         if let Some(inf) = &rank.inflight {
             if inf.launched {
                 if let Some(done_at) = w.collective_completed_at(comm, inf.seq) {
@@ -513,29 +585,74 @@ impl ProxyEngine {
                     w.send_completion(rank.endpoint, ShimCompletion::CollectiveDone { comm, seq });
                     rank.inflight = None;
                     progressed = true;
+                } else if w.collective_failed(comm, inf.seq) {
+                    let seq = inf.seq;
+                    fail_to_tenant(&mut rank, w, comm, seq);
+                    rank.inflight = None;
+                    progressed = true;
+                } else if w.fault_plan.is_some() {
+                    // Liveness: escalate a silent stall to the recovery
+                    // engine. Only armed under a fault plan — with none,
+                    // no timers exist on this path at all.
+                    let inf = rank.inflight.as_mut().expect("checked above");
+                    if let Some(at) = inf.launched_at {
+                        let grace = w
+                            .svc
+                            .liveness_timeout
+                            .mul_f64(f64::from(inf.stall_reports + 1));
+                        let deadline = at + grace;
+                        if w.clock >= deadline {
+                            inf.stall_reports += 1;
+                            w.health.record(FailureEvent::CollectiveStalled {
+                                comm,
+                                seq: inf.seq,
+                                at: w.clock,
+                            });
+                            w.schedule_wake(w.clock + w.svc.liveness_timeout);
+                            progressed = true;
+                        } else {
+                            w.schedule_wake(deadline);
+                        }
+                    }
                 }
             }
         }
 
-        // 2. Launch a dependency-cleared in-flight collective.
+        // 2. Launch a dependency-cleared in-flight collective — unless
+        // another rank's transport already gave up on it, in which case
+        // fail it locally too (keeping `last_launched` moving so a drain
+        // waiting on this sequence still terminates).
         if let Some(inf) = &rank.inflight {
             if !inf.launched {
-                let ready = inf
-                    .dependency
-                    .is_none_or(|ev| w.devices.event_time(ev).is_some());
-                if ready {
-                    let seq = inf.seq;
-                    let coll = rank
-                        .queue
-                        .front()
+                let seq = inf.seq;
+                if w.collective_failed(comm, seq) {
+                    rank.queue
+                        .pop_front()
                         .filter(|p| p.seq == seq)
-                        .cloned()
                         .expect("inflight collective kept at queue head until launch");
-                    rank.queue.pop_front();
-                    launch_tasks(&mut rank, w, &coll);
-                    rank.inflight.as_mut().expect("checked").launched = true;
-                    rank.last_launched = Some(seq);
+                    fail_to_tenant(&mut rank, w, comm, seq);
+                    rank.last_launched = Some(rank.last_launched.map_or(seq, |l| l.max(seq)));
+                    rank.inflight = None;
                     progressed = true;
+                } else {
+                    let ready = inf
+                        .dependency
+                        .is_none_or(|ev| w.devices.event_time(ev).is_some());
+                    if ready {
+                        let coll = rank
+                            .queue
+                            .front()
+                            .filter(|p| p.seq == seq)
+                            .cloned()
+                            .expect("inflight collective kept at queue head until launch");
+                        rank.queue.pop_front();
+                        launch_tasks(&mut rank, w, &coll);
+                        let inf = rank.inflight.as_mut().expect("checked");
+                        inf.launched = true;
+                        inf.launched_at = Some(w.clock);
+                        rank.last_launched = Some(seq);
+                        progressed = true;
+                    }
                 }
             }
         }
@@ -555,11 +672,45 @@ impl ProxyEngine {
             if drained {
                 rank.config = new_config.clone();
                 rank.reconfig = ReconfigState::Normal;
-                rank.schedule_cache.clear();
-                // Tear down / re-establish peer connections.
+                // Tear down / re-establish peer connections. (The shared
+                // schedule cache needs no flush here: entries are keyed by
+                // epoch and replaced on first use under the new one.)
                 rank.resume_at = w.clock + w.svc.reconnect_delay;
                 w.schedule_wake(rank.resume_at);
                 progressed = true;
+            }
+        }
+
+        // 3b. Barrier liveness (plan-gated): if the ring AllGather has
+        // stalled — a gossip hop was dropped — re-send our merged view.
+        // Merging is idempotent, so re-sends are always safe.
+        if w.fault_plan.is_some() {
+            if let (
+                ReconfigState::Barrier {
+                    new_config,
+                    entries,
+                },
+                Some(since),
+            ) = (&rank.reconfig, rank.barrier_since)
+            {
+                let deadline = since + w.svc.gossip_retry;
+                if w.clock >= deadline && rank.size() > 1 {
+                    let gossip = ProxyMsg::BarrierGossip {
+                        comm,
+                        epoch: new_config.epoch,
+                        config: new_config.clone(),
+                        entries: entries.clone(),
+                        hops_left: rank.size() - 1,
+                    };
+                    let next_gpu = rank.next_rank_gpu();
+                    rank.barrier_since = Some(w.clock);
+                    w.health.counters.gossip_resends += 1;
+                    w.send_control(next_gpu, gossip);
+                    w.schedule_wake(w.clock + w.svc.gossip_retry);
+                    progressed = true;
+                } else {
+                    w.schedule_wake(deadline);
+                }
             }
         }
 
@@ -578,6 +729,8 @@ impl ProxyEngine {
                         seq: p.seq,
                         dependency: p.coll.depends_on,
                         launched: false,
+                        launched_at: None,
+                        stall_reports: 0,
                     });
                     progressed = true;
                 }
@@ -585,8 +738,51 @@ impl ProxyEngine {
         }
 
         w.comms.insert(key, rank);
+
+        // 5. Implicit request from held gossip (plan-gated): once back in
+        // `Normal`, gossip held for exactly the next epoch means the
+        // explicit `Req` for it was lost — enter its barrier now.
+        if w.fault_plan.is_some() {
+            let held = {
+                let rank = &w.comms[&key];
+                if matches!(rank.reconfig, ReconfigState::Normal) {
+                    let next = rank.config.epoch + 1;
+                    rank.pending_gossip.iter().position(|(e, ..)| *e == next)
+                } else {
+                    None
+                }
+            };
+            if let Some(idx) = held {
+                let (_, config, gossip, _) = {
+                    let rank = w.comms.get_mut(&key).expect("just inserted");
+                    rank.pending_gossip.remove(idx)
+                };
+                self.begin_barrier(w, comm, config, gossip);
+                progressed = true;
+            }
+        }
         progressed
     }
+}
+
+/// Report a cleanly failed collective to the tenant (recovery exhausted).
+fn fail_to_tenant(rank: &mut CommRank, w: &mut World, comm: CommunicatorId, seq: u64) {
+    // Record the communicator event so tenant streams waiting on the
+    // collective unblock instead of hanging on a result that never comes.
+    let stream = ensure_stream(rank, 0, w);
+    w.devices
+        .enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
+    w.trace.failed(comm, rank.rank, seq, w.clock);
+    w.health.counters.collectives_failed += 1;
+    w.send_completion(
+        rank.endpoint,
+        ShimCompletion::CollectiveFailed {
+            comm,
+            seq,
+            code: ErrorCode::SystemError,
+            message: "recovery exhausted: transport gave up on the collective's flows".into(),
+        },
+    );
 }
 
 /// Get (creating on demand) the per-channel service stream.
@@ -599,25 +795,47 @@ fn ensure_stream(rank: &mut CommRank, channel: usize, w: &mut World) -> StreamId
 }
 
 /// Compute the schedule and launch this rank's local edge tasks.
+///
+/// Every rank of a communicator derives an identical
+/// [`CollectiveSchedule`] from an identical config, so the derived
+/// schedule is cached **once per communicator** in
+/// [`World::schedule_cache`] (keyed by `(op, size)` within the current
+/// epoch) and shared across ranks — each rank then projects its own edge
+/// tasks out of the shared object. An epoch bump invalidates the whole
+/// entry on first use, so a stale hit is impossible.
 fn launch_tasks(rank: &mut CommRank, w: &mut World, p: &PendingCollective) {
-    let derive = |rank: &CommRank, w: &World| {
+    let epoch = rank.config.epoch;
+    let local = if w.svc.cache_schedules {
+        let topo = Arc::clone(&w.topo);
+        let entry = w.schedule_cache.entry(p.coll.comm).or_default();
+        if entry.epoch < epoch {
+            entry.epoch = epoch;
+            entry.by_key.clear();
+        }
+        if entry.epoch == epoch {
+            let sched = entry
+                .by_key
+                .entry((p.coll.op, p.coll.size))
+                .or_insert_with(|| {
+                    Arc::new(CollectiveSchedule::ring(
+                        &topo,
+                        p.coll.op,
+                        p.coll.size,
+                        &rank.config.channel_rings,
+                    ))
+                });
+            sched.tasks_from_gpu(rank.gpu)
+        } else {
+            // This rank is draining under an older epoch than the cache
+            // already holds; derive without touching the shared entry.
+            CollectiveSchedule::ring(&topo, p.coll.op, p.coll.size, &rank.config.channel_rings)
+                .tasks_from_gpu(rank.gpu)
+        }
+    } else {
         CollectiveSchedule::ring(&w.topo, p.coll.op, p.coll.size, &rank.config.channel_rings)
             .tasks_from_gpu(rank.gpu)
     };
-    let local = if w.svc.cache_schedules {
-        let cache_key = (p.coll.op, p.coll.size, rank.config.epoch);
-        match rank.schedule_cache.get(&cache_key) {
-            Some(tasks) => tasks.clone(),
-            None => {
-                let tasks = derive(rank, w);
-                rank.schedule_cache.insert(cache_key, tasks.clone());
-                tasks
-            }
-        }
-    } else {
-        derive(rank, w)
-    };
-    let tokens = w.register_launch(p.coll.comm, p.seq, rank.size(), local.len());
+    let tokens = w.register_launch(p.coll.comm, p.seq, epoch, rank.size(), local.len());
     w.trace
         .launched(p.coll.comm, rank.rank, p.seq, rank.config.epoch, w.clock);
     for ((channel, task), token) in local.into_iter().zip(tokens) {
@@ -668,6 +886,11 @@ fn launch_tasks(rank: &mut CommRank, w: &mut World, p: &PendingCollective) {
 
 impl Engine<World> for ProxyEngine {
     fn progress(&mut self, w: &mut World) -> Poll {
+        // A crashed host freezes its proxies (plan-gated; no check at all
+        // on the fault-free path).
+        if w.fault_plan.is_some() && w.health.is_host_down(w.topo.host_of_gpu(self.gpu)) {
+            return Poll::Idle;
+        }
         let mut progressed = false;
         // Drain visible inbox messages.
         loop {

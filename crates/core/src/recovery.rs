@@ -1,0 +1,362 @@
+//! Failure-driven reconfiguration: the service-side recovery loop.
+//!
+//! The [`RecoveryEngine`] consumes [`FailureEvent`]s from the world's
+//! [`HealthRegistry`](crate::health::HealthRegistry) and turns them into
+//! corrective [`CollectiveConfig`]s, re-entering the Figure 4
+//! reconfiguration protocol with a strategy rebuilt around the failure.
+//! The config itself comes from a pluggable [`RecoveryPolicy`]; the
+//! built-in [`DetourPolicy`] re-pins inter-host connections onto healthy
+//! routes and drops whole channels only when a connection has no healthy
+//! route left, degrading bandwidth gracefully instead of deadlocking.
+//!
+//! The engine is inert without a fault plan installed: it polls `Idle`
+//! immediately, adding zero overhead to fault-free runs.
+
+use crate::config::{CollectiveConfig, RouteMap};
+use crate::health::FailureEvent;
+use crate::world::World;
+use mccs_collectives::{op::all_reduce_sum, CollectiveSchedule, EdgeTask, RingOrder};
+use mccs_ipc::CommunicatorId;
+use mccs_sim::{Bytes, Engine, Nanos, Poll};
+use mccs_topology::{GpuId, NicId, RouteId};
+use std::collections::HashMap;
+
+/// A controller policy that proposes a corrective strategy for a
+/// communicator after a failure. Returning `None` means no healthy
+/// strategy exists (the recovery engine then lets the per-collective
+/// attempt cap fail the stalled work to the tenants).
+pub trait RecoveryPolicy: Send {
+    /// Propose `(channel_rings, routes)` for `comm` given the current
+    /// (failed-under) configuration. Implementations read link health from
+    /// `w.net` / `w.health`.
+    fn plan(
+        &self,
+        w: &World,
+        comm: CommunicatorId,
+        current: &CollectiveConfig,
+        world_gpus: &[GpuId],
+    ) -> Option<(Vec<RingOrder>, RouteMap)>;
+}
+
+/// The built-in policy: keep the current rings, pin every inter-host
+/// connection to its first healthy route, and drop a channel's ring
+/// entirely when one of its connections has no healthy route at all.
+/// Dropping a ring shifts the channel-to-NIC assignment of the remaining
+/// channels, so the schedule is recomputed after every removal.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DetourPolicy;
+
+impl DetourPolicy {
+    /// First healthy route id for a NIC pair, if any.
+    fn healthy_route(w: &World, src: NicId, dst: NicId) -> Option<RouteId> {
+        (0..w.topo.path_diversity(src, dst))
+            .map(|i| RouteId(i as u32))
+            .find(|&r| w.net.route_healthy(src, dst, r))
+    }
+}
+
+impl RecoveryPolicy for DetourPolicy {
+    fn plan(
+        &self,
+        w: &World,
+        _comm: CommunicatorId,
+        current: &CollectiveConfig,
+        _world_gpus: &[GpuId],
+    ) -> Option<(Vec<RingOrder>, RouteMap)> {
+        let mut rings = current.channel_rings.clone();
+        'rebuild: loop {
+            if rings.is_empty() {
+                return None;
+            }
+            // The inter-host NIC pairs depend only on the rings and the
+            // topology, not on the op or size, so any probe schedule works.
+            let sched = CollectiveSchedule::ring(&w.topo, all_reduce_sum(), Bytes::mib(1), &rings);
+            let mut routes = RouteMap::ecmp();
+            for ch in &sched.channels {
+                for task in &ch.tasks {
+                    let EdgeTask::InterHost {
+                        src_nic, dst_nic, ..
+                    } = *task
+                    else {
+                        continue;
+                    };
+                    match Self::healthy_route(w, src_nic, dst_nic) {
+                        Some(r) => routes.pin(ch.channel, src_nic, dst_nic, r),
+                        None => {
+                            // No path at all between this pair: the channel
+                            // cannot run. Drop its ring and rebuild — the
+                            // channel-to-NIC mapping of the survivors shifts.
+                            rings.remove(ch.channel);
+                            continue 'rebuild;
+                        }
+                    }
+                }
+            }
+            return Some((rings, routes));
+        }
+    }
+}
+
+/// Per-communicator reconfiguration the engine most recently issued:
+/// `(target epoch, when)` — used to rate-limit duplicate corrective Reqs
+/// while one is still propagating.
+type Issued = HashMap<CommunicatorId, (u64, Nanos)>;
+
+/// The failure-monitoring engine (one per cluster). Consumes health
+/// events, issues corrective reconfigurations, and aborts collectives
+/// whose recovery attempts are exhausted.
+pub struct RecoveryEngine {
+    /// Read position into `World::health::events`.
+    cursor: usize,
+    issued: Issued,
+    /// Recovery attempts per stalled collective.
+    attempts: HashMap<(CommunicatorId, u64), u32>,
+}
+
+impl RecoveryEngine {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        RecoveryEngine {
+            cursor: 0,
+            issued: HashMap::new(),
+            attempts: HashMap::new(),
+        }
+    }
+
+    /// Whether any of `comm`'s current inter-host connections traverses a
+    /// dead link (so a link event warrants a corrective config).
+    fn comm_crosses_dead_link(w: &World, comm: CommunicatorId) -> bool {
+        let Some(rank) = w
+            .comms
+            .iter()
+            .find(|((c, _), _)| *c == comm)
+            .map(|(_, r)| r)
+        else {
+            return false;
+        };
+        let cfg = &rank.config;
+        if cfg.channel_rings.is_empty() {
+            return false;
+        }
+        let sched =
+            CollectiveSchedule::ring(&w.topo, all_reduce_sum(), Bytes::mib(1), &cfg.channel_rings);
+        for ch in &sched.channels {
+            for task in &ch.tasks {
+                let EdgeTask::InterHost {
+                    src_nic, dst_nic, ..
+                } = *task
+                else {
+                    continue;
+                };
+                let route = match cfg.routes.get(ch.channel, src_nic, dst_nic) {
+                    Some(r) => w.topo.pinned_route(src_nic, dst_nic, r),
+                    None => {
+                        let h = cfg.ecmp_hash(comm, ch.channel, src_nic, dst_nic);
+                        w.topo.ecmp_route(src_nic, dst_nic, h)
+                    }
+                };
+                if route.links.iter().any(|&l| !w.net.link_up(l)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Issue a corrective reconfiguration for `comm` if its ranks are in a
+    /// state that can accept one and the policy finds a healthy strategy.
+    fn try_recover(&mut self, w: &mut World, comm: CommunicatorId) {
+        let ranks: Vec<_> = w
+            .comms
+            .iter()
+            .filter(|((c, _), _)| *c == comm)
+            .map(|(_, r)| r)
+            .collect();
+        let Some(first) = ranks.first() else {
+            return;
+        };
+        let world_gpus = first.world_gpus.clone();
+        // Only a fully registered, quiescent-protocol communicator can
+        // enter a new barrier; otherwise wait for the next stall report.
+        if ranks.len() != world_gpus.len() {
+            return;
+        }
+        let epoch = first.config.epoch;
+        let uniform = ranks.iter().all(|r| {
+            matches!(r.reconfig, crate::proxy::ReconfigState::Normal) && r.config.epoch == epoch
+        });
+        let current = first.config.clone();
+        drop(ranks);
+        if !uniform {
+            return;
+        }
+        let target = epoch + 1;
+        // Rate-limit: a corrective Req for this epoch may still be in
+        // flight (control latency); duplicates are idempotent at the
+        // proxies but cost messages.
+        if let Some(&(t, at)) = self.issued.get(&comm) {
+            if t >= target && w.clock < at + w.svc.liveness_timeout {
+                return;
+            }
+        }
+        let policy = w.recovery_policy.take();
+        let proposal = match &policy {
+            Some(p) => p.plan(w, comm, &current, &world_gpus),
+            None => DetourPolicy.plan(w, comm, &current, &world_gpus),
+        };
+        w.recovery_policy = policy;
+        let Some((rings, routes)) = proposal else {
+            // Nothing healthy to switch to; the attempt cap will fail the
+            // stalled collectives to their tenants.
+            return;
+        };
+        let config = CollectiveConfig {
+            epoch: target,
+            channel_rings: rings,
+            routes,
+        };
+        for &gpu in &world_gpus {
+            w.send_control(
+                gpu,
+                crate::messages::ProxyMsg::Reconfigure {
+                    comm,
+                    config: config.clone(),
+                },
+            );
+        }
+        self.issued.insert(comm, (target, w.clock));
+        w.health.counters.recoveries += 1;
+        w.health.record(FailureEvent::RecoveryIssued {
+            comm,
+            epoch: target,
+            at: w.clock,
+        });
+    }
+
+    fn handle_event(&mut self, w: &mut World, ev: FailureEvent) {
+        match ev {
+            FailureEvent::LinkDown { .. } => {
+                let comms: Vec<CommunicatorId> = {
+                    let mut v: Vec<CommunicatorId> = w.comms.keys().map(|(c, _)| *c).collect();
+                    v.dedup();
+                    v
+                };
+                for comm in comms {
+                    if Self::comm_crosses_dead_link(w, comm) {
+                        self.try_recover(w, comm);
+                    }
+                }
+            }
+            FailureEvent::CollectiveStalled { comm, seq, .. } => {
+                let a = self.attempts.entry((comm, seq)).or_insert(0);
+                if *a >= w.svc.recovery_max_attempts {
+                    w.abort_collective(comm, seq);
+                } else {
+                    *a += 1;
+                    self.try_recover(w, comm);
+                }
+            }
+            // Informational events need no corrective action here.
+            FailureEvent::LinkUp { .. }
+            | FailureEvent::HostDown { .. }
+            | FailureEvent::HostUp { .. }
+            | FailureEvent::FlowRetried { .. }
+            | FailureEvent::FlowExhausted { .. }
+            | FailureEvent::RecoveryIssued { .. }
+            | FailureEvent::ReconfigRejected { .. } => {}
+        }
+    }
+}
+
+impl Default for RecoveryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine<World> for RecoveryEngine {
+    fn progress(&mut self, w: &mut World) -> Poll {
+        // Inert without a fault plan: zero work on production runs.
+        if w.fault_plan.is_none() {
+            return Poll::Idle;
+        }
+        if self.cursor >= w.health.events().len() {
+            return Poll::Idle;
+        }
+        let events: Vec<FailureEvent> = w.health.events()[self.cursor..].to_vec();
+        self.cursor = w.health.events().len();
+        for ev in events {
+            self.handle_event(w, ev);
+        }
+        Poll::Progressed
+    }
+
+    fn name(&self) -> String {
+        "recovery".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use mccs_device::DeviceConfig;
+    use mccs_ipc::IpcConfig;
+    use mccs_topology::presets;
+    use std::sync::Arc;
+
+    fn world() -> World {
+        World::new(
+            Arc::new(presets::testbed()),
+            DeviceConfig::default(),
+            IpcConfig::default(),
+            ServiceConfig::default(),
+            7,
+        )
+    }
+
+    #[test]
+    fn detour_pins_healthy_routes() {
+        let w = world();
+        let world_gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let current = CollectiveConfig::default_for(&w.topo, &world_gpus);
+        let (rings, routes) = DetourPolicy
+            .plan(&w, CommunicatorId(0), &current, &world_gpus)
+            .expect("healthy fabric must yield a plan");
+        assert_eq!(rings.len(), current.channel_rings.len());
+        // Every pinned route must be healthy (trivially, with no faults).
+        for (&(_, src, dst), &r) in routes.iter() {
+            assert!(w.net.route_healthy(src, dst, r));
+        }
+    }
+
+    #[test]
+    fn detour_avoids_dead_links() {
+        let mut w = world();
+        let world_gpus: Vec<GpuId> = (0..4).map(GpuId).collect();
+        let current = CollectiveConfig::default_for(&w.topo, &world_gpus);
+        // Kill one inter-switch link; with two spines an alternate exists.
+        let spine = w
+            .topo
+            .links()
+            .iter()
+            .find(|l| {
+                use mccs_topology::graph::Endpoint;
+                matches!(l.from, Endpoint::Switch(_)) && matches!(l.to, Endpoint::Switch(_))
+            })
+            .map(|l| l.id)
+            .expect("testbed has switch-to-switch links");
+        w.net.set_link_up(mccs_sim::Nanos::ZERO, spine, false);
+        let (_, routes) = DetourPolicy
+            .plan(&w, CommunicatorId(0), &current, &world_gpus)
+            .expect("an alternate spine remains");
+        for (&(_, src, dst), &r) in routes.iter() {
+            let route = w.topo.pinned_route(src, dst, r);
+            assert!(
+                !route.links.contains(&spine),
+                "detour pinned a route over the dead link"
+            );
+            assert!(w.net.route_healthy(src, dst, r));
+        }
+    }
+}

@@ -34,6 +34,9 @@ pub struct TraceRecord {
     pub launched_at: Option<Nanos>,
     /// When it completed.
     pub completed_at: Option<Nanos>,
+    /// When the service cleanly failed it to the tenant (recovery
+    /// exhausted); mutually exclusive with `completed_at`.
+    pub failed_at: Option<Nanos>,
 }
 
 impl TraceRecord {
@@ -85,6 +88,7 @@ impl TraceCollector {
             issued_at: at,
             launched_at: None,
             completed_at: None,
+            failed_at: None,
         });
     }
 
@@ -99,7 +103,17 @@ impl TraceCollector {
     pub fn completed(&mut self, comm: CommunicatorId, rank: usize, seq: u64, at: Nanos) {
         let r = self.get_mut(comm, rank, seq);
         debug_assert!(r.launched_at.is_some(), "completed before launch");
+        debug_assert!(r.failed_at.is_none(), "completed after clean failure");
         r.completed_at = Some(at);
+    }
+
+    /// Record a clean failure (the collective may or may not have launched
+    /// on this rank — a rank can fail a queued collective another rank's
+    /// transport already gave up on).
+    pub fn failed(&mut self, comm: CommunicatorId, rank: usize, seq: u64, at: Nanos) {
+        let r = self.get_mut(comm, rank, seq);
+        debug_assert!(r.completed_at.is_none(), "failed after completion");
+        r.failed_at = Some(at);
     }
 
     fn get_mut(&mut self, comm: CommunicatorId, rank: usize, seq: u64) -> &mut TraceRecord {

@@ -5,14 +5,24 @@
 //! time-window traffic schedules behind TS: a gated application's sends
 //! are admitted only while its window is open, and its in-flight flows are
 //! paused outside windows.
+//!
+//! With a fault plan installed the transport also watches its flows for
+//! stalls (rate pinned at zero past
+//! [`ServiceConfig::flow_timeout`](crate::config::ServiceConfig)) and for
+//! fault-injected kills, retrying each with exponential backoff on an
+//! alternate healthy route, and cleanly failing the owning collective once
+//! [`ServiceConfig::flow_max_retries`](crate::config::ServiceConfig) is
+//! exhausted. Without a plan none of this machinery runs: no timers, no
+//! per-flow checks, byte-identical traces.
 
+use crate::health::FailureEvent;
 use crate::messages::TransportMsg;
 use crate::qos::TrafficWindows;
 use crate::world::World;
-use mccs_ipc::AppId;
-use mccs_netsim::{FlowId, FlowSpec};
-use mccs_sim::{Engine, Poll};
-use mccs_topology::NicId;
+use mccs_ipc::{AppId, CommunicatorId};
+use mccs_netsim::{FlowId, FlowSpec, RouteChoice};
+use mccs_sim::{Bandwidth, Bytes, Engine, Nanos, Poll};
+use mccs_topology::{NicId, RouteId};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -20,11 +30,32 @@ struct ActiveFlow {
     app: AppId,
     token: u64,
     paused: bool,
+    comm: CommunicatorId,
+    seq: u64,
+    dst_nic: NicId,
+    bytes: Bytes,
+    /// Completed start attempts (0 = original send, never retried).
+    attempts: u32,
+    /// When this flow was first observed making no progress (plan-gated).
+    stalled_since: Option<Nanos>,
 }
 
 #[derive(Debug)]
 struct PendingSend {
     msg: TransportMsg,
+}
+
+/// A flow awaiting its backoff-delayed restart.
+#[derive(Debug)]
+struct RetryEntry {
+    app: AppId,
+    token: u64,
+    comm: CommunicatorId,
+    seq: u64,
+    dst_nic: NicId,
+    bytes: Bytes,
+    /// The attempt number this restart will be (1-based).
+    attempts: u32,
 }
 
 /// The per-NIC transport engine.
@@ -35,6 +66,10 @@ pub struct TransportEngine {
     pending: VecDeque<PendingSend>,
     /// Last wake-up boundary scheduled, to avoid duplicate events.
     scheduled_wake: Option<mccs_sim::Nanos>,
+    /// Backoff-delayed restarts, as `(due, entry)`.
+    retries: Vec<(Nanos, RetryEntry)>,
+    /// Next stall-sweep instant already armed (plan-gated machinery).
+    next_stall_check: Option<Nanos>,
 }
 
 impl TransportEngine {
@@ -46,6 +81,8 @@ impl TransportEngine {
             windows: BTreeMap::new(),
             pending: VecDeque::new(),
             scheduled_wake: None,
+            retries: Vec::new(),
+            next_stall_check: None,
         }
     }
 
@@ -71,39 +108,200 @@ impl TransportEngine {
     fn start_send(&mut self, w: &mut World, msg: &TransportMsg) {
         let TransportMsg::Send {
             app,
+            comm,
+            seq,
             token,
             src_nic,
             dst_nic,
             bytes,
             route,
-            ..
         } = *msg
         else {
             unreachable!("start_send called with a non-send message");
         };
         debug_assert_eq!(src_nic, self.nic, "send routed to the wrong transport");
+        self.start_flow(
+            w,
+            ActiveFlow {
+                app,
+                token,
+                paused: false,
+                comm,
+                seq,
+                dst_nic,
+                bytes,
+                attempts: 0,
+                stalled_since: None,
+            },
+            route,
+        );
+    }
+
+    fn start_flow(&mut self, w: &mut World, flow: ActiveFlow, route: RouteChoice) {
         let spec = FlowSpec {
-            src: src_nic,
-            dst: dst_nic,
-            bytes: Some(bytes),
+            src: self.nic,
+            dst: flow.dst_nic,
+            bytes: Some(flow.bytes),
             routing: route,
             rate_cap: None,
-            tag: token,
+            tag: flow.token,
             guaranteed: false,
-            tenant: app.0,
+            tenant: flow.app.0,
         };
         let now = w.clock;
         let id = w.net.start_flow(now, spec);
         w.flow_owner_nic
             .insert(id, crate::world::FlowOwner::Transport(self.nic.index()));
-        self.active.insert(
-            id,
-            ActiveFlow {
-                app,
-                token,
-                paused: false,
-            },
-        );
+        self.active.insert(id, flow);
+    }
+
+    /// Queue a restart for a dead flow, or fail its collective when the
+    /// retry budget is spent. `attempts` is the count of starts already
+    /// consumed.
+    fn schedule_retry(&mut self, w: &mut World, entry: RetryEntry) {
+        if entry.attempts > w.svc.flow_max_retries {
+            let (comm, seq) = w.fail_token(entry.token);
+            w.health.counters.flow_failures += 1;
+            w.health.record(FailureEvent::FlowExhausted {
+                comm,
+                seq,
+                at: w.clock,
+            });
+            return;
+        }
+        // First retry is immediate (the kill/stall already cost a
+        // detection delay); later ones back off exponentially.
+        let due = if entry.attempts <= 1 {
+            w.clock
+        } else {
+            let backoff = w
+                .svc
+                .flow_timeout
+                .mul_f64(f64::from(1u32 << (entry.attempts - 2).min(16)));
+            w.clock + backoff
+        };
+        w.schedule_wake(due);
+        self.retries.push((due, entry));
+    }
+
+    /// Restart retries whose backoff elapsed, re-pinning each onto the
+    /// first healthy route to its destination.
+    fn run_due_retries(&mut self, w: &mut World) -> bool {
+        let now = w.clock;
+        let mut progressed = false;
+        let due: Vec<RetryEntry> = {
+            let mut rest = Vec::new();
+            let mut due = Vec::new();
+            for (t, e) in self.retries.drain(..) {
+                if t <= now {
+                    due.push(e);
+                } else {
+                    rest.push((t, e));
+                }
+            }
+            self.retries = rest;
+            due
+        };
+        for entry in due {
+            let diversity = w.topo.path_diversity(self.nic, entry.dst_nic);
+            let healthy: Vec<RouteId> = (0..diversity)
+                .map(|i| RouteId(i as u32))
+                .filter(|&r| w.net.route_healthy(self.nic, entry.dst_nic, r))
+                .collect();
+            let Some(&route) = healthy.get(entry.attempts as usize % healthy.len().max(1)) else {
+                // Nowhere to go right now: burn an attempt and try again
+                // later (the cap guarantees termination).
+                self.schedule_retry(
+                    w,
+                    RetryEntry {
+                        attempts: entry.attempts + 1,
+                        ..entry
+                    },
+                );
+                continue;
+            };
+            w.health.counters.flow_retries += 1;
+            if healthy.len() < diversity {
+                // We actively detoured around at least one dead route.
+                w.health.counters.flow_repins += 1;
+            }
+            w.health.record(FailureEvent::FlowRetried {
+                comm: entry.comm,
+                seq: entry.seq,
+                attempt: entry.attempts,
+                at: now,
+            });
+            self.start_flow(
+                w,
+                ActiveFlow {
+                    app: entry.app,
+                    token: entry.token,
+                    paused: false,
+                    comm: entry.comm,
+                    seq: entry.seq,
+                    dst_nic: entry.dst_nic,
+                    bytes: entry.bytes,
+                    attempts: entry.attempts,
+                    stalled_since: None,
+                },
+                RouteChoice::Pinned(route),
+            );
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Detect flows pinned at zero rate (a dead link on their path) and
+    /// cancel-and-retry those stalled past the timeout. Plan-gated.
+    fn sweep_stalls(&mut self, w: &mut World) -> bool {
+        let now = w.clock;
+        if self.next_stall_check.is_some_and(|t| now < t) {
+            // Keep the armed wake; nothing to do yet.
+            return false;
+        }
+        let mut progressed = false;
+        let ids: Vec<FlowId> = self.active.keys().copied().collect();
+        for id in ids {
+            let f = self.active.get_mut(&id).expect("listed");
+            if f.paused {
+                f.stalled_since = None;
+                continue;
+            }
+            if w.net.flow_rate(id) > Bandwidth::ZERO {
+                f.stalled_since = None;
+                continue;
+            }
+            match f.stalled_since {
+                None => f.stalled_since = Some(now),
+                Some(since) if now - since >= w.svc.flow_timeout => {
+                    let f = self.active.remove(&id).expect("listed");
+                    w.net.cancel_flow(now, id);
+                    w.flow_owner_nic.remove(&id);
+                    self.schedule_retry(
+                        w,
+                        RetryEntry {
+                            app: f.app,
+                            token: f.token,
+                            comm: f.comm,
+                            seq: f.seq,
+                            dst_nic: f.dst_nic,
+                            bytes: f.bytes,
+                            attempts: f.attempts + 1,
+                        },
+                    );
+                    progressed = true;
+                }
+                Some(_) => {}
+            }
+        }
+        if !self.active.is_empty() || !self.retries.is_empty() {
+            let next = now + w.svc.flow_timeout;
+            w.schedule_wake(next);
+            self.next_stall_check = Some(next);
+        } else {
+            self.next_stall_check = None;
+        }
+        progressed
     }
 
     fn handle_msg(&mut self, w: &mut World, msg: TransportMsg) {
@@ -178,6 +376,11 @@ impl TransportEngine {
 
 impl Engine<World> for TransportEngine {
     fn progress(&mut self, w: &mut World) -> Poll {
+        // A crashed host freezes its transports (plan-gated; no check at
+        // all on the fault-free path).
+        if w.fault_plan.is_some() && w.health.is_host_down(w.topo.nics()[self.nic.index()].host) {
+            return Poll::Idle;
+        }
         let mut progressed = false;
         // Flow completions routed to us by the world.
         let completions = std::mem::take(&mut w.transport_flow_events[self.nic.index()]);
@@ -189,6 +392,29 @@ impl Engine<World> for TransportEngine {
             w.complete_token(f.token, c.finished_at);
             progressed = true;
         }
+        // Fault-killed flows routed to us by the world: retry immediately.
+        // (Only ever populated by an installed fault plan.)
+        let failures = std::mem::take(&mut w.transport_flow_failures[self.nic.index()]);
+        for (id, token) in failures {
+            let f = self
+                .active
+                .remove(&id)
+                .expect("kill notice for a flow this transport never started");
+            debug_assert_eq!(f.token, token, "kill notice token mismatch");
+            self.schedule_retry(
+                w,
+                RetryEntry {
+                    app: f.app,
+                    token: f.token,
+                    comm: f.comm,
+                    seq: f.seq,
+                    dst_nic: f.dst_nic,
+                    bytes: f.bytes,
+                    attempts: f.attempts + 1,
+                },
+            );
+            progressed = true;
+        }
         // New commands.
         loop {
             let now = w.clock;
@@ -197,6 +423,11 @@ impl Engine<World> for TransportEngine {
             };
             self.handle_msg(w, msg);
             progressed = true;
+        }
+        // Failure machinery (plan-gated: inert on production runs).
+        if w.fault_plan.is_some() {
+            progressed |= self.run_due_retries(w);
+            progressed |= self.sweep_stalls(w);
         }
         // QoS window enforcement.
         progressed |= self.enforce_windows(w);

@@ -6,16 +6,19 @@
 //! `&mut World` when polled and communicate exclusively through it.
 
 use crate::config::ServiceConfig;
+use crate::health::HealthRegistry;
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::proxy::CommRank;
+use crate::recovery::RecoveryPolicy;
 use crate::tracing::TraceCollector;
+use mccs_collectives::{CollectiveOp, CollectiveSchedule};
 use mccs_device::{
     DeviceConfig, DeviceFabric, DeviceNotification, DevicePtr, EventId, MemHandle, StreamId,
 };
 use mccs_ipc::{AppId, CommunicatorId, IpcConfig, LatencyQueue, ShimCommand, ShimCompletion};
-use mccs_netsim::{FlowCompletion, FlowId, Network};
+use mccs_netsim::{ControlFault, FaultEvent, FaultPlan, FlowCompletion, FlowId, Network};
 use mccs_shim::ShimPort;
-use mccs_sim::{EventQueue, Nanos, Rng};
+use mccs_sim::{Bytes, EventQueue, Nanos, Rng};
 use mccs_topology::{GpuId, NicId, Topology};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -65,32 +68,55 @@ pub struct CollectiveProgress {
     pub launched_ranks: usize,
     /// Edge tasks still moving data.
     pub outstanding_tasks: usize,
+    /// Configuration epoch of the first launch; every later launch must
+    /// agree (the exactly-once-under-one-epoch oracle).
+    pub epoch: u64,
     /// First launch time.
     pub first_launch_at: Nanos,
     /// Set when every rank launched and every task finished.
     pub completed_at: Option<Nanos>,
+    /// Set when recovery was exhausted: the collective will never
+    /// complete; every rank cleanly fails it to its tenant instead.
+    pub failed: bool,
 }
 
 impl CollectiveProgress {
-    fn new(expected_ranks: usize, now: Nanos) -> Self {
+    fn new(expected_ranks: usize, epoch: u64, now: Nanos) -> Self {
         CollectiveProgress {
             expected_ranks,
             launched_ranks: 0,
             outstanding_tasks: 0,
+            epoch,
             first_launch_at: now,
             completed_at: None,
+            failed: false,
         }
     }
 
-    /// Mark complete if all ranks launched and nothing is outstanding.
+    /// Mark complete if all ranks launched, nothing is outstanding, and
+    /// the collective was not failed.
     pub fn maybe_complete(&mut self, now: Nanos) {
         if self.completed_at.is_none()
+            && !self.failed
             && self.launched_ranks == self.expected_ranks
             && self.outstanding_tasks == 0
         {
             self.completed_at = Some(now);
         }
     }
+}
+
+/// One communicator's shared schedule cache: derived
+/// [`CollectiveSchedule`]s keyed by `(op, size)`, valid for one epoch.
+/// Shared across the communicator's ranks (each rank extracts its own
+/// tasks via `tasks_from_gpu`), so an n-rank communicator stores each
+/// schedule once instead of n times.
+#[derive(Debug, Default)]
+pub struct CommScheduleCache {
+    /// The epoch the cached schedules were derived under.
+    pub epoch: u64,
+    /// Derived schedules by `(op, size)`.
+    pub by_key: HashMap<(CollectiveOp, Bytes), Arc<CollectiveSchedule>>,
 }
 
 /// Everything the engines share.
@@ -119,6 +145,9 @@ pub struct World {
     pub transport_inbox: Vec<LatencyQueue<TransportMsg>>,
     /// Per-NIC completed-flow events awaiting transport processing.
     pub transport_flow_events: Vec<Vec<FlowCompletion>>,
+    /// Per-NIC killed-flow notifications (fault-injected aborts), as
+    /// `(flow, token)`; the transport retries these immediately.
+    pub transport_flow_failures: Vec<Vec<(FlowId, u64)>>,
     /// Which NIC's transport owns each in-flight network flow.
     pub flow_owner_nic: HashMap<FlowId, FlowOwner>,
     /// Completed flows owned by external (library-mode) engines, keyed by
@@ -130,9 +159,22 @@ pub struct World {
     pub comms: BTreeMap<(CommunicatorId, GpuId), CommRank>,
     /// Cluster-wide collective progress, keyed `(comm, seq)`.
     pub progress: HashMap<(CommunicatorId, u64), CollectiveProgress>,
+    /// Per-communicator schedule caches, shared across ranks.
+    pub schedule_cache: HashMap<CommunicatorId, CommScheduleCache>,
     /// Task-token -> collective routing.
     token_targets: HashMap<u64, (CommunicatorId, u64)>,
     next_token: u64,
+    /// The installed fault schedule. `None` (production runs) keeps every
+    /// fault code path inert: no timers, no events, no trace changes.
+    pub fault_plan: Option<FaultPlan>,
+    /// Link/host status, failure events and recovery counters.
+    pub health: HealthRegistry,
+    /// Controller policy the recovery engine consults for corrective
+    /// configurations; `None` falls back to the built-in detour policy.
+    pub recovery_policy: Option<Box<dyn RecoveryPolicy>>,
+    /// Cluster-wide control-message send ordinal (orders `ControlFault`
+    /// directives; the counter itself costs nothing).
+    control_seq: u64,
     /// Collective traces (management plane).
     pub trace: TraceCollector,
     /// Tenant-perceived collective latencies (issue at the shim to
@@ -234,13 +276,19 @@ impl World {
             proxy_inbox: (0..gpu_count).map(|_| LatencyQueue::new(cap)).collect(),
             transport_inbox: (0..nic_count).map(|_| LatencyQueue::new(cap)).collect(),
             transport_flow_events: vec![Vec::new(); nic_count],
+            transport_flow_failures: vec![Vec::new(); nic_count],
             flow_owner_nic: HashMap::new(),
             external_flow_events: HashMap::new(),
             next_external_owner: 0,
             comms: BTreeMap::new(),
             progress: HashMap::new(),
+            schedule_cache: HashMap::new(),
             token_targets: HashMap::new(),
             next_token: 1,
+            fault_plan: None,
+            health: HealthRegistry::new(),
+            recovery_policy: None,
+            control_seq: 0,
             trace: TraceCollector::new(),
             tenant_log: TenantLog::default(),
             app_names: Vec::new(),
@@ -267,6 +315,9 @@ impl World {
         consider(self.events.next_time());
         consider(self.net.next_completion_time());
         consider(self.devices.next_time());
+        if let Some(plan) = &self.fault_plan {
+            consider(plan.next_time());
+        }
         for ep in &self.endpoints {
             consider(ep.cmd.next_visible());
             consider(ep.comp.next_visible());
@@ -282,8 +333,29 @@ impl World {
 
     /// Advance every substrate to `t`, routing network completions to
     /// their transports and device completions into collective progress.
+    /// Scripted faults due on the way fire at their exact instants.
     pub fn advance_to(&mut self, t: Nanos) {
         assert!(t >= self.clock, "world time went backwards");
+        while let Some(ft) = self.fault_plan.as_ref().and_then(|p| p.next_time()) {
+            if ft > t {
+                break;
+            }
+            // A plan installed "late" may script events in the past; they
+            // fire now rather than rewinding the substrates.
+            self.advance_substrates(ft.max(self.clock));
+            let due = self
+                .fault_plan
+                .as_mut()
+                .expect("plan checked above")
+                .pop_due(ft);
+            for ev in due {
+                self.apply_fault(ev);
+            }
+        }
+        self.advance_substrates(t);
+    }
+
+    fn advance_substrates(&mut self, t: Nanos) {
         for c in self.net.advance_to(t) {
             match self
                 .flow_owner_nic
@@ -305,6 +377,55 @@ impl World {
         self.clock = t;
     }
 
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        let now = self.clock;
+        match ev {
+            FaultEvent::LinkDown(link) => {
+                self.net.set_link_up(now, link, false);
+                self.health.link_down(link, now);
+            }
+            FaultEvent::LinkUp(link) => {
+                self.net.set_link_up(now, link, true);
+                self.health.link_up(link, now);
+            }
+            FaultEvent::LinkDegrade { link, milli } => {
+                self.net
+                    .set_link_degrade(now, link, f64::from(milli.min(1000)) / 1000.0);
+            }
+            FaultEvent::AbortFlowsOn(link) => {
+                let victims = self.net.kill_flows_on_link(now, link);
+                self.route_failed_flows(victims);
+            }
+            FaultEvent::CrashHost(host) => {
+                self.health.host_down(host, now);
+                let nics = self.topo.host(host).nics.clone();
+                for nic in nics {
+                    let victims = self.net.kill_flows_touching_nic(now, nic);
+                    self.route_failed_flows(victims);
+                }
+            }
+            FaultEvent::RestartHost(host) => {
+                self.health.host_up(host, now);
+            }
+        }
+    }
+
+    /// Hand fault-killed flows to their owning transports for retry.
+    /// (Library-mode external flows are outside the fault model and are
+    /// dropped silently — their owner never started under a service SLA.)
+    fn route_failed_flows(&mut self, victims: Vec<(FlowId, u64)>) {
+        for (id, token) in victims {
+            match self
+                .flow_owner_nic
+                .remove(&id)
+                .expect("killed flow has no registered owner")
+            {
+                FlowOwner::Transport(nic) => self.transport_flow_failures[nic].push((id, token)),
+                FlowOwner::External(_) => {}
+            }
+        }
+    }
+
     /// Schedule a payload-free wake-up.
     pub fn schedule_wake(&mut self, at: Nanos) {
         self.events.schedule(at, WorldEvent::Wake);
@@ -318,6 +439,7 @@ impl World {
         &mut self,
         comm: CommunicatorId,
         seq: u64,
+        epoch: u64,
         expected_ranks: usize,
         local_tasks: usize,
     ) -> Vec<u64> {
@@ -325,10 +447,14 @@ impl World {
         let prog = self
             .progress
             .entry((comm, seq))
-            .or_insert_with(|| CollectiveProgress::new(expected_ranks, now));
+            .or_insert_with(|| CollectiveProgress::new(expected_ranks, epoch, now));
         assert_eq!(
             prog.expected_ranks, expected_ranks,
             "ranks disagree on communicator size"
+        );
+        assert_eq!(
+            prog.epoch, epoch,
+            "ranks disagree on the execution epoch of {comm} seq {seq}"
         );
         prog.launched_ranks += 1;
         assert!(
@@ -365,6 +491,37 @@ impl World {
     /// When a collective completed (if it has).
     pub fn collective_completed_at(&self, comm: CommunicatorId, seq: u64) -> Option<Nanos> {
         self.progress.get(&(comm, seq)).and_then(|p| p.completed_at)
+    }
+
+    /// Mark the collective owning `token` as failed and consume the token
+    /// (a transport exhausted its retries on the task's flow). Returns the
+    /// collective so the caller can log it.
+    pub fn fail_token(&mut self, token: u64) -> (CommunicatorId, u64) {
+        let (comm, seq) = self
+            .token_targets
+            .remove(&token)
+            .unwrap_or_else(|| panic!("failure for unknown token {token}"));
+        let prog = self
+            .progress
+            .get_mut(&(comm, seq))
+            .expect("progress entry exists while tokens are live");
+        assert!(prog.outstanding_tasks > 0, "token underflow");
+        prog.outstanding_tasks -= 1;
+        prog.failed = true;
+        (comm, seq)
+    }
+
+    /// Force-fail a collective cluster-wide (recovery exhausted): it will
+    /// never complete; every rank cleanly fails it to its tenant.
+    pub fn abort_collective(&mut self, comm: CommunicatorId, seq: u64) {
+        if let Some(prog) = self.progress.get_mut(&(comm, seq)) {
+            prog.failed = true;
+        }
+    }
+
+    /// Whether a collective has been marked failed.
+    pub fn collective_failed(&self, comm: CommunicatorId, seq: u64) -> bool {
+        self.progress.get(&(comm, seq)).is_some_and(|p| p.failed)
     }
 
     // ---- messaging helpers -------------------------------------------------
@@ -404,13 +561,31 @@ impl World {
     /// latency and jitter (reconfiguration requests, barrier gossip).
     pub fn send_control(&mut self, gpu: GpuId, msg: ProxyMsg) {
         let base = self.svc.control_ring_latency;
+        // The jitter draw happens before any fault directive is consulted
+        // so the RNG stream is identical with and without a plan.
         let jit = 1.0 + self.rng.f64() * self.svc.control_jitter_frac;
-        let lat = base.mul_f64(jit);
+        let mut lat = base.mul_f64(jit);
+        let ordinal = self.control_seq;
+        self.control_seq += 1;
+        if let Some(plan) = self.fault_plan.as_mut() {
+            match plan.control_fault(ordinal) {
+                Some(ControlFault::Drop) => return,
+                Some(ControlFault::Delay(by)) => lat += by,
+                None => {}
+            }
+        }
         let now = self.clock;
         self.proxy_inbox[gpu.index()]
             .push(now, lat, msg)
             .unwrap_or_else(|_| panic!("proxy inbox overflow on {gpu}"));
         self.schedule_wake(now + lat);
+    }
+
+    /// The send ordinal the *next* control message will get — what a
+    /// [`FaultPlan`] keys its drop/delay directives on. Read it right
+    /// before triggering a reconfiguration to target its Req messages.
+    pub fn control_ordinal(&self) -> u64 {
+        self.control_seq
     }
 
     /// Allocate an owner handle for an external (library-mode) engine.
@@ -548,10 +723,10 @@ mod tests {
     fn progress_lifecycle() {
         let mut w = world();
         let comm = CommunicatorId(1);
-        let t0 = w.register_launch(comm, 0, 2, 2);
+        let t0 = w.register_launch(comm, 0, 0, 2, 2);
         assert_eq!(t0.len(), 2);
         assert!(w.collective_completed_at(comm, 0).is_none());
-        let t1 = w.register_launch(comm, 0, 2, 1);
+        let t1 = w.register_launch(comm, 0, 0, 2, 1);
         assert_eq!(t1.len(), 1);
         w.complete_token(t0[0], Nanos::from_micros(10));
         w.complete_token(t0[1], Nanos::from_micros(20));
@@ -567,10 +742,30 @@ mod tests {
     fn zero_task_collective_completes_on_last_launch() {
         let mut w = world();
         let comm = CommunicatorId(2);
-        w.register_launch(comm, 0, 2, 0);
+        w.register_launch(comm, 0, 0, 2, 0);
         assert!(w.collective_completed_at(comm, 0).is_none());
-        w.register_launch(comm, 0, 2, 0);
+        w.register_launch(comm, 0, 0, 2, 0);
         assert_eq!(w.collective_completed_at(comm, 0), Some(Nanos::ZERO));
+    }
+
+    #[test]
+    fn failed_collective_never_completes() {
+        let mut w = world();
+        let comm = CommunicatorId(3);
+        let t0 = w.register_launch(comm, 0, 0, 1, 2);
+        assert_eq!(w.fail_token(t0[0]), (comm, 0));
+        w.complete_token(t0[1], Nanos::from_micros(5));
+        assert!(w.collective_failed(comm, 0));
+        assert_eq!(w.collective_completed_at(comm, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the execution epoch")]
+    fn epoch_disagreement_rejected() {
+        let mut w = world();
+        let comm = CommunicatorId(4);
+        w.register_launch(comm, 0, 0, 2, 0);
+        w.register_launch(comm, 0, 1, 2, 0);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Fault-injection tests: deterministic failure schedules against the
+//! full service stack, plus the zero-overhead regression that fault-free
+//! runs are byte-identical to a build without fault support.
+
+use mccs_collectives::op::all_reduce_sum;
+use mccs_collectives::CollectiveOp;
+use mccs_core::{Cluster, ClusterConfig};
+use mccs_ipc::{AppId, CommunicatorId};
+use mccs_netsim::{FaultEvent, FaultPlan};
+use mccs_shim::{ScriptStep, ScriptedProgram};
+use mccs_sim::{Bytes, Nanos};
+use mccs_topology::graph::Endpoint;
+use mccs_topology::{presets, GpuId, LinkId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+
+const COMM: CommunicatorId = CommunicatorId(1);
+const GPUS: [GpuId; 4] = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+
+fn rank_program(
+    rank: usize,
+    world: &[GpuId],
+    op: CollectiveOp,
+    size: Bytes,
+    iters: usize,
+) -> ScriptedProgram {
+    ScriptedProgram::new(
+        format!("faulty/r{rank}"),
+        vec![
+            ScriptStep::Alloc { size, slot: 0 },
+            ScriptStep::Alloc { size, slot: 1 },
+            ScriptStep::CommInit {
+                comm: COMM,
+                world: world.to_vec(),
+                rank,
+            },
+            ScriptStep::Collective {
+                comm: COMM,
+                op,
+                size,
+                send_slot: 0,
+                recv_slot: 1,
+            },
+            ScriptStep::Repeat {
+                from_step: 3,
+                times: iters - 1,
+            },
+        ],
+    )
+}
+
+/// A four-host AllReduce tenant over the testbed.
+fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(seed));
+    let ranks = GPUS
+        .iter()
+        .enumerate()
+        .map(|(rank, &gpu)| {
+            let prog = rank_program(rank, &GPUS, all_reduce_sum(), size, iters);
+            (gpu, Box::new(prog) as Box<dyn mccs_shim::AppProgram>)
+        })
+        .collect();
+    cluster.add_app("faulty", ranks);
+    cluster
+}
+
+/// A stable digest of everything a run observably did: the full service
+/// trace (per rank: issue/launch/complete/fail instants and epochs), the
+/// failure-event log, and the health counters.
+fn run_digest(cluster: &Cluster) -> u64 {
+    let w = &cluster.world;
+    let mut h = DefaultHasher::new();
+    format!("{:?}", w.trace.records()).hash(&mut h);
+    format!("{:?}", w.health.events()).hash(&mut h);
+    format!("{:?}", w.health.counters).hash(&mut h);
+    h.finish()
+}
+
+fn spine_links(cluster: &Cluster) -> Vec<LinkId> {
+    cluster
+        .world
+        .topo
+        .links()
+        .iter()
+        .filter(|l| matches!(l.from, Endpoint::Switch(_)) && matches!(l.to, Endpoint::Switch(_)))
+        .map(|l| l.id)
+        .collect()
+}
+
+/// The spine link carrying the most traffic at `probe_at` in a fault-free
+/// run — by determinism, the same link the faulted run's flows will cross.
+fn hottest_spine_at(seed: u64, size: Bytes, iters: usize, probe_at: Nanos) -> LinkId {
+    let mut probe = cluster_with(seed, size, iters);
+    probe.run_until(probe_at);
+    let spines = spine_links(&probe);
+    probe
+        .mgmt()
+        .link_utilization()
+        .into_iter()
+        .find(|(l, _)| spines.contains(l))
+        .map(|(l, _)| l)
+        .expect("cross-rack traffic crosses a spine at the probe instant")
+}
+
+// ---------------------------------------------------------------------------
+// Zero-overhead regression
+// ---------------------------------------------------------------------------
+
+/// Without a fault plan, no fault machinery runs: the health registry
+/// stays untouched and two identical runs produce identical digests.
+#[test]
+fn fault_free_runs_are_quiet_and_deterministic() {
+    let mut a = cluster_with(11, Bytes::mib(16), 3);
+    a.run_until_quiescent(Nanos::from_secs(5));
+    assert!(
+        a.world.health.is_quiet(),
+        "fault-free run touched the health registry: {:?}",
+        a.world.health.counters
+    );
+    let mut b = cluster_with(11, Bytes::mib(16), 3);
+    b.run_until_quiescent(Nanos::from_secs(5));
+    assert_eq!(run_digest(&a), run_digest(&b));
+}
+
+/// Installing an *empty* plan arms the detection machinery (liveness
+/// timers, stall sweeps) but must not change a single observable byte of
+/// a healthy run — the "no plan installed ⇒ byte-identical traces"
+/// guarantee, tested from the stronger side.
+#[test]
+fn empty_plan_does_not_perturb_a_healthy_run() {
+    let mut bare = cluster_with(12, Bytes::mib(16), 3);
+    bare.run_until_quiescent(Nanos::from_secs(5));
+
+    let mut armed = cluster_with(12, Bytes::mib(16), 3);
+    armed.install_fault_plan(FaultPlan::new());
+    armed.run_until_quiescent(Nanos::from_secs(5));
+
+    assert!(armed.world.health.is_quiet(), "healthy run recorded events");
+    assert_eq!(
+        run_digest(&bare),
+        run_digest(&armed),
+        "an inert fault plan changed an observable outcome"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scripted failures
+// ---------------------------------------------------------------------------
+
+fn link_failure_run(seed: u64) -> Cluster {
+    let size = Bytes::mib(32);
+    let iters = 4;
+    let fault_at = Nanos::from_millis(10);
+    let spine = hottest_spine_at(seed, size, iters, fault_at);
+    let mut cluster = cluster_with(seed, size, iters);
+    cluster.install_fault_plan(FaultPlan::new().at(fault_at, FaultEvent::LinkDown(spine)));
+    cluster.run_until_quiescent(Nanos::from_secs(20));
+    cluster
+}
+
+/// The acceptance scenario: one spine dies mid-AllReduce. Flows re-pin to
+/// the surviving spine, the recovery engine re-enters the Figure 4 barrier
+/// with a corrective config, and every queued collective still completes.
+#[test]
+fn single_link_failure_recovers_and_completes_everything() {
+    let mut cluster = link_failure_run(21);
+    let tl = cluster.mgmt().timeline(AppId(0));
+    assert_eq!(tl.len(), 4, "every collective must complete");
+    for r in &cluster.world.trace.records().to_vec() {
+        assert!(r.failed_at.is_none(), "cleanly-failed collective: {r:?}");
+    }
+    let c = cluster.mgmt().communicator(COMM).expect("comm persists");
+    assert!(
+        c.epoch >= 1,
+        "failure must have driven a reconfiguration (epoch {})",
+        c.epoch
+    );
+    let counters = cluster.mgmt().health_counters();
+    assert!(counters.flow_retries > 0, "no transport retry recorded");
+    assert!(counters.recoveries > 0, "no corrective config issued");
+    assert_eq!(counters.collectives_failed, 0);
+    assert_eq!(cluster.mgmt().links_down(), vec![spine_of(&cluster)]);
+}
+
+/// The dead link at quiescence (there is exactly one in the scenario).
+fn spine_of(cluster: &Cluster) -> LinkId {
+    let mut down = cluster.world.health.links_down();
+    let l = down.next().expect("the failed spine stays down");
+    assert!(down.next().is_none());
+    l
+}
+
+/// Same seed, same plan — same digest, run to run.
+#[test]
+fn link_failure_recovery_is_deterministic() {
+    let a = link_failure_run(22);
+    let b = link_failure_run(22);
+    assert_eq!(run_digest(&a), run_digest(&b));
+}
+
+/// A lost corrective Req must not wedge the barrier: the rank that never
+/// got it learns the new config from its neighbors' gossip (implicit Req)
+/// and the reconfiguration still converges.
+#[test]
+fn dropped_reconfigure_req_converges_via_gossip() {
+    let mut cluster = cluster_with(31, Bytes::mib(32), 3);
+    cluster.run_until(Nanos::from_millis(5));
+    // The next 4 control messages are the reconfigure's Reqs; lose one.
+    let first_req = cluster.world.control_ordinal();
+    cluster.install_fault_plan(FaultPlan::new().drop_control(first_req + 2));
+    let info = cluster.mgmt().communicator(COMM).expect("registered");
+    let rings = info.rings.clone();
+    cluster
+        .mgmt()
+        .reconfigure(COMM, rings, mccs_core::RouteMap::ecmp());
+    cluster.run_until_quiescent(Nanos::from_secs(20));
+    let c = cluster.mgmt().communicator(COMM).expect("comm persists");
+    assert_eq!(c.epoch, 1, "barrier did not converge after a lost Req");
+    assert_eq!(cluster.mgmt().timeline(AppId(0)).len(), 3);
+    assert_eq!(cluster.mgmt().health_counters().collectives_failed, 0);
+}
+
+/// Crash one participant host mid-run and warm-restart it: the frozen
+/// proxies resume with state intact and every collective still completes.
+#[test]
+fn host_crash_and_restart_completes_all_collectives() {
+    let mut cluster = cluster_with(41, Bytes::mib(16), 3);
+    let host = cluster.world.topo.host_of_gpu(GpuId(6));
+    cluster.install_fault_plan(
+        FaultPlan::new()
+            .at(Nanos::from_millis(6), FaultEvent::CrashHost(host))
+            .at(Nanos::from_millis(9), FaultEvent::RestartHost(host)),
+    );
+    cluster.run_until_quiescent(Nanos::from_secs(20));
+    assert!(cluster.mgmt().hosts_down().is_empty());
+    assert_eq!(cluster.mgmt().timeline(AppId(0)).len(), 3);
+    assert_eq!(cluster.mgmt().health_counters().collectives_failed, 0);
+    // The kill-flows-on-crash path must have forced at least one retry.
+    assert!(cluster.mgmt().health_counters().flow_retries > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Property: random fault plans
+// ---------------------------------------------------------------------------
+
+/// One randomized fault event: (microseconds, raw selector, kind).
+type RawEvent = (u64, usize, u8);
+
+fn build_plan(cluster: &Cluster, events: &[RawEvent], drops: &[u64]) -> FaultPlan {
+    let nlinks = cluster.world.topo.links().len();
+    let mut plan = FaultPlan::new();
+    for &(us, raw, kind) in events {
+        let at = Nanos::from_micros(us);
+        let link = LinkId((raw % nlinks) as u32);
+        let ev = match kind % 4 {
+            0 => FaultEvent::LinkDown(link),
+            1 => FaultEvent::LinkUp(link),
+            2 => FaultEvent::LinkDegrade {
+                link,
+                milli: 100 + ((raw as u32 * 7) % 900),
+            },
+            _ => FaultEvent::AbortFlowsOn(link),
+        };
+        plan = plan.at(at, ev);
+    }
+    for &d in drops {
+        plan = plan.drop_control(d);
+    }
+    plan
+}
+
+fn run_random(seed: u64, events: &[RawEvent], drops: &[u64]) -> Cluster {
+    let mut cluster = cluster_with(seed, Bytes::mib(8), 3);
+    let plan = build_plan(&cluster, events, drops);
+    cluster.install_fault_plan(plan);
+    cluster.run_until_quiescent(Nanos::from_secs(30));
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The recovery oracle: under any schedule of link faults and control-
+    /// message loss, every launched collective either completes on all
+    /// ranks under one agreed epoch, or is cleanly failed to the tenant on
+    /// all ranks — and the whole run is deterministic per seed (identical
+    /// digests on a replay). `run_until_quiescent` doubles as the deadlock
+    /// detector.
+    #[test]
+    fn random_fault_plans_resolve_every_collective(
+        seed in 1_u64..1_000,
+        events in proptest::collection::vec((2_000_u64..25_000, 0_usize..1_000, 0_u8..4), 0..6),
+        drops in proptest::collection::vec(0_u64..50, 0..3),
+    ) {
+        let cluster = run_random(seed, &events, &drops);
+        // Group every rank's verdict per collective.
+        let mut verdicts: BTreeMap<u64, Vec<(usize, Option<u64>, bool)>> = BTreeMap::new();
+        for r in cluster.world.trace.records() {
+            prop_assert_eq!(r.comm, COMM);
+            let completed = r.completed_at.is_some();
+            let failed = r.failed_at.is_some();
+            prop_assert!(
+                completed ^ failed,
+                "rank {} seq {} neither completed nor cleanly failed (or both): {:?}",
+                r.rank, r.seq, r
+            );
+            verdicts.entry(r.seq).or_default().push((
+                r.rank,
+                completed.then_some(r.epoch),
+                completed,
+            ));
+        }
+        prop_assert_eq!(verdicts.len(), 3, "every collective leaves a trace");
+        for (seq, ranks) in &verdicts {
+            prop_assert_eq!(ranks.len(), GPUS.len(), "seq {} missing ranks", seq);
+            let all_same_outcome = ranks.iter().all(|&(_, _, c)| c == ranks[0].2);
+            prop_assert!(all_same_outcome, "seq {} split-brained: {:?}", seq, ranks);
+            if ranks[0].2 {
+                let epoch = ranks[0].1;
+                prop_assert!(
+                    ranks.iter().all(|&(_, e, _)| e == epoch),
+                    "seq {} completed under disagreeing epochs: {:?}",
+                    seq, ranks
+                );
+            }
+        }
+        // Determinism: the same seed and plan replays byte-identically.
+        let replay = run_random(seed, &events, &drops);
+        prop_assert_eq!(run_digest(&cluster), run_digest(&replay));
+    }
+}

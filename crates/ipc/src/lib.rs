@@ -16,5 +16,7 @@ pub mod protocol;
 pub mod queue;
 
 pub use config::IpcConfig;
-pub use protocol::{AppId, CollectiveRequest, CommunicatorId, ShimCommand, ShimCompletion};
+pub use protocol::{
+    AppId, CollectiveRequest, CommunicatorId, ErrorCode, ShimCommand, ShimCompletion,
+};
 pub use queue::LatencyQueue;

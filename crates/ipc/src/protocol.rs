@@ -43,6 +43,35 @@ impl fmt::Display for CommunicatorId {
 /// A buffer range: IPC handle plus byte offset (validated service-side).
 pub type BufferRef = (MemHandle, u64);
 
+/// NCCL-style result classification carried on error completions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ErrorCode {
+    /// A caller-supplied argument was malformed (cf. `ncclInvalidArgument`).
+    InvalidArgument,
+    /// The call violated API usage rules (cf. `ncclInvalidUsage`).
+    InvalidUsage,
+    /// An unrecoverable fabric/system failure (cf. `ncclSystemError`):
+    /// retries and recovery were exhausted.
+    SystemError,
+    /// A service-internal inconsistency (cf. `ncclInternalError`).
+    InternalError,
+    /// Another rank of the communicator failed (cf. `ncclRemoteError`).
+    RemoteError,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::InvalidArgument => "InvalidArgument",
+            ErrorCode::InvalidUsage => "InvalidUsage",
+            ErrorCode::SystemError => "SystemError",
+            ErrorCode::InternalError => "InternalError",
+            ErrorCode::RemoteError => "RemoteError",
+        };
+        f.write_str(s)
+    }
+}
+
 /// One collective invocation.
 #[derive(Clone, Copy, Debug)]
 pub struct CollectiveRequest {
@@ -165,10 +194,25 @@ pub enum ShimCompletion {
         /// The finished collective's sequence number.
         seq: u64,
     },
+    /// Collective `seq` on `comm` was cleanly aborted by the service after
+    /// recovery was exhausted. The tenant must treat the communicator's
+    /// result buffers for this operation as undefined, NCCL-style.
+    CollectiveFailed {
+        /// The communicator.
+        comm: CommunicatorId,
+        /// The failed collective's sequence number.
+        seq: u64,
+        /// NCCL-style classification.
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+    },
     /// A command failed (bad handle, invalid range, unknown communicator).
     Error {
         /// Correlates with the command.
         req: u64,
+        /// NCCL-style classification.
+        code: ErrorCode,
         /// Human-readable cause.
         message: String,
     },

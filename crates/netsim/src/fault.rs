@@ -1,0 +1,177 @@
+//! Deterministic fault schedules over virtual time.
+//!
+//! A [`FaultPlan`] is a turmoil-style script: a sorted timeline of
+//! [`FaultEvent`]s the harness replays at exact virtual instants, plus
+//! per-message directives for the control ring ([`ControlFault`], keyed by
+//! the message's send ordinal). Everything is data — no randomness lives
+//! here, so a plan derived from a seeded RNG replays identically, and a
+//! simulation with **no plan installed** performs no fault work at all.
+
+use mccs_sim::Nanos;
+use mccs_topology::{HostId, LinkId};
+use std::collections::BTreeMap;
+
+/// One scripted fault (or repair) at a point in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Take a link down: capacity drops to zero, flows crossing it freeze.
+    LinkDown(LinkId),
+    /// Bring a link back to full capacity.
+    LinkUp(LinkId),
+    /// Degrade a link to `milli`/1000 of its capacity (integer so event
+    /// timelines stay `Eq`/hashable; 1000 = healthy).
+    LinkDegrade {
+        /// The degraded link.
+        link: LinkId,
+        /// Remaining capacity in thousandths of line rate.
+        milli: u32,
+    },
+    /// Abort every in-flight flow currently crossing a link (the flows
+    /// vanish from the fabric; their owners see a failure, not a stall).
+    AbortFlowsOn(LinkId),
+    /// Crash a host: its service engines freeze and every flow touching
+    /// its NICs is killed.
+    CrashHost(HostId),
+    /// Warm-restart a crashed host: engines resume with state intact.
+    RestartHost(HostId),
+}
+
+/// What to do to one control-ring message, identified by send ordinal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlFault {
+    /// The message is lost.
+    Drop,
+    /// The message is delivered late by this much.
+    Delay(Nanos),
+}
+
+/// A deterministic, virtual-time fault schedule.
+///
+/// Build with [`FaultPlan::new`] + [`at`](FaultPlan::at) /
+/// [`drop_control`](FaultPlan::drop_control) /
+/// [`delay_control`](FaultPlan::delay_control); the harness consumes the
+/// timeline in order via [`next_time`](FaultPlan::next_time) and
+/// [`pop_due`](FaultPlan::pop_due).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Time-sorted script (stable under equal times: insertion order).
+    timeline: Vec<(Nanos, FaultEvent)>,
+    /// Next unconsumed timeline entry.
+    cursor: usize,
+    /// Control-message directives by send ordinal (0-based, cluster-wide).
+    control: BTreeMap<u64, ControlFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until populated).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute virtual time `at`.
+    pub fn at(mut self, at: Nanos, event: FaultEvent) -> Self {
+        // Stable insert keeps same-instant events in authoring order.
+        let pos = self.timeline.partition_point(|(t, _)| *t <= at);
+        self.timeline.insert(pos, (at, event));
+        self
+    }
+
+    /// Drop the `ordinal`-th control message sent cluster-wide.
+    pub fn drop_control(mut self, ordinal: u64) -> Self {
+        self.control.insert(ordinal, ControlFault::Drop);
+        self
+    }
+
+    /// Delay the `ordinal`-th control message by `by`.
+    pub fn delay_control(mut self, ordinal: u64, by: Nanos) -> Self {
+        self.control.insert(ordinal, ControlFault::Delay(by));
+        self
+    }
+
+    /// Whether anything is left to inject (timeline or control directives).
+    pub fn is_empty(&self) -> bool {
+        self.cursor >= self.timeline.len() && self.control.is_empty()
+    }
+
+    /// Time of the next unconsumed scripted event.
+    pub fn next_time(&self) -> Option<Nanos> {
+        self.timeline.get(self.cursor).map(|(t, _)| *t)
+    }
+
+    /// Consume and return every scripted event due at or before `now`,
+    /// in time (then authoring) order.
+    pub fn pop_due(&mut self, now: Nanos) -> Vec<FaultEvent> {
+        let mut out = Vec::new();
+        while let Some(&(t, ev)) = self.timeline.get(self.cursor) {
+            if t > now {
+                break;
+            }
+            self.cursor += 1;
+            out.push(ev);
+        }
+        out
+    }
+
+    /// The directive (if any) for the control message with this send
+    /// ordinal. Each directive fires once.
+    pub fn control_fault(&mut self, ordinal: u64) -> Option<ControlFault> {
+        self.control.remove(&ordinal)
+    }
+
+    /// Peek at the full remaining timeline (tests, reporting).
+    pub fn remaining(&self) -> &[(Nanos, FaultEvent)] {
+        &self.timeline[self.cursor.min(self.timeline.len())..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_pops_in_time_then_authoring_order() {
+        let mut plan = FaultPlan::new()
+            .at(Nanos::from_millis(5), FaultEvent::LinkDown(LinkId(3)))
+            .at(Nanos::from_millis(1), FaultEvent::LinkDown(LinkId(1)))
+            .at(Nanos::from_millis(5), FaultEvent::LinkUp(LinkId(1)));
+        assert_eq!(plan.next_time(), Some(Nanos::from_millis(1)));
+        assert_eq!(
+            plan.pop_due(Nanos::from_millis(1)),
+            vec![FaultEvent::LinkDown(LinkId(1))]
+        );
+        assert_eq!(plan.next_time(), Some(Nanos::from_millis(5)));
+        // same-instant events come out in authoring order
+        assert_eq!(
+            plan.pop_due(Nanos::from_millis(10)),
+            vec![
+                FaultEvent::LinkDown(LinkId(3)),
+                FaultEvent::LinkUp(LinkId(1))
+            ]
+        );
+        assert_eq!(plan.next_time(), None);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn control_directives_fire_once() {
+        let mut plan = FaultPlan::new()
+            .drop_control(2)
+            .delay_control(5, Nanos::from_micros(100));
+        assert_eq!(plan.control_fault(0), None);
+        assert_eq!(plan.control_fault(2), Some(ControlFault::Drop));
+        assert_eq!(plan.control_fault(2), None, "directives are one-shot");
+        assert_eq!(
+            plan.control_fault(5),
+            Some(ControlFault::Delay(Nanos::from_micros(100)))
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.next_time(), None);
+        assert!(plan.pop_due(Nanos::from_secs(1)).is_empty());
+    }
+}

@@ -22,10 +22,13 @@
 //! * [`flow`] — flow descriptions, ids and completion records.
 //! * [`maxmin`] — the pure water-filling rate allocator.
 //! * [`network`] — the virtual-time flow lifecycle engine.
+//! * [`fault`] — deterministic fault schedules (link/host/control faults).
 
+pub mod fault;
 pub mod flow;
 pub mod maxmin;
 pub mod network;
 
+pub use fault::{ControlFault, FaultEvent, FaultPlan};
 pub use flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
 pub use network::Network;

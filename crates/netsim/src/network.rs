@@ -65,6 +65,19 @@ pub struct Network {
     /// When false, every solve is from scratch over all active flows (the
     /// oracle path for tests and benchmarks).
     incremental: bool,
+    /// Per-link fault state. `None` (the default) means the whole fabric
+    /// is healthy and no fault bookkeeping runs at all — the zero-overhead
+    /// guarantee for fault-free simulations.
+    link_faults: Option<LinkFaults>,
+}
+
+/// Lazily-allocated per-link fault state (only once a fault is injected).
+#[derive(Clone, Debug)]
+struct LinkFaults {
+    /// Whether each link (by index) is up.
+    up: Vec<bool>,
+    /// Remaining capacity fraction of each link (1.0 = healthy).
+    degrade: Vec<f64>,
 }
 
 impl Network {
@@ -81,6 +94,7 @@ impl Network {
             link_flows: HashMap::new(),
             dirty_links: BTreeSet::new(),
             incremental: true,
+            link_faults: None,
         }
     }
 
@@ -198,6 +212,108 @@ impl Network {
         f.spec.routing = RouteChoice::Pinned(route);
         self.index_insert(id);
         self.recompute_rates();
+    }
+
+    // ---- faults -----------------------------------------------------------
+
+    /// Take a link down (`up = false`) or bring it back up. Down links have
+    /// zero capacity: flows crossing them freeze at rate 0 but stay in the
+    /// system (stalled, recoverable by re-pinning or repair).
+    pub fn set_link_up(&mut self, now: Nanos, link: LinkId, up: bool) {
+        self.catch_up(now);
+        let idx = link.index();
+        let faults = self.faults_mut();
+        if faults.up[idx] != up {
+            faults.up[idx] = up;
+            self.dirty_links.insert(idx);
+            self.recompute_rates();
+        }
+    }
+
+    /// Degrade a link to `fraction` of its capacity (1.0 restores it).
+    pub fn set_link_degrade(&mut self, now: Nanos, link: LinkId, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "degrade fraction must be in [0,1]"
+        );
+        self.catch_up(now);
+        let idx = link.index();
+        let faults = self.faults_mut();
+        if faults.degrade[idx] != fraction {
+            faults.degrade[idx] = fraction;
+            self.dirty_links.insert(idx);
+            self.recompute_rates();
+        }
+    }
+
+    /// Whether a link is currently up (always true without faults).
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.link_faults.as_ref().is_none_or(|f| f.up[link.index()])
+    }
+
+    /// Whether every link of the identified pinned route is up.
+    pub fn route_healthy(
+        &self,
+        src: mccs_topology::NicId,
+        dst: mccs_topology::NicId,
+        id: RouteId,
+    ) -> bool {
+        let route = self.topo.pinned_route(src, dst, id);
+        route.links.iter().all(|&l| self.link_up(l))
+    }
+
+    /// Abort every in-flight flow crossing `link`, returning the victims'
+    /// ids and tags. No completion records are produced — the flows simply
+    /// vanish, as after a switch reset.
+    pub fn kill_flows_on_link(&mut self, now: Nanos, link: LinkId) -> Vec<(FlowId, u64)> {
+        self.kill_matching(now, |f| f.route.links.contains(&link))
+    }
+
+    /// Abort every in-flight flow that starts or ends at `nic` (host crash:
+    /// both directions die with the host). Returns the victims' ids/tags.
+    pub fn kill_flows_touching_nic(
+        &mut self,
+        now: Nanos,
+        nic: mccs_topology::NicId,
+    ) -> Vec<(FlowId, u64)> {
+        self.kill_matching(now, |f| f.spec.src == nic || f.spec.dst == nic)
+    }
+
+    fn kill_matching(
+        &mut self,
+        now: Nanos,
+        pred: impl Fn(&FlowState) -> bool,
+    ) -> Vec<(FlowId, u64)> {
+        self.catch_up(now);
+        let victims: Vec<(FlowId, u64)> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| pred(f))
+            .map(|(&id, f)| (id, f.spec.tag))
+            .collect();
+        for &(id, _) in &victims {
+            self.index_remove(id);
+            self.flows.remove(&id);
+        }
+        if !victims.is_empty() {
+            self.recompute_rates();
+        }
+        victims
+    }
+
+    fn faults_mut(&mut self) -> &mut LinkFaults {
+        self.link_faults.get_or_insert_with(|| LinkFaults {
+            up: vec![true; self.topo.links().len()],
+            degrade: vec![1.0; self.topo.links().len()],
+        })
+    }
+
+    fn effective_capacity(&self, idx: usize) -> Bandwidth {
+        match &self.link_faults {
+            None => self.capacities[idx],
+            Some(f) if !f.up[idx] => Bandwidth::ZERO,
+            Some(f) => self.capacities[idx] * f.degrade[idx],
+        }
     }
 
     /// Advance to `target`, processing every intermediate completion at its
@@ -466,7 +582,7 @@ impl Network {
                 .map(|l| {
                     let idx = l.index();
                     *compact.entry(idx).or_insert_with(|| {
-                        compact_caps.push(self.capacities[idx]);
+                        compact_caps.push(self.effective_capacity(idx));
                         link_tenants.push((u32::MAX, false));
                         compact_caps.len() - 1
                     })
@@ -741,6 +857,102 @@ mod tests {
         net.start_flow(
             Nanos::ZERO,
             FlowSpec::ecmp(nic(0), nic(0), Bytes::mib(1), 0),
+        );
+    }
+
+    #[test]
+    fn link_down_freezes_flows_and_repair_resumes_them() {
+        let mut net = testbed_net();
+        let f = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(50), 0),
+        );
+        let link = net.flow_route(f).expect("present").links[0];
+        net.set_link_up(Nanos::from_millis(1), link, false);
+        assert!(!net.link_up(link));
+        assert_eq!(net.flow_rate(f).as_bps(), 0.0);
+        // A stalled flow emits no completion event.
+        assert_eq!(net.next_completion_time(), None);
+        assert!(net.advance_to(Nanos::from_millis(5)).is_empty());
+        net.set_link_up(Nanos::from_millis(5), link, true);
+        assert!((net.flow_rate(f).as_gbps() - 50.0).abs() < 1e-6);
+        let done = net.advance_to(Nanos::from_secs(1));
+        assert_eq!(done.len(), 1);
+        // 1ms of progress, 4ms frozen, then the remainder at line rate.
+        let t50 = Bandwidth::gbps(50.0).transfer_time(Bytes::mib(50));
+        let expect = t50 + Nanos::from_millis(4);
+        assert!(done[0].finished_at.as_nanos().abs_diff(expect.as_nanos()) <= 1);
+    }
+
+    #[test]
+    fn degraded_link_slows_flows_proportionally() {
+        let mut net = testbed_net();
+        let f = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::mib(50), 0),
+        );
+        let link = net.flow_route(f).expect("present").links[0];
+        net.set_link_degrade(Nanos::ZERO, link, 0.25);
+        assert!((net.flow_rate(f).as_gbps() - 12.5).abs() < 1e-6);
+        net.set_link_degrade(Nanos::ZERO, link, 1.0);
+        assert!((net.flow_rate(f).as_gbps() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn killed_flows_vanish_without_completions() {
+        let mut net = testbed_net();
+        let a = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(4), Bytes::mib(100), 0).with_tag(7),
+        );
+        let b = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(2), nic(3), Bytes::mib(100), 0),
+        );
+        let link = net.flow_route(a).expect("present").links[1];
+        let victims = net.kill_flows_on_link(Nanos::from_millis(1), link);
+        assert_eq!(victims, vec![(a, 7)]);
+        assert!(!net.contains(a));
+        assert!(net.contains(b), "unrelated flow survives");
+        // the survivor still completes normally
+        let done = net.advance_to(Nanos::from_secs(60));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, b);
+    }
+
+    #[test]
+    fn kill_flows_touching_nic_takes_both_directions() {
+        let mut net = testbed_net();
+        let out = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(4), Bytes::mib(100), 0),
+        );
+        let inbound = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(5), nic(0), Bytes::mib(100), 0),
+        );
+        let other = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(2), nic(6), Bytes::mib(100), 0),
+        );
+        let victims = net.kill_flows_touching_nic(Nanos::ZERO, nic(0));
+        let ids: Vec<FlowId> = victims.iter().map(|&(id, _)| id).collect();
+        assert!(ids.contains(&out) && ids.contains(&inbound));
+        assert!(!ids.contains(&other));
+        assert!(net.contains(other));
+    }
+
+    #[test]
+    fn route_healthy_tracks_link_state() {
+        let mut net = testbed_net();
+        let r0 = net.topo.pinned_route(nic(0), nic(4), RouteId(0));
+        let spine = r0.links[1];
+        assert!(net.route_healthy(nic(0), nic(4), RouteId(0)));
+        net.set_link_up(Nanos::ZERO, spine, false);
+        assert!(!net.route_healthy(nic(0), nic(4), RouteId(0)));
+        assert!(
+            net.route_healthy(nic(0), nic(4), RouteId(1)),
+            "the other spine stays healthy"
         );
     }
 

@@ -13,7 +13,7 @@ use crate::port::ShimPort;
 use crate::session::{ReqId, ShimSession};
 use mccs_collectives::{CollectiveOp, ReduceKind};
 use mccs_device::{EventId, MemHandle, StreamId};
-use mccs_ipc::{CollectiveRequest, CommunicatorId, ShimCommand};
+use mccs_ipc::{CollectiveRequest, CommunicatorId, ErrorCode, ShimCommand};
 use mccs_sim::{Bytes, Nanos};
 use mccs_topology::GpuId;
 
@@ -213,6 +213,12 @@ impl<'a> ShimApi<'a> {
         self.session.collective_done(req)
     }
 
+    /// The failure verdict (code + cause) of a collective the service
+    /// cleanly aborted after recovery was exhausted, if it did.
+    pub fn collective_failed(&self, req: ReqId) -> Option<(ErrorCode, &str)> {
+        self.session.collective_failed(req)
+    }
+
     /// The service-assigned sequence number of a collective.
     pub fn launched_seq(&self, req: ReqId) -> Option<u64> {
         self.session.launched_seq(req)
@@ -226,6 +232,11 @@ impl<'a> ShimApi<'a> {
     /// The error message of a failed request, if any.
     pub fn error(&self, req: ReqId) -> Option<&str> {
         self.session.error(req)
+    }
+
+    /// The NCCL-style error code of a failed request, if any.
+    pub fn error_code(&self, req: ReqId) -> Option<ErrorCode> {
+        self.session.error_code(req)
     }
 
     // ---- device (tenant-private compute) -----------------------------------------

@@ -94,6 +94,7 @@ pub struct ScriptedProgram {
     pending: Option<ReqId>,
     repeats_left: Option<usize>,
     iterations_done: u64,
+    failed_collectives: u64,
 }
 
 impl ScriptedProgram {
@@ -120,12 +121,19 @@ impl ScriptedProgram {
             pending: None,
             repeats_left: None,
             iterations_done: 0,
+            failed_collectives: 0,
         }
     }
 
     /// Completed loop iterations (for test assertions).
     pub fn iterations_done(&self) -> u64 {
         self.iterations_done
+    }
+
+    /// Collectives the service cleanly failed back to this program (the
+    /// script proceeds past them, NCCL-tests style, and counts here).
+    pub fn failed_collectives(&self) -> u64 {
+        self.failed_collectives
     }
 
     fn slot(&self, idx: usize) -> MemHandle {
@@ -195,6 +203,15 @@ impl AppProgram for ScriptedProgram {
                     }
                     Some(req) => {
                         if api.collective_done(req) {
+                            self.pending = None;
+                            self.pc += 1;
+                            progressed = true;
+                            continue;
+                        }
+                        // A cleanly failed collective is terminal too: the
+                        // buffers are undefined but the program moves on.
+                        if api.collective_failed(req).is_some() {
+                            self.failed_collectives += 1;
                             self.pending = None;
                             self.pc += 1;
                             progressed = true;

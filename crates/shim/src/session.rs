@@ -6,7 +6,7 @@
 //! events, launched sequence numbers, finished collectives, and errors.
 
 use mccs_device::{EventId, MemHandle};
-use mccs_ipc::{CommunicatorId, ShimCommand, ShimCompletion};
+use mccs_ipc::{CommunicatorId, ErrorCode, ShimCommand, ShimCompletion};
 use mccs_sim::Nanos;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -32,10 +32,12 @@ pub struct ShimSession {
     launched: BTreeMap<ReqId, (CommunicatorId, u64)>,
     /// Collectives known complete.
     done: BTreeSet<(CommunicatorId, u64)>,
+    /// Collectives the service cleanly failed after recovery was exhausted.
+    failed: BTreeMap<(CommunicatorId, u64), (ErrorCode, String)>,
     /// Highest completed sequence per communicator.
     high_water: BTreeMap<CommunicatorId, u64>,
     /// Failed requests.
-    errors: BTreeMap<ReqId, String>,
+    errors: BTreeMap<ReqId, (ErrorCode, String)>,
     /// Collective request -> communicator (to resolve `done` before the
     /// launch ack arrives — impossible with FIFO queues, but kept robust).
     req_comm: BTreeMap<ReqId, CommunicatorId>,
@@ -126,8 +128,16 @@ impl ShimSession {
                 *hw = (*hw).max(seq);
                 self.completion_times.push((comm, seq, now));
             }
-            ShimCompletion::Error { req, message } => {
-                self.errors.insert(ReqId(req), message);
+            ShimCompletion::CollectiveFailed {
+                comm,
+                seq,
+                code,
+                message,
+            } => {
+                self.failed.insert((comm, seq), (code, message));
+            }
+            ShimCompletion::Error { req, code, message } => {
+                self.errors.insert(ReqId(req), (code, message));
             }
         }
     }
@@ -166,6 +176,24 @@ impl ShimSession {
             .is_some_and(|key| self.done.contains(key))
     }
 
+    /// The failure verdict of a collective request the service cleanly
+    /// aborted, if it did (NCCL-style error code plus cause).
+    pub fn collective_failed(&self, req: ReqId) -> Option<(ErrorCode, &str)> {
+        self.launched
+            .get(&req)
+            .and_then(|key| self.failed.get(key))
+            .map(|(code, msg)| (*code, msg.as_str()))
+    }
+
+    /// Every collective the service failed on a communicator.
+    pub fn failed_collectives(&self, comm: CommunicatorId) -> Vec<u64> {
+        self.failed
+            .keys()
+            .filter(|(c, _)| *c == comm)
+            .map(|&(_, seq)| seq)
+            .collect()
+    }
+
     /// Highest completed sequence on a communicator.
     pub fn high_water(&self, comm: CommunicatorId) -> Option<u64> {
         self.high_water.get(&comm).copied()
@@ -173,7 +201,12 @@ impl ShimSession {
 
     /// The error message of a failed request.
     pub fn error(&self, req: ReqId) -> Option<&str> {
-        self.errors.get(&req).map(String::as_str)
+        self.errors.get(&req).map(|(_, m)| m.as_str())
+    }
+
+    /// The NCCL-style error code of a failed request.
+    pub fn error_code(&self, req: ReqId) -> Option<ErrorCode> {
+        self.errors.get(&req).map(|&(code, _)| code)
     }
 
     /// Completion timestamps observed so far (comm, seq, time).
@@ -314,11 +347,51 @@ mod tests {
             Nanos::ZERO,
             ShimCompletion::Error {
                 req: req.0,
+                code: ErrorCode::InvalidArgument,
                 message: "unknown memory handle".into(),
             },
         );
         assert_eq!(s.error(req), Some("unknown memory handle"));
+        assert_eq!(s.error_code(req), Some(ErrorCode::InvalidArgument));
         assert!(!s.free_done(req));
+    }
+
+    #[test]
+    fn failed_collectives_surface() {
+        let mut s = ShimSession::new();
+        let mut p = LoopbackPort::new();
+        p.auto_reply = false;
+        let comm = CommunicatorId(3);
+        let req = s.submit(ShimCommand::Collective {
+            req: 0,
+            coll: CollectiveRequest {
+                comm,
+                op: all_reduce_sum(),
+                size: Bytes::mib(4),
+                send: (MemHandle(0), 0),
+                recv: (MemHandle(1), 0),
+                depends_on: None,
+            },
+        });
+        pump(&mut s, &mut p);
+        s.ingest(
+            Nanos::ZERO,
+            ShimCompletion::CollectiveLaunched { req: req.0, seq: 4 },
+        );
+        s.ingest(
+            Nanos::ZERO,
+            ShimCompletion::CollectiveFailed {
+                comm,
+                seq: 4,
+                code: ErrorCode::SystemError,
+                message: "retries exhausted".into(),
+            },
+        );
+        assert!(!s.collective_done(req));
+        let (code, msg) = s.collective_failed(req).expect("failure recorded");
+        assert_eq!(code, ErrorCode::SystemError);
+        assert_eq!(msg, "retries exhausted");
+        assert_eq!(s.failed_collectives(comm), vec![4]);
     }
 
     #[test]

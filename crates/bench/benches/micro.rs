@@ -5,15 +5,50 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mccs_collectives::op::all_reduce_sum;
-use mccs_collectives::{CollectiveSchedule, RingOrder};
+use mccs_collectives::{CollectiveSchedule, RingOrder, ScheduleKey};
 use mccs_control::flow_policy::{ffa, JobFlows};
 use mccs_control::{optimal_rings, ChannelPolicy};
+use mccs_core::world::WorldScheduleCache;
 use mccs_netsim::maxmin::{allocate, FlowDemand};
 use mccs_netsim::{FlowSpec, Network};
 use mccs_sim::{Bandwidth, Bytes, EventQueue, Nanos, Rng};
 use mccs_topology::presets::{self, SpineLeafConfig};
 use mccs_topology::GpuId;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A pass-through allocator that counts heap allocations, so the churn
+/// benchmarks can report allocations-per-solve alongside time-per-solve.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; only bumps a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_COUNT.load(Ordering::Relaxed);
+    f();
+    ALLOC_COUNT.load(Ordering::Relaxed) - before
+}
 
 fn bench_maxmin(c: &mut Criterion) {
     // 200 flows over 64 links, random 4-link paths.
@@ -188,6 +223,130 @@ fn bench_flow_churn(c: &mut Criterion) {
     }
 }
 
+fn bench_churn_steady_state(c: &mut Criterion) {
+    // The amortized hot path: the SAME traffic shape recurs (iterating
+    // collectives, TS pause/resume cycles), so the incremental solver's
+    // remap cache hits and the reusable scratch keeps the whole
+    // re-solve allocation-free in steady state. The from-scratch oracle
+    // rebuilds its flow x link problem on every membership event.
+    let cfg = SpineLeafConfig::paper_large_scale();
+    let topo = Arc::new(presets::spine_leaf(&cfg));
+    let racks = cfg.leaves as u64;
+    let nics_per_rack = (cfg.hosts_per_leaf * cfg.gpus_per_host) as u32;
+    let population_spec = |rng: &mut Rng| {
+        let base = rng.below(racks) as u32 * nics_per_rack;
+        let src = base + rng.below(u64::from(nics_per_rack)) as u32;
+        let mut dst = base + rng.below(u64::from(nics_per_rack)) as u32;
+        if dst == src {
+            dst = base + (dst - base + 1) % nics_per_rack;
+        }
+        FlowSpec {
+            src: mccs_topology::NicId(src),
+            dst: mccs_topology::NicId(dst),
+            bytes: None,
+            routing: mccs_netsim::RouteChoice::Ecmp {
+                hash: rng.next_u64(),
+            },
+            rate_cap: None,
+            tag: 0,
+            guaranteed: false,
+            tenant: (rng.below(8)) as u32,
+        }
+    };
+    // The recurring flow: pinned route so every recurrence has an
+    // identical structural signature.
+    let recurring = FlowSpec {
+        src: mccs_topology::NicId(0),
+        dst: mccs_topology::NicId(1),
+        bytes: None,
+        routing: mccs_netsim::RouteChoice::Pinned(mccs_topology::RouteId(0)),
+        rate_cap: None,
+        tag: 0,
+        guaranteed: false,
+        tenant: 0,
+    };
+    let n = 1000usize;
+    let mut allocs = Vec::new();
+    for &(label, incremental) in &[("incremental", true), ("from-scratch", false)] {
+        let mut rng = Rng::seed_from(0xBEEF ^ n as u64);
+        let mut net = Network::new(Arc::clone(&topo));
+        net.set_incremental(incremental);
+        for _ in 0..n {
+            net.start_flow(Nanos::ZERO, population_spec(&mut rng));
+        }
+        // Warm the remap cache for both component shapes (with and
+        // without the recurring flow).
+        for _ in 0..2 {
+            let id = net.start_flow(Nanos::ZERO, recurring);
+            net.cancel_flow(Nanos::ZERO, id);
+        }
+        c.bench_function(&format!("churn-hot/{n}flows/{label}"), |b| {
+            b.iter(|| {
+                let id = net.start_flow(Nanos::ZERO, recurring);
+                net.cancel_flow(Nanos::ZERO, id);
+            })
+        });
+        let cycles = 100u64;
+        let count = allocations(|| {
+            for _ in 0..cycles {
+                let id = net.start_flow(Nanos::ZERO, recurring);
+                net.cancel_flow(Nanos::ZERO, id);
+            }
+        });
+        allocs.push((label, count as f64 / cycles as f64));
+    }
+    for (label, per_cycle) in &allocs {
+        println!("churn-hot/{n}flows/{label}: {per_cycle:.1} allocations/cycle");
+    }
+    let median = |label: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("churn-hot/{n}flows/{label}"))
+            .expect("benched above")
+            .median_ns
+    };
+    println!(
+        "churn-hot/{n}flows incremental speedup: {:.1}x",
+        median("from-scratch") / median("incremental")
+    );
+}
+
+fn bench_schedule_cache(c: &mut Criterion) {
+    // The world-level schedule cache vs deriving the schedule per launch:
+    // a steady-state collective launch is one key build + one map hit.
+    // Benched at a production-ish scale (64-GPU ring, 4 channels on the
+    // large spine-leaf cluster) where derivation is no longer trivial.
+    let topo = presets::spine_leaf(&SpineLeafConfig::paper_large_scale());
+    let gpus: Vec<GpuId> = (0..64).map(|i| GpuId(i * 3)).collect();
+    let rings = optimal_rings(&topo, &gpus, ChannelPolicy::Fixed(4));
+    let op = all_reduce_sum();
+    let size = Bytes::mib(128);
+    c.bench_function("schedule-derive/64gpu-4ch", |b| {
+        b.iter(|| CollectiveSchedule::ring(&topo, op, size, std::hint::black_box(&rings)))
+    });
+    let mut cache = WorldScheduleCache::default();
+    // Populate the single entry.
+    let key = ScheduleKey::for_ring(&topo, op, size, &rings);
+    cache.get_or_derive(key, || CollectiveSchedule::ring(&topo, op, size, &rings));
+    c.bench_function("schedule-cache/hit-64gpu-4ch", |b| {
+        b.iter(|| {
+            let key = ScheduleKey::for_ring(&topo, op, size, std::hint::black_box(&rings));
+            cache.get_or_derive(key, || CollectiveSchedule::ring(&topo, op, size, &rings))
+        })
+    });
+    let median = |name: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == name)
+            .expect("benched")
+            .median_ns
+    };
+    println!(
+        "schedule cache hit vs derive: {:.1}x",
+        median("schedule-derive/64gpu-4ch") / median("schedule-cache/hit-64gpu-4ch")
+    );
+}
+
 criterion_group!(
     benches,
     bench_maxmin,
@@ -196,6 +355,8 @@ criterion_group!(
     bench_ffa_solver,
     bench_event_queue,
     bench_netsim_collective,
-    bench_flow_churn
+    bench_flow_churn,
+    bench_churn_steady_state,
+    bench_schedule_cache
 );
 criterion_main!(benches);

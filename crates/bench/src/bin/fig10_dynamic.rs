@@ -140,18 +140,40 @@ fn main() {
             ]);
         }
     }
+    // Collectives the service cleanly failed back to each tenant: zero on
+    // this fault-free run, but reported explicitly so an injected fault
+    // shows up in the figure's data instead of silently thinning it.
+    let failed: Vec<usize> = apps
+        .iter()
+        .map(|&app| {
+            cluster
+                .mgmt()
+                .tenant_outcomes(app)
+                .iter()
+                .filter(|r| r.failed)
+                .count()
+        })
+        .collect();
     print_csv("fig10", &["app", "elapsed_s", "normalized_tput"], &all_rows);
     write_bench_json(
         "fig10_dynamic",
         &format!(
             "\"timeline_s\":{{\"b_arrives\":{:.3},\"c_arrives\":{:.3},\
-             \"pfa\":{:.3},\"ts\":{:.3}}},\"rows\":{}",
+             \"pfa\":{:.3},\"ts\":{:.3}}},\
+             \"failed_collectives\":{{\"a\":{},\"b\":{},\"c\":{}}},\"rows\":{}",
             T1.as_secs_f64(),
             T2.as_secs_f64(),
             T3.as_secs_f64(),
             T4.as_secs_f64(),
+            failed[0],
+            failed[1],
+            failed[2],
             json_rows(&["app", "elapsed_s", "normalized_tput"], &all_rows)
         ),
+    );
+    println!(
+        "failed collectives: A={} B={} C={}",
+        failed[0], failed[1], failed[2]
     );
     println!(
         "\ntimeline: B arrives {:.0}s, C arrives {:.0}s, PFA {:.0}s, TS {:.0}s",

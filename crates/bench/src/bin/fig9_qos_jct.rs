@@ -18,14 +18,16 @@ fn main() {
     println!("== Figure 9: JCT under scheduling/QoS strategies ({trials} trials) ==");
     println!("workloads: A=VGG-19 DP (4 GPUs), B,C=GPT-2.7B TP (2 GPUs each); setup 3\n");
 
-    // Collect JCTs per strategy per app.
+    // Collect JCTs (and failed-collective counts) per strategy per app.
     let names = ["VGG (A)", "GPT (B)", "GPT (C)"];
     let mut jcts: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 3]; QosStrategy::ALL.len()];
+    let mut failed: Vec<usize> = vec![0; QosStrategy::ALL.len()];
     for (si, &strategy) in QosStrategy::ALL.iter().enumerate() {
         for trial in 0..trials {
             let results = run_qos(strategy, trial);
-            for (ai, (jct, _)) in results.iter().enumerate() {
-                jcts[si][ai].push(jct.as_secs_f64());
+            for (ai, run) in results.iter().enumerate() {
+                jcts[si][ai].push(run.jct.as_secs_f64());
+                failed[si] += run.failed;
             }
         }
     }
@@ -46,18 +48,24 @@ fn main() {
             cells.push(format!("{:.3} [{:.3},{:.3}]", s.mean(), lo, hi));
             csv_row.push(format!("{:.4}", s.mean()));
         }
+        cells.push(failed[si].to_string());
+        csv_row.push(failed[si].to_string());
         rows.push(cells);
         csv.push(csv_row);
     }
-    let headers = ["strategy", names[0], names[1], names[2]];
+    let headers = ["strategy", names[0], names[1], names[2], "failed"];
     print_table(&headers, &rows);
     println!();
-    print_csv("fig9", &["strategy", "vgg_a", "gpt_b", "gpt_c"], &csv);
+    print_csv(
+        "fig9",
+        &["strategy", "vgg_a", "gpt_b", "gpt_c", "failed"],
+        &csv,
+    );
     write_bench_json(
         "fig9_qos_jct",
         &format!(
             "\"trials\":{trials},\"normalized_to\":\"ffa\",\"rows\":{}",
-            json_rows(&["strategy", "vgg_a", "gpt_b", "gpt_c"], &csv)
+            json_rows(&["strategy", "vgg_a", "gpt_b", "gpt_c", "failed"], &csv)
         ),
     );
     println!(

@@ -89,9 +89,23 @@ fn policy_for(strategy: QosStrategy, apps: &[AppId]) -> PolicySpec {
     }
 }
 
-/// One full run: returns per-app `(jct, iteration completion times)`.
-/// JCT is measured from [`START`] to the app's last collective completion.
-pub fn run_qos(strategy: QosStrategy, trial: u64) -> Vec<(Nanos, Vec<Nanos>)> {
+/// One tenant's outcome of a QoS run.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// Job completion time, measured from [`START`] to the app's last
+    /// collective completion.
+    pub jct: Nanos,
+    /// Completion time of each training iteration.
+    pub iter_ends: Vec<Nanos>,
+    /// Collectives the service cleanly failed back to this tenant
+    /// (zero on these fault-free runs; reported explicitly so a fault
+    /// would show up in the figures instead of silently shrinking the
+    /// sample).
+    pub failed: usize,
+}
+
+/// One full run: returns per-app outcomes.
+pub fn run_qos(strategy: QosStrategy, trial: u64) -> Vec<AppRun> {
     let topo = Arc::new(presets::testbed());
     let mut cluster = Cluster::new(Arc::clone(&topo), ClusterConfig::with_seed(0xF19 + trial));
     let placements = multi_app_setup(3);
@@ -128,14 +142,28 @@ pub fn run_qos(strategy: QosStrategy, trial: u64) -> Vec<(Nanos, Vec<Nanos>)> {
         .zip(&traces)
         .map(|(&app, trace)| {
             let tl = cluster.mgmt().timeline(app);
+            let failed = cluster
+                .mgmt()
+                .tenant_outcomes(app)
+                .iter()
+                .filter(|r| r.failed)
+                .count();
             let per_iter = trace.collectives_per_iteration();
-            assert_eq!(tl.len(), per_iter * trace.iterations, "incomplete app");
+            assert_eq!(
+                tl.len() + failed,
+                per_iter * trace.iterations,
+                "collectives lost without a completion or a clean failure"
+            );
             let jct = tl.last().expect("ran").completed_at.expect("done") - START;
             let iter_ends: Vec<Nanos> = tl
                 .chunks(per_iter)
                 .map(|c| c.last().expect("chunk").completed_at.expect("done"))
                 .collect();
-            (jct, iter_ends)
+            AppRun {
+                jct,
+                iter_ends,
+                failed,
+            }
         })
         .collect()
 }
@@ -153,9 +181,15 @@ mod tests {
         let pfa = run_qos(QosStrategy::Pfa, 0);
         let pfa_ts = run_qos(QosStrategy::PfaTs, 0);
 
-        let a = |r: &Vec<(Nanos, Vec<Nanos>)>| r[0].0.as_secs_f64();
-        let b = |r: &Vec<(Nanos, Vec<Nanos>)>| r[1].0.as_secs_f64();
-        let c = |r: &Vec<(Nanos, Vec<Nanos>)>| r[2].0.as_secs_f64();
+        for run in [&ecmp, &ffa, &pfa, &pfa_ts] {
+            assert!(
+                run.iter().all(|r| r.failed == 0),
+                "fault-free QoS runs must not fail collectives"
+            );
+        }
+        let a = |r: &Vec<AppRun>| r[0].jct.as_secs_f64();
+        let b = |r: &Vec<AppRun>| r[1].jct.as_secs_f64();
+        let c = |r: &Vec<AppRun>| r[2].jct.as_secs_f64();
 
         assert!(
             a(&pfa) < a(&ffa) * 1.02,

@@ -34,4 +34,4 @@ pub mod tree;
 pub use bandwidth::{algo_bandwidth, bus_bandwidth, bus_factor};
 pub use op::{CollectiveOp, DataType, ReduceKind};
 pub use ring::RingOrder;
-pub use schedule::{ChannelSchedule, CollectiveSchedule, EdgeTask};
+pub use schedule::{ChannelSchedule, CollectiveSchedule, EdgeTask, ScheduleKey};

@@ -190,6 +190,83 @@ impl CollectiveSchedule {
     }
 }
 
+/// Identity of a ring schedule for cross-communicator caching.
+///
+/// Two communicators whose launches map to equal keys derive schedules
+/// that are interchangeable: [`CollectiveSchedule::ring`] is a pure
+/// function of (topology, op, size, channel rings), and the key captures
+/// every ring property the construction reads —
+///
+/// * the **cyclic order** (edge set), canonicalized by rotating each ring
+///   so its smallest GPU comes first, making communicators that list the
+///   same ring from different starting ranks share an entry;
+/// * the **per-host traversal order**, which rotation does *not*
+///   preserve when the seam splits a host's GPU run: [`gpus_by_host`]
+///   collects each host's GPUs in ring-traversal order and
+///   [`channel_nic`] indexes into that list, so two rotations of the same
+///   cyclic order can assign different NICs. Keeping the host grouping in
+///   the key means a key hit implies identical NIC assignment too.
+///
+/// Equal keys may still produce task lists in a rotated order, but
+/// [`CollectiveSchedule::tasks_from_gpu`] — the only per-rank consumer —
+/// returns at most one task per channel per GPU, so the extracted work is
+/// identical. Chunking is covered by the channel count (ring list length)
+/// plus `size`, which determine every channel's share.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ScheduleKey {
+    op: CollectiveOp,
+    size: Bytes,
+    rings: Vec<RingKey>,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct RingKey {
+    /// The ring rotated so its smallest GPU leads (cyclic canonical form).
+    canonical: Vec<GpuId>,
+    /// `(host, gpu)` pairs stable-sorted by host, i.e. GPUs in
+    /// ring-traversal order within each host — the flattened form of the
+    /// [`gpus_by_host`] grouping [`channel_nic`] resolves NICs against
+    /// (flat so building a key costs one allocation, not one per host).
+    host_pairs: Vec<(HostId, GpuId)>,
+}
+
+impl ScheduleKey {
+    /// The cache key for the schedule `CollectiveSchedule::ring(topo, op,
+    /// size, channel_rings)` would build.
+    pub fn for_ring(
+        topo: &Topology,
+        op: CollectiveOp,
+        size: Bytes,
+        channel_rings: &[RingOrder],
+    ) -> Self {
+        let rings = channel_rings
+            .iter()
+            .map(|ring| {
+                let gpus = ring.gpus();
+                let min_at = gpus
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, g)| g)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let mut canonical = Vec::with_capacity(gpus.len());
+                canonical.extend_from_slice(&gpus[min_at..]);
+                canonical.extend_from_slice(&gpus[..min_at]);
+                // Stable sort by host ≡ flattening the host-ascending
+                // BTreeMap of traversal-ordered per-host GPU lists.
+                let mut host_pairs: Vec<(HostId, GpuId)> =
+                    gpus.iter().map(|&g| (topo.host_of_gpu(g), g)).collect();
+                host_pairs.sort_by_key(|&(h, _)| h);
+                RingKey {
+                    canonical,
+                    host_pairs,
+                }
+            })
+            .collect();
+        ScheduleKey { op, size, rings }
+    }
+}
+
 /// The communicator's GPUs grouped per host, in ring order.
 fn gpus_by_host(topo: &Topology, ring: &RingOrder) -> BTreeMap<HostId, Vec<GpuId>> {
     let mut map: BTreeMap<HostId, Vec<GpuId>> = BTreeMap::new();
@@ -322,6 +399,64 @@ mod tests {
         let a = RingOrder::new(vec![GpuId(0), GpuId(2)]);
         let b = RingOrder::new(vec![GpuId(0), GpuId(2), GpuId(4)]);
         CollectiveSchedule::ring(&t, all_reduce_sum(), Bytes::mib(1), &[a, b]);
+    }
+
+    #[test]
+    fn schedule_key_shares_rotations_that_preserve_host_order() {
+        let t = topo();
+        let op = all_reduce_sum();
+        let size = Bytes::mib(8);
+        let key = |gpus: Vec<u32>| {
+            let ring = RingOrder::new(gpus.into_iter().map(GpuId).collect());
+            ScheduleKey::for_ring(&t, op, size, &[ring])
+        };
+        // A rotation whose seam falls between host runs is the same
+        // schedule: same edges, same per-host traversal order.
+        assert_eq!(key(vec![0, 1, 4, 5]), key(vec![4, 5, 0, 1]));
+        // A rotation that splits H0's run reverses its traversal order
+        // ([1, 0] vs [0, 1]), which changes channel-NIC assignment — the
+        // key must distinguish it even though the cyclic order is equal.
+        assert_ne!(key(vec![0, 1, 4, 5]), key(vec![1, 4, 5, 0]));
+        // Different cyclic orders never collide.
+        assert_ne!(key(vec![0, 1, 4, 5]), key(vec![0, 4, 1, 5]));
+        // Op, size and channel count are all part of the identity.
+        let ring = RingOrder::new(vec![GpuId(0), GpuId(2)]);
+        let base = ScheduleKey::for_ring(&t, op, size, std::slice::from_ref(&ring));
+        assert_ne!(
+            base,
+            ScheduleKey::for_ring(
+                &t,
+                CollectiveOp::AllGather,
+                size,
+                std::slice::from_ref(&ring)
+            )
+        );
+        assert_ne!(
+            base,
+            ScheduleKey::for_ring(&t, op, Bytes::mib(16), std::slice::from_ref(&ring))
+        );
+        assert_ne!(
+            base,
+            ScheduleKey::for_ring(&t, op, size, &[ring.clone(), ring])
+        );
+    }
+
+    #[test]
+    fn equal_keys_mean_equal_per_gpu_tasks() {
+        let t = topo();
+        let op = all_reduce_sum();
+        let size = Bytes::mib(8);
+        let a = RingOrder::new(vec![GpuId(0), GpuId(1), GpuId(4), GpuId(5)]);
+        let b = RingOrder::new(vec![GpuId(4), GpuId(5), GpuId(0), GpuId(1)]);
+        assert_eq!(
+            ScheduleKey::for_ring(&t, op, size, std::slice::from_ref(&a)),
+            ScheduleKey::for_ring(&t, op, size, std::slice::from_ref(&b))
+        );
+        let sa = CollectiveSchedule::ring(&t, op, size, &[a]);
+        let sb = CollectiveSchedule::ring(&t, op, size, &[b]);
+        for g in [0, 1, 4, 5] {
+            assert_eq!(sa.tasks_from_gpu(GpuId(g)), sb.tasks_from_gpu(GpuId(g)));
+        }
     }
 
     #[test]

@@ -132,7 +132,8 @@ pub fn apply_traffic_schedule(cluster: &mut Cluster, prioritized: AppId, gated: 
     for &app in gated {
         cluster
             .mgmt()
-            .set_traffic_windows(app, Some(windows.clone()));
+            .set_traffic_windows(app, Some(windows.clone()))
+            .expect("inferred windows are valid by construction");
     }
     true
 }

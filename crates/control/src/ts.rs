@@ -73,7 +73,10 @@ pub fn infer_windows(records: &[TraceRecord]) -> Option<TrafficWindows> {
         let first = period - offset;
         vec![(Nanos::ZERO, idle - first), (offset, first)]
     };
-    Some(TrafficWindows::new(period, open))
+    // An inferred schedule can be degenerate in corner cases (e.g. an
+    // idle span of zero after rounding); treat that as "no usable
+    // window" rather than surfacing an error.
+    TrafficWindows::new(period, open).ok()
 }
 
 #[cfg(test)]

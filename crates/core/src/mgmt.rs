@@ -117,7 +117,18 @@ impl<'a> Management<'a> {
 
     /// Install (or clear, with `None`) a traffic-window schedule for an
     /// application on every transport engine — the TS enforcement hook.
-    pub fn set_traffic_windows(&mut self, app: AppId, windows: Option<TrafficWindows>) {
+    ///
+    /// Schedules originate outside the service (tenant or controller
+    /// policy), so a malformed one is rejected as `InvalidArgument`; the
+    /// transports never see it and nothing is partially installed.
+    pub fn set_traffic_windows(
+        &mut self,
+        app: AppId,
+        windows: Option<TrafficWindows>,
+    ) -> Result<(), crate::error::ServiceError> {
+        if let Some(w) = &windows {
+            w.validate()?;
+        }
         let nics: Vec<_> = self.world.topo.nics().iter().map(|n| n.id).collect();
         for nic in nics {
             self.world.send_to_transport(
@@ -128,6 +139,7 @@ impl<'a> Management<'a> {
                 },
             );
         }
+        Ok(())
     }
 
     /// All trace records of an application (the §4.3 tracing API).
@@ -165,6 +177,23 @@ impl<'a> Management<'a> {
             return Vec::new();
         };
         self.world.tenant_log.latencies_of_endpoint(endpoint)
+    }
+
+    /// Tenant-perceived collective outcomes of an app's rank-0 endpoint,
+    /// including collectives the service cleanly failed back to the
+    /// tenant (`failed == true`, with the issue-to-failure duration the
+    /// tenant actually waited). JCT reports consume this to count
+    /// failures explicitly instead of silently dropping them.
+    pub fn tenant_outcomes(&self, app: AppId) -> Vec<crate::world::TenantRecord> {
+        let Some(endpoint) = self
+            .world
+            .endpoints
+            .iter()
+            .position(|e| e.app == app && e.rank == 0)
+        else {
+            return Vec::new();
+        };
+        self.world.tenant_log.outcomes_of_endpoint(endpoint)
     }
 
     /// Instantaneous utilization of every link carrying traffic, sorted

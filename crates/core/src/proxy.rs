@@ -26,7 +26,7 @@ use crate::error::ServiceError;
 use crate::health::FailureEvent;
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::world::World;
-use mccs_collectives::{CollectiveOp, CollectiveSchedule, EdgeTask};
+use mccs_collectives::{CollectiveOp, CollectiveSchedule, EdgeTask, ScheduleKey};
 use mccs_device::{EventId, StreamId, StreamOp};
 use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ErrorCode, ShimCompletion};
 use mccs_netsim::RouteChoice;
@@ -244,11 +244,9 @@ impl ProxyEngine {
                         .completion(req),
                     );
                 } else if w.comms.remove(&key).is_some() {
-                    // Last rank gone -> drop the communicator's shared
-                    // schedule cache.
-                    if !w.comms.keys().any(|(c, _)| *c == comm) {
-                        w.schedule_cache.remove(&comm);
-                    }
+                    // The schedule cache needs no cleanup: entries are
+                    // keyed by ring shape, not communicator, and other
+                    // communicators with the same shape may still use them.
                     w.send_completion(endpoint, ShimCompletion::CommDestroy { req });
                 } else {
                     w.send_completion(
@@ -674,7 +672,8 @@ impl ProxyEngine {
                 rank.reconfig = ReconfigState::Normal;
                 // Tear down / re-establish peer connections. (The shared
                 // schedule cache needs no flush here: entries are keyed by
-                // epoch and replaced on first use under the new one.)
+                // ring shape, so the new config keys new entries and the
+                // old shape's entries simply age out.)
                 rank.resume_at = w.clock + w.svc.reconnect_delay;
                 w.schedule_wake(rank.resume_at);
                 progressed = true;
@@ -796,41 +795,25 @@ fn ensure_stream(rank: &mut CommRank, channel: usize, w: &mut World) -> StreamId
 
 /// Compute the schedule and launch this rank's local edge tasks.
 ///
-/// Every rank of a communicator derives an identical
-/// [`CollectiveSchedule`] from an identical config, so the derived
-/// schedule is cached **once per communicator** in
-/// [`World::schedule_cache`] (keyed by `(op, size)` within the current
-/// epoch) and shared across ranks — each rank then projects its own edge
-/// tasks out of the shared object. An epoch bump invalidates the whole
-/// entry on first use, so a stale hit is impossible.
+/// Schedule derivation is a pure function of (topology, op, size, channel
+/// rings), so the derived schedule is cached **world-wide** in
+/// [`World::schedule_cache`] under a [`ScheduleKey`] — every rank of a
+/// communicator, and every *other* communicator whose rings canonicalize
+/// to the same shape, shares one `Arc`, each rank projecting its own edge
+/// tasks out of it. Because the rings are part of the key there is no
+/// epoch bookkeeping: a reconfigured rank's new rings form a new key,
+/// while a rank still draining under the old epoch keys by its old rings
+/// and keeps hitting the old entry.
 fn launch_tasks(rank: &mut CommRank, w: &mut World, p: &PendingCollective) {
     let epoch = rank.config.epoch;
     let local = if w.svc.cache_schedules {
         let topo = Arc::clone(&w.topo);
-        let entry = w.schedule_cache.entry(p.coll.comm).or_default();
-        if entry.epoch < epoch {
-            entry.epoch = epoch;
-            entry.by_key.clear();
-        }
-        if entry.epoch == epoch {
-            let sched = entry
-                .by_key
-                .entry((p.coll.op, p.coll.size))
-                .or_insert_with(|| {
-                    Arc::new(CollectiveSchedule::ring(
-                        &topo,
-                        p.coll.op,
-                        p.coll.size,
-                        &rank.config.channel_rings,
-                    ))
-                });
-            sched.tasks_from_gpu(rank.gpu)
-        } else {
-            // This rank is draining under an older epoch than the cache
-            // already holds; derive without touching the shared entry.
-            CollectiveSchedule::ring(&topo, p.coll.op, p.coll.size, &rank.config.channel_rings)
-                .tasks_from_gpu(rank.gpu)
-        }
+        let key = ScheduleKey::for_ring(&topo, p.coll.op, p.coll.size, &rank.config.channel_rings);
+        w.schedule_cache
+            .get_or_derive(key, || {
+                CollectiveSchedule::ring(&topo, p.coll.op, p.coll.size, &rank.config.channel_rings)
+            })
+            .tasks_from_gpu(rank.gpu)
     } else {
         CollectiveSchedule::ring(&w.topo, p.coll.op, p.coll.size, &rank.config.channel_rings)
             .tasks_from_gpu(rank.gpu)

@@ -5,6 +5,7 @@
 //! then admit a gated application's traffic only while a window is open
 //! (and pause its in-flight flows outside them).
 
+use crate::error::ServiceError;
 use mccs_sim::Nanos;
 
 /// A periodic open/closed schedule. Offsets are relative to the period
@@ -20,32 +21,50 @@ pub struct TrafficWindows {
 
 impl TrafficWindows {
     /// A schedule open during `[offset, offset+len)` of every `period`.
-    pub fn single(period: Nanos, offset: Nanos, len: Nanos) -> Self {
-        let w = TrafficWindows {
-            period,
-            open: vec![(offset, len)],
-        };
-        w.validate();
-        w
+    pub fn single(period: Nanos, offset: Nanos, len: Nanos) -> Result<Self, ServiceError> {
+        Self::new(period, vec![(offset, len)])
     }
 
-    /// Construct from explicit intervals.
-    pub fn new(period: Nanos, open: Vec<(Nanos, Nanos)>) -> Self {
+    /// Construct from explicit intervals. Windows come from tenant /
+    /// controller requests, so a malformed schedule is an
+    /// `InvalidArgument` error rather than a service panic.
+    pub fn new(period: Nanos, open: Vec<(Nanos, Nanos)>) -> Result<Self, ServiceError> {
         let w = TrafficWindows { period, open };
-        w.validate();
-        w
+        w.validate()?;
+        Ok(w)
     }
 
-    fn validate(&self) {
-        assert!(self.period > Nanos::ZERO, "zero period");
-        assert!(!self.open.is_empty(), "schedule never opens");
+    /// Re-check the schedule invariants (fields are public, so an
+    /// installed schedule is validated again at the management API).
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.period == Nanos::ZERO {
+            return Err(ServiceError::invalid_argument(
+                "traffic window period is zero",
+            ));
+        }
+        if self.open.is_empty() {
+            return Err(ServiceError::invalid_argument(
+                "traffic window schedule never opens",
+            ));
+        }
         let mut prev_end = Nanos::ZERO;
         for &(off, len) in &self.open {
-            assert!(len > Nanos::ZERO, "empty window");
-            assert!(off >= prev_end, "windows overlap or unsorted");
+            if len == Nanos::ZERO {
+                return Err(ServiceError::invalid_argument("empty traffic window"));
+            }
+            if off < prev_end {
+                return Err(ServiceError::invalid_argument(
+                    "traffic windows overlap or are unsorted",
+                ));
+            }
             prev_end = off + len;
         }
-        assert!(prev_end <= self.period, "windows exceed period");
+        if prev_end > self.period {
+            return Err(ServiceError::invalid_argument(
+                "traffic windows exceed period",
+            ));
+        }
+        Ok(())
     }
 
     /// Whether traffic may flow at `now`.
@@ -102,7 +121,7 @@ mod tests {
 
     #[test]
     fn open_closed_phases() {
-        let w = TrafficWindows::single(ms(10), ms(2), ms(3));
+        let w = TrafficWindows::single(ms(10), ms(2), ms(3)).expect("valid");
         assert!(!w.is_open(ms(0)));
         assert!(w.is_open(ms(2)));
         assert!(w.is_open(ms(4)));
@@ -114,7 +133,7 @@ mod tests {
 
     #[test]
     fn boundaries_advance_strictly() {
-        let w = TrafficWindows::single(ms(10), ms(2), ms(3));
+        let w = TrafficWindows::single(ms(10), ms(2), ms(3)).expect("valid");
         assert_eq!(w.next_boundary(ms(0)), ms(2));
         assert_eq!(w.next_boundary(ms(2)), ms(5));
         assert_eq!(w.next_boundary(ms(5)), ms(12));
@@ -128,7 +147,7 @@ mod tests {
 
     #[test]
     fn multiple_windows() {
-        let w = TrafficWindows::new(ms(10), vec![(ms(0), ms(2)), (ms(5), ms(1))]);
+        let w = TrafficWindows::new(ms(10), vec![(ms(0), ms(2)), (ms(5), ms(1))]).expect("valid");
         assert!(w.is_open(ms(0)));
         assert!(!w.is_open(ms(3)));
         assert!(w.is_open(ms(5)));
@@ -137,20 +156,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceed period")]
     fn rejects_overlong_window() {
-        TrafficWindows::single(ms(10), ms(8), ms(5));
+        let e = TrafficWindows::single(ms(10), ms(8), ms(5)).expect_err("overlong");
+        assert_eq!(e.code, mccs_ipc::ErrorCode::InvalidArgument);
+        assert!(e.message.contains("exceed period"), "{}", e.message);
     }
 
     #[test]
-    #[should_panic(expected = "overlap")]
     fn rejects_overlapping_windows() {
-        TrafficWindows::new(ms(10), vec![(ms(0), ms(5)), (ms(3), ms(2))]);
+        let e = TrafficWindows::new(ms(10), vec![(ms(0), ms(5)), (ms(3), ms(2))])
+            .expect_err("overlapping");
+        assert_eq!(e.code, mccs_ipc::ErrorCode::InvalidArgument);
+        assert!(e.message.contains("overlap"), "{}", e.message);
+    }
+
+    #[test]
+    fn rejects_degenerate_schedules() {
+        assert!(TrafficWindows::new(Nanos::ZERO, vec![(ms(0), ms(1))]).is_err());
+        assert!(TrafficWindows::new(ms(10), vec![]).is_err());
+        assert!(TrafficWindows::new(ms(10), vec![(ms(2), Nanos::ZERO)]).is_err());
     }
 
     #[test]
     fn state_changes_match_is_open_transitions() {
-        let w = TrafficWindows::new(ms(20), vec![(ms(1), ms(4)), (ms(10), ms(2))]);
+        let w = TrafficWindows::new(ms(20), vec![(ms(1), ms(4)), (ms(10), ms(2))]).expect("valid");
         // walk boundaries for 3 periods; state must flip at each boundary
         let mut t = Nanos::ZERO;
         for _ in 0..12 {

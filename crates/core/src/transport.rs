@@ -56,6 +56,11 @@ struct RetryEntry {
     bytes: Bytes,
     /// The attempt number this restart will be (1-based).
     attempts: u32,
+    /// The route the previous attempt died on. `route_healthy` only
+    /// reflects hard link-down state, so a degraded-but-nominally-healthy
+    /// route that just timed out would otherwise be eligible again;
+    /// excluded from re-pinning whenever an alternative exists.
+    exclude: Option<RouteId>,
 }
 
 /// The per-NIC transport engine.
@@ -204,10 +209,17 @@ impl TransportEngine {
         };
         for entry in due {
             let diversity = w.topo.path_diversity(self.nic, entry.dst_nic);
-            let healthy: Vec<RouteId> = (0..diversity)
+            let mut healthy: Vec<RouteId> = (0..diversity)
                 .map(|i| RouteId(i as u32))
                 .filter(|&r| w.net.route_healthy(self.nic, entry.dst_nic, r))
                 .collect();
+            // Never re-pin straight back onto the route that just failed
+            // this flow — unless it is the only one left.
+            if let Some(bad) = entry.exclude {
+                if healthy.len() > 1 {
+                    healthy.retain(|&r| r != bad);
+                }
+            }
             let Some(&route) = healthy.get(entry.attempts as usize % healthy.len().max(1)) else {
                 // Nowhere to go right now: burn an attempt and try again
                 // later (the cap guarantees termination).
@@ -222,7 +234,7 @@ impl TransportEngine {
             };
             w.health.counters.flow_retries += 1;
             if healthy.len() < diversity {
-                // We actively detoured around at least one dead route.
+                // We actively detoured around a dead or just-failed route.
                 w.health.counters.flow_repins += 1;
             }
             w.health.record(FailureEvent::FlowRetried {
@@ -275,6 +287,9 @@ impl TransportEngine {
                 None => f.stalled_since = Some(now),
                 Some(since) if now - since >= w.svc.flow_timeout => {
                     let f = self.active.remove(&id).expect("listed");
+                    // Remember which route starved the flow before we
+                    // tear it down, so the retry avoids it.
+                    let failing_route = w.net.flow_route(id).map(|r| r.id);
                     w.net.cancel_flow(now, id);
                     w.flow_owner_nic.remove(&id);
                     self.schedule_retry(
@@ -287,6 +302,7 @@ impl TransportEngine {
                             dst_nic: f.dst_nic,
                             bytes: f.bytes,
                             attempts: f.attempts + 1,
+                            exclude: failing_route,
                         },
                     );
                     progressed = true;
@@ -401,6 +417,9 @@ impl Engine<World> for TransportEngine {
                 .remove(&id)
                 .expect("kill notice for a flow this transport never started");
             debug_assert_eq!(f.token, token, "kill notice token mismatch");
+            // The net may still know the killed flow's route; if so, steer
+            // the retry away from it.
+            let failing_route = w.net.flow_route(id).map(|r| r.id);
             self.schedule_retry(
                 w,
                 RetryEntry {
@@ -411,6 +430,7 @@ impl Engine<World> for TransportEngine {
                     dst_nic: f.dst_nic,
                     bytes: f.bytes,
                     attempts: f.attempts + 1,
+                    exclude: failing_route,
                 },
             );
             progressed = true;

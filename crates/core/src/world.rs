@@ -11,14 +11,14 @@ use crate::messages::{ProxyMsg, TransportMsg};
 use crate::proxy::CommRank;
 use crate::recovery::RecoveryPolicy;
 use crate::tracing::TraceCollector;
-use mccs_collectives::{CollectiveOp, CollectiveSchedule};
+use mccs_collectives::{CollectiveSchedule, ScheduleKey};
 use mccs_device::{
     DeviceConfig, DeviceFabric, DeviceNotification, DevicePtr, EventId, MemHandle, StreamId,
 };
 use mccs_ipc::{AppId, CommunicatorId, IpcConfig, LatencyQueue, ShimCommand, ShimCompletion};
 use mccs_netsim::{ControlFault, FaultEvent, FaultPlan, FlowCompletion, FlowId, Network};
 use mccs_shim::ShimPort;
-use mccs_sim::{Bytes, EventQueue, Nanos, Rng};
+use mccs_sim::{EventQueue, Nanos, Rng};
 use mccs_topology::{GpuId, NicId, Topology};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -106,17 +106,61 @@ impl CollectiveProgress {
     }
 }
 
-/// One communicator's shared schedule cache: derived
-/// [`CollectiveSchedule`]s keyed by `(op, size)`, valid for one epoch.
-/// Shared across the communicator's ranks (each rank extracts its own
-/// tasks via `tasks_from_gpu`), so an n-rank communicator stores each
-/// schedule once instead of n times.
+/// The world-level schedule cache: derived [`CollectiveSchedule`]s keyed
+/// by [`ScheduleKey`] (canonicalized ring shape + op + size + channel
+/// count), shared across **communicators** — any two communicators whose
+/// launches resolve to the same key get the same `Arc`, each rank
+/// extracting its own work via `tasks_from_gpu`. Because the rings
+/// themselves are part of the key, epoch and reconfiguration correctness
+/// is structural: a reconfigured communicator's new rings form a new key,
+/// while a rank still draining under the old epoch derives the old key
+/// from its old rings and keeps hitting the old entry.
 #[derive(Debug, Default)]
-pub struct CommScheduleCache {
-    /// The epoch the cached schedules were derived under.
-    pub epoch: u64,
-    /// Derived schedules by `(op, size)`.
-    pub by_key: HashMap<(CollectiveOp, Bytes), Arc<CollectiveSchedule>>,
+pub struct WorldScheduleCache {
+    by_key: HashMap<ScheduleKey, Arc<CollectiveSchedule>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cached schedules beyond this are assumed to be shapes retired by
+/// reconfigurations or one-off sizes; the cache is dropped wholesale and
+/// rebuilt on demand.
+const SCHEDULE_CACHE_LIMIT: usize = 256;
+
+impl WorldScheduleCache {
+    /// The schedule under `key`, deriving and caching it on a miss.
+    pub fn get_or_derive(
+        &mut self,
+        key: ScheduleKey,
+        derive: impl FnOnce() -> CollectiveSchedule,
+    ) -> Arc<CollectiveSchedule> {
+        if let Some(s) = self.by_key.get(&key) {
+            self.hits += 1;
+            return Arc::clone(s);
+        }
+        self.misses += 1;
+        if self.by_key.len() >= SCHEDULE_CACHE_LIMIT {
+            self.by_key.clear();
+        }
+        let s = Arc::new(derive());
+        self.by_key.insert(key, Arc::clone(&s));
+        s
+    }
+
+    /// (hits, misses) since construction — benchmark/test probe.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct schedules currently cached.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether the cache holds no schedules.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
 }
 
 /// Everything the engines share.
@@ -159,8 +203,8 @@ pub struct World {
     pub comms: BTreeMap<(CommunicatorId, GpuId), CommRank>,
     /// Cluster-wide collective progress, keyed `(comm, seq)`.
     pub progress: HashMap<(CommunicatorId, u64), CollectiveProgress>,
-    /// Per-communicator schedule caches, shared across ranks.
-    pub schedule_cache: HashMap<CommunicatorId, CommScheduleCache>,
+    /// World-level schedule cache, shared across communicators and ranks.
+    pub schedule_cache: WorldScheduleCache,
     /// Task-token -> collective routing.
     token_targets: HashMap<u64, (CommunicatorId, u64)>,
     next_token: u64,
@@ -193,8 +237,30 @@ pub struct TenantLog {
     pending_issue: HashMap<(usize, u64), Nanos>,
     /// (endpoint, comm, seq) -> issue time (after the launch ack named the seq).
     issued: HashMap<(usize, CommunicatorId, u64), Nanos>,
-    /// Completed records: (app, endpoint, comm, seq, issued, done).
-    records: Vec<(AppId, usize, CommunicatorId, u64, Nanos, Nanos)>,
+    /// Finished records — completed *and* cleanly failed collectives.
+    records: Vec<TenantRecord>,
+}
+
+/// One finished collective as the tenant saw it: issue at the shim to
+/// the final completion message — `CollectiveDone`, or `CollectiveFailed`
+/// for work the service gave up on. Failed work still consumed tenant
+/// time; JCT accounting that dropped it would silently flatter failures.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantRecord {
+    /// Owning application.
+    pub app: AppId,
+    /// Endpoint (rank attachment) index.
+    pub endpoint: usize,
+    /// The communicator.
+    pub comm: CommunicatorId,
+    /// Collective sequence number.
+    pub seq: u64,
+    /// When the tenant pushed the collective command.
+    pub issued: Nanos,
+    /// When the final completion (done or failed) arrived.
+    pub finished: Nanos,
+    /// Whether the collective failed instead of completing.
+    pub failed: bool,
 }
 
 impl TenantLog {
@@ -219,34 +285,72 @@ impl TenantLog {
                 }
             }
             ShimCompletion::CollectiveDone { comm, seq } => {
-                let key_any = (endpoint, CommunicatorId(u64::MAX), *seq);
-                if let Some(t) = self.issued.remove(&key_any) {
-                    self.records.push((app, endpoint, *comm, *seq, t, now));
-                }
+                self.finish(endpoint, app, *comm, *seq, now, false);
+            }
+            ShimCompletion::CollectiveFailed { comm, seq, .. } => {
+                self.finish(endpoint, app, *comm, *seq, now, true);
             }
             _ => {}
         }
     }
 
-    /// Tenant-perceived `(seq, issued, done)` records of one endpoint,
-    /// in issue order.
+    fn finish(
+        &mut self,
+        endpoint: usize,
+        app: AppId,
+        comm: CommunicatorId,
+        seq: u64,
+        now: Nanos,
+        failed: bool,
+    ) {
+        let key_any = (endpoint, CommunicatorId(u64::MAX), seq);
+        if let Some(t) = self.issued.remove(&key_any) {
+            self.records.push(TenantRecord {
+                app,
+                endpoint,
+                comm,
+                seq,
+                issued: t,
+                finished: now,
+                failed,
+            });
+        }
+    }
+
+    /// Tenant-perceived `(seq, issued, done)` records of one endpoint's
+    /// **completed** collectives, in issue order — the success-only JCT
+    /// view. Use [`Self::outcomes_of_endpoint`] when failed work must be
+    /// counted too.
     pub fn latencies_of_endpoint(&self, endpoint: usize) -> Vec<(u64, Nanos, Nanos)> {
         let mut v: Vec<(u64, Nanos, Nanos)> = self
             .records
             .iter()
-            .filter(|(_, e, _, _, _, _)| *e == endpoint)
-            .map(|(_, _, _, seq, t, d)| (*seq, *t, *d))
+            .filter(|r| r.endpoint == endpoint && !r.failed)
+            .map(|r| (r.seq, r.issued, r.finished))
             .collect();
         v.sort_by_key(|&(_, t, _)| t);
         v
     }
 
-    /// All records of an app.
-    pub fn records_of_app(&self, app: AppId) -> Vec<(usize, CommunicatorId, u64, Nanos, Nanos)> {
+    /// Every finished collective of one endpoint — completed and failed —
+    /// in issue order.
+    pub fn outcomes_of_endpoint(&self, endpoint: usize) -> Vec<TenantRecord> {
+        let mut v: Vec<TenantRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.endpoint == endpoint)
+            .copied()
+            .collect();
+        v.sort_by_key(|r| r.issued);
+        v
+    }
+
+    /// All records of an app (completed and failed).
+    pub fn records_of_app(&self, app: AppId) -> Vec<TenantRecord> {
         self.records
             .iter()
-            .filter(|(a, _, _, _, _, _)| *a == app)
-            .map(|(_, e, c, s, t, d)| (*e, *c, *s, *t, *d))
+            .filter(|r| r.app == app)
+            .copied()
             .collect()
     }
 }
@@ -282,7 +386,7 @@ impl World {
             next_external_owner: 0,
             comms: BTreeMap::new(),
             progress: HashMap::new(),
-            schedule_cache: HashMap::new(),
+            schedule_cache: WorldScheduleCache::default(),
             token_targets: HashMap::new(),
             next_token: 1,
             fault_plan: None,

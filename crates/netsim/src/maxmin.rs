@@ -41,6 +41,172 @@ impl FlowDemand {
     }
 }
 
+/// Reusable scratch for [`allocate_with_priority_into`]: the frozen /
+/// remaining / active-count vectors and the class-partition index lists
+/// that [`allocate`] and [`allocate_with_priority`] would otherwise
+/// allocate afresh on every solve. Hold one per solver and thread it
+/// through repeated solves; steady-state churn then allocates nothing.
+#[derive(Debug, Default)]
+pub struct SolverScratch {
+    fill: FillBuffers,
+    hi_idx: Vec<usize>,
+    lo_idx: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct FillBuffers {
+    frozen: Vec<bool>,
+    remaining: Vec<f64>,
+    active_count: Vec<usize>,
+}
+
+/// Scratch-reusing equivalent of [`allocate_with_priority`]: writes one
+/// rate per flow (in input order) into `out`, reusing `scratch` buffers
+/// instead of allocating. Produces bit-identical results to the oracle —
+/// the priority classes are water-filled as index subsets in the same
+/// relative order the oracle's filtered clones would visit them, and the
+/// leftover capacities after the guaranteed pass are recomputed in input
+/// order exactly as [`allocate_with_priority`] does.
+pub fn allocate_with_priority_into(
+    flows: &[FlowDemand],
+    capacities: &[Bandwidth],
+    scratch: &mut SolverScratch,
+    out: &mut Vec<Bandwidth>,
+) {
+    out.clear();
+    out.resize(flows.len(), Bandwidth::ZERO);
+    scratch.hi_idx.clear();
+    scratch.lo_idx.clear();
+    for (i, f) in flows.iter().enumerate() {
+        if f.guaranteed {
+            scratch.hi_idx.push(i);
+        } else {
+            scratch.lo_idx.push(i);
+        }
+    }
+    scratch.fill.remaining.clear();
+    scratch
+        .fill
+        .remaining
+        .extend(capacities.iter().map(|c| c.as_bps()));
+    if scratch.hi_idx.is_empty() {
+        water_fill(flows, &scratch.lo_idx, &mut scratch.fill, out);
+        return;
+    }
+    water_fill(flows, &scratch.hi_idx, &mut scratch.fill, out);
+    // Recompute the leftover from the original capacities in input order,
+    // mirroring the oracle (the fill's internal `remaining` subtracts in
+    // freeze order, which differs in the last ulp).
+    scratch.fill.remaining.clear();
+    scratch
+        .fill
+        .remaining
+        .extend(capacities.iter().map(|c| c.as_bps()));
+    for &i in &scratch.hi_idx {
+        for &l in &flows[i].links {
+            scratch.fill.remaining[l] = (scratch.fill.remaining[l] - out[i].as_bps()).max(0.0);
+        }
+    }
+    water_fill(flows, &scratch.lo_idx, &mut scratch.fill, out);
+}
+
+/// Progressive filling over the subset `subset` of `flows`, against the
+/// per-link capacities pre-loaded into `buf.remaining` (consumed). Writes
+/// `out[i]` for each `i` in `subset`; other slots are untouched. The loop
+/// body is the same arithmetic in the same order as [`allocate`], so a
+/// subset fill is bit-identical to `allocate` over the filtered clone.
+fn water_fill(
+    flows: &[FlowDemand],
+    subset: &[usize],
+    buf: &mut FillBuffers,
+    out: &mut [Bandwidth],
+) {
+    if subset.is_empty() {
+        return;
+    }
+    let nl = buf.remaining.len();
+    buf.frozen.clear();
+    buf.frozen.resize(subset.len(), false);
+    buf.active_count.clear();
+    buf.active_count.resize(nl, 0);
+    for &i in subset {
+        for &l in &flows[i].links {
+            buf.active_count[l] += 1;
+        }
+    }
+    let fallback_cap = buf.remaining.iter().copied().fold(0.0_f64, f64::max);
+
+    let mut unfrozen = subset.len();
+    while unfrozen > 0 {
+        let mut level = f64::INFINITY;
+        for l in 0..nl {
+            if buf.active_count[l] > 0 {
+                level = level.min(buf.remaining[l] / buf.active_count[l] as f64);
+            }
+        }
+        for (slot, &i) in subset.iter().enumerate() {
+            if buf.frozen[slot] {
+                continue;
+            }
+            if let Some(cap) = flows[i].cap {
+                level = level.min(cap.as_bps());
+            }
+        }
+        if !level.is_finite() {
+            for (slot, &i) in subset.iter().enumerate() {
+                if !buf.frozen[slot] {
+                    out[i] = flows[i].cap.unwrap_or(Bandwidth::bps(fallback_cap));
+                    buf.frozen[slot] = true;
+                }
+            }
+            break;
+        }
+        level = level.max(0.0);
+
+        let mut froze_any = false;
+        for (slot, &i) in subset.iter().enumerate() {
+            if buf.frozen[slot] {
+                continue;
+            }
+            let f = &flows[i];
+            let capped = f.cap.is_some_and(|c| c.as_bps() <= level * (1.0 + 1e-12));
+            let bottlenecked = f
+                .links
+                .iter()
+                .any(|&l| buf.remaining[l] / buf.active_count[l] as f64 <= level * (1.0 + 1e-12));
+            if capped || bottlenecked {
+                let r = if capped {
+                    f.cap.expect("checked").as_bps().min(level)
+                } else {
+                    level
+                };
+                out[i] = Bandwidth::bps(r.max(0.0));
+                buf.frozen[slot] = true;
+                unfrozen -= 1;
+                froze_any = true;
+                for &l in &f.links {
+                    buf.remaining[l] = (buf.remaining[l] - r).max(0.0);
+                    buf.active_count[l] -= 1;
+                }
+            }
+        }
+        debug_assert!(froze_any, "progressive filling stalled");
+        if !froze_any {
+            for (slot, &i) in subset.iter().enumerate() {
+                if !buf.frozen[slot] {
+                    out[i] = Bandwidth::bps(level);
+                    buf.frozen[slot] = true;
+                    for &l in &flows[i].links {
+                        buf.remaining[l] = (buf.remaining[l] - level).max(0.0);
+                        buf.active_count[l] -= 1;
+                    }
+                }
+            }
+            break;
+        }
+    }
+}
+
 /// Two-class allocation: guaranteed flows water-fill first (among
 /// themselves), then fair flows water-fill over the leftover capacity.
 pub fn allocate_with_priority(flows: &[FlowDemand], capacities: &[Bandwidth]) -> Vec<Bandwidth> {
@@ -410,6 +576,29 @@ mod tests {
             })
         }
 
+        fn arb_flows_mixed() -> impl Strategy<Value = (Vec<FlowDemand>, Vec<Bandwidth>)> {
+            // Like `arb_flows` but with a guaranteed class mixed in, to
+            // exercise the two-pass priority path of the scratch solver.
+            (1usize..12, 1usize..24).prop_flat_map(|(nl, nf)| {
+                let caps = proptest::collection::vec(1.0f64..400.0, nl)
+                    .prop_map(|v| v.into_iter().map(Bandwidth::gbps).collect::<Vec<_>>());
+                let flows = proptest::collection::vec(
+                    (
+                        proptest::collection::btree_set(0usize..nl, 1..=nl.min(5)),
+                        proptest::option::of(1.0f64..200.0),
+                        any::<bool>(),
+                    )
+                        .prop_map(|(links, cap, guaranteed)| FlowDemand {
+                            links: links.into_iter().collect(),
+                            cap: cap.map(Bandwidth::gbps),
+                            guaranteed,
+                        }),
+                    nf,
+                );
+                (flows, caps)
+            })
+        }
+
         proptest! {
             #[test]
             fn allocation_satisfies_maxmin_invariants((flows, caps) in arb_flows()) {
@@ -424,6 +613,25 @@ mod tests {
                 let b = allocate(&flows, &caps);
                 for (x, y) in a.iter().zip(&b) {
                     prop_assert_eq!(x.as_bps(), y.as_bps());
+                }
+            }
+
+            #[test]
+            fn scratch_reuse_matches_oracle(
+                cases in proptest::collection::vec(arb_flows_mixed(), 1..8)
+            ) {
+                // One scratch reused across a whole sequence of problems of
+                // varying shape must reproduce the allocating oracle
+                // bit-for-bit on every one.
+                let mut scratch = SolverScratch::default();
+                let mut out = Vec::new();
+                for (flows, caps) in &cases {
+                    let oracle = allocate_with_priority(flows, caps);
+                    allocate_with_priority_into(flows, caps, &mut scratch, &mut out);
+                    prop_assert_eq!(out.len(), oracle.len());
+                    for (x, y) in out.iter().zip(&oracle) {
+                        prop_assert_eq!(x.as_bps(), y.as_bps());
+                    }
                 }
             }
         }

@@ -15,7 +15,9 @@
 //! remains available via [`Network::set_incremental`] as the oracle.
 
 use crate::flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
-use crate::maxmin::{allocate_with_priority, FlowDemand};
+use crate::maxmin::{
+    allocate_with_priority, allocate_with_priority_into, FlowDemand, SolverScratch,
+};
 use mccs_sim::{Bandwidth, Bytes, Nanos};
 use mccs_topology::{LinkId, Route, RouteId, Topology};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -29,6 +31,28 @@ struct FlowState {
     rate: Bandwidth,
     paused: bool,
     started: Nanos,
+    /// Structural signature (FNV over route links, tenant, guaranteed)
+    /// used as the quick-reject probe of the component remap cache.
+    /// Recomputed on re-pin. Signatures only gate the cheap path: a cache
+    /// hit is confirmed by exact link-list comparison.
+    route_sig: u64,
+}
+
+/// Structural signature of one flow for the remap cache: everything the
+/// compact remap depends on besides membership order (route links, tenant
+/// for the sharing penalty, the guaranteed class).
+fn flow_sig(route: &Route, tenant: u32, guaranteed: bool) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for l in route.links.iter() {
+        mix(l.index() as u64);
+    }
+    mix(tenant as u64);
+    mix(guaranteed as u64);
+    h
 }
 
 impl FlowState {
@@ -69,7 +93,56 @@ pub struct Network {
     /// is healthy and no fault bookkeeping runs at all — the zero-overhead
     /// guarantee for fault-free simulations.
     link_faults: Option<LinkFaults>,
+    /// Reusable solver buffers + the per-component remap cache for the
+    /// incremental path. Taken out of `self` for the duration of a solve.
+    solver: NetSolver,
 }
+
+/// Scratch state for the incremental solve path: the demand/cap/rate
+/// buffers and [`SolverScratch`] are reused across solves, and `remap`
+/// caches each connected component's compact-link remap so churn that
+/// returns a component to a previous membership skips the rebuild.
+#[derive(Default)]
+struct NetSolver {
+    demands: Vec<FlowDemand>,
+    caps: Vec<Bandwidth>,
+    rates: Vec<Bandwidth>,
+    scratch: SolverScratch,
+    /// Component key (FNV over per-flow structural signatures) -> entry.
+    remap: HashMap<u64, RemapEntry>,
+    remap_hits: u64,
+    remap_misses: u64,
+}
+
+/// One component's cached compact-link remap, keyed **structurally** (by
+/// route/tenant/class shape, not flow ids) so recurring traffic patterns
+/// — the next iteration of the same collective, a flow resuming after a
+/// TS window — hit even though their flow ids are fresh. Hits are
+/// confirmed by exact per-slot comparison of real link lists (signature
+/// collisions fall back to a rebuild), and per-link capacities are always
+/// re-read from the current fault state, so an entry can serve
+/// indefinitely while an identically-shaped component recurs.
+struct RemapEntry {
+    /// Per-flow structural signatures, in membership order (quick reject).
+    sigs: Vec<u64>,
+    /// `links[offsets[i]..offsets[i+1]]` are flow i's compact link
+    /// indices; the same range of `real_links_flat` holds the real
+    /// (topology) link indices used to verify a hit exactly.
+    offsets: Vec<u32>,
+    links: Vec<u32>,
+    real_links_flat: Vec<u32>,
+    /// Per-flow (tenant, guaranteed) the sharing flags were derived from.
+    tenants: Vec<u32>,
+    guaranteed: Vec<bool>,
+    /// Per compact link: the real (topology) link index.
+    real_link: Vec<u32>,
+    /// Per compact link: shared across tenants (penalty applies).
+    shared: Vec<bool>,
+}
+
+/// Remap-cache entries beyond this are assumed to be stale garbage from
+/// membership churn; the cache is dropped wholesale and rebuilt on demand.
+const REMAP_CACHE_LIMIT: usize = 512;
 
 /// Lazily-allocated per-link fault state (only once a fault is injected).
 #[derive(Clone, Debug)]
@@ -95,6 +168,7 @@ impl Network {
             dirty_links: BTreeSet::new(),
             incremental: true,
             link_faults: None,
+            solver: NetSolver::default(),
         }
     }
 
@@ -146,6 +220,7 @@ impl Network {
         };
         let id = FlowId(self.next_id);
         self.next_id += 1;
+        let route_sig = flow_sig(&route, spec.tenant, spec.guaranteed);
         self.flows.insert(
             id,
             FlowState {
@@ -155,6 +230,7 @@ impl Network {
                 rate: Bandwidth::ZERO,
                 paused: false,
                 started: now,
+                route_sig,
             },
         );
         self.index_insert(id);
@@ -208,6 +284,7 @@ impl Network {
         let new_route = self.topo.pinned_route(src, dst, route);
         self.index_remove(id);
         let f = self.flows.get_mut(&id).expect("checked above");
+        f.route_sig = flow_sig(&new_route, f.spec.tenant, f.spec.guaranteed);
         f.route = new_route;
         f.spec.routing = RouteChoice::Pinned(route);
         self.index_insert(id);
@@ -548,12 +625,182 @@ impl Network {
 
     /// Max-min solve restricted to `ids` (which must be a union of
     /// connected components — or the full active set).
+    ///
+    /// The incremental path reuses the [`NetSolver`] scratch (demand /
+    /// capacity / rate buffers, [`SolverScratch`], remap cache) so a
+    /// steady-state solve allocates nothing. The from-scratch oracle path
+    /// (`set_incremental(false)`) keeps the original allocating pipeline
+    /// so equivalence tests compare genuinely independent code.
     fn solve_for(&mut self, ids: &[FlowId]) {
-        let (demands, compact_caps) = self.build_problem(ids);
-        let rates = allocate_with_priority(&demands, &compact_caps);
-        for (&id, rate) in ids.iter().zip(rates) {
+        if !self.incremental {
+            let (demands, compact_caps) = self.build_problem(ids);
+            let rates = allocate_with_priority(&demands, &compact_caps);
+            for (&id, rate) in ids.iter().zip(rates) {
+                self.flows.get_mut(&id).expect("listed above").rate = rate;
+            }
+            return;
+        }
+        let mut s = std::mem::take(&mut self.solver);
+        self.fill_problem_cached(ids, &mut s);
+        allocate_with_priority_into(&s.demands, &s.caps, &mut s.scratch, &mut s.rates);
+        for (&id, &rate) in ids.iter().zip(&s.rates) {
             self.flows.get_mut(&id).expect("listed above").rate = rate;
         }
+        self.solver = s;
+    }
+
+    /// FNV-1a over the component's per-flow structural signatures — the
+    /// remap-cache key. Membership order matters (compact indices are
+    /// assigned in traversal order) and is part of the key implicitly via
+    /// the signature sequence.
+    fn component_key(&self, ids: &[FlowId]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &id in ids {
+            h ^= self.flows[&id].route_sig;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Fill `s.demands` / `s.caps` for `ids`, consulting the component
+    /// remap cache. A hit copies the stored compact link lists and
+    /// re-reads only per-link capacities (fault state and the sharing
+    /// penalty are applied fresh); a miss rebuilds the remap exactly as
+    /// [`Self::build_problem`] does and stores it for next time.
+    fn fill_problem_cached(&self, ids: &[FlowId], s: &mut NetSolver) {
+        let n = ids.len();
+        if s.demands.len() > n {
+            s.demands.truncate(n);
+        }
+        while s.demands.len() < n {
+            s.demands.push(FlowDemand {
+                links: Vec::new(),
+                cap: None,
+                guaranteed: false,
+            });
+        }
+        let key = self.component_key(ids);
+        let hit = s.remap.get(&key).is_some_and(|e| {
+            e.sigs.len() == n
+                && ids.iter().enumerate().all(|(i, id)| {
+                    let f = &self.flows[id];
+                    let (lo, hi) = (e.offsets[i] as usize, e.offsets[i + 1] as usize);
+                    f.route_sig == e.sigs[i]
+                        && f.spec.tenant == e.tenants[i]
+                        && f.spec.guaranteed == e.guaranteed[i]
+                        && f.route.links.len() == hi - lo
+                        && f.route
+                            .links
+                            .iter()
+                            .zip(&e.real_links_flat[lo..hi])
+                            .all(|(l, &rl)| l.index() == rl as usize)
+                })
+        });
+        if hit {
+            s.remap_hits += 1;
+            let e = &s.remap[&key];
+            for (i, &id) in ids.iter().enumerate() {
+                let f = &self.flows[&id];
+                let d = &mut s.demands[i];
+                d.links.clear();
+                d.links.extend(
+                    e.links[e.offsets[i] as usize..e.offsets[i + 1] as usize]
+                        .iter()
+                        .map(|&l| l as usize),
+                );
+                d.cap = f.spec.rate_cap;
+                d.guaranteed = f.spec.guaranteed;
+            }
+            s.caps.clear();
+            s.caps.extend(
+                e.real_link
+                    .iter()
+                    .map(|&rl| self.effective_capacity(rl as usize)),
+            );
+            if self.cross_tenant_penalty > 0.0 {
+                for (cl, &shared) in e.shared.iter().enumerate() {
+                    if shared {
+                        s.caps[cl] = s.caps[cl] * (1.0 - self.cross_tenant_penalty);
+                    }
+                }
+            }
+            return;
+        }
+        s.remap_misses += 1;
+        let mut compact: HashMap<usize, usize> = HashMap::new();
+        let mut real_link: Vec<u32> = Vec::new();
+        let mut shared_flags: Vec<bool> = Vec::new();
+        let mut link_first_tenant: Vec<u32> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut flat_links: Vec<u32> = Vec::new();
+        let mut real_links_flat: Vec<u32> = Vec::new();
+        let mut sigs: Vec<u64> = Vec::with_capacity(n);
+        let mut tenants: Vec<u32> = Vec::with_capacity(n);
+        let mut guaranteed_flags: Vec<bool> = Vec::with_capacity(n);
+        offsets.push(0);
+        s.caps.clear();
+        for (i, &id) in ids.iter().enumerate() {
+            let f = &self.flows[&id];
+            debug_assert!(f.active(), "solving for a paused flow");
+            let tenant = f.spec.tenant;
+            let counts_for_sharing = !f.spec.guaranteed;
+            let d = &mut s.demands[i];
+            d.links.clear();
+            for l in f.route.links.iter() {
+                let idx = l.index();
+                let cl = *compact.entry(idx).or_insert_with(|| {
+                    s.caps.push(self.effective_capacity(idx));
+                    real_link.push(idx as u32);
+                    shared_flags.push(false);
+                    link_first_tenant.push(u32::MAX);
+                    s.caps.len() - 1
+                });
+                d.links.push(cl);
+                flat_links.push(cl as u32);
+                real_links_flat.push(idx as u32);
+                if counts_for_sharing {
+                    match link_first_tenant[cl] {
+                        u32::MAX => link_first_tenant[cl] = tenant,
+                        t if t != tenant => shared_flags[cl] = true,
+                        _ => {}
+                    }
+                }
+            }
+            offsets.push(flat_links.len() as u32);
+            d.cap = f.spec.rate_cap;
+            d.guaranteed = f.spec.guaranteed;
+            sigs.push(f.route_sig);
+            tenants.push(tenant);
+            guaranteed_flags.push(f.spec.guaranteed);
+        }
+        if self.cross_tenant_penalty > 0.0 {
+            for (cl, &shared) in shared_flags.iter().enumerate() {
+                if shared {
+                    s.caps[cl] = s.caps[cl] * (1.0 - self.cross_tenant_penalty);
+                }
+            }
+        }
+        if s.remap.len() >= REMAP_CACHE_LIMIT {
+            s.remap.clear();
+        }
+        s.remap.insert(
+            key,
+            RemapEntry {
+                sigs,
+                offsets,
+                links: flat_links,
+                real_links_flat,
+                tenants,
+                guaranteed: guaranteed_flags,
+                real_link,
+                shared: shared_flags,
+            },
+        );
+    }
+
+    /// (hits, misses) of the component remap cache — benchmark/test probe.
+    pub fn remap_cache_stats(&self) -> (u64, u64) {
+        (self.solver.remap_hits, self.solver.remap_misses)
     }
 
     /// Build the allocation problem for `ids`. Remaps to the compact set
@@ -954,6 +1201,46 @@ mod tests {
             net.route_healthy(nic(0), nic(4), RouteId(1)),
             "the other spine stays healthy"
         );
+    }
+
+    #[test]
+    fn remap_cache_hits_on_recurring_component_shapes() {
+        let mut net = testbed_net();
+        // First solve of each structural shape is a miss...
+        let _a = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::gib(1), 0),
+        );
+        let b = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(1), nic(2), Bytes::gib(1), 1),
+        );
+        assert_eq!(net.remap_cache_stats(), (0, 2));
+        // ...but cancelling b returns the component to a's solo shape
+        // (seen at admission), and an identically-routed replacement flow
+        // recreates the two-flow shape — both hits despite fresh ids.
+        net.cancel_flow(Nanos::ZERO, b);
+        assert_eq!(net.remap_cache_stats(), (1, 2));
+        let _b2 = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(1), nic(2), Bytes::gib(1), 1),
+        );
+        assert_eq!(net.remap_cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn remap_cache_hit_after_degrade_reads_fresh_capacity() {
+        let mut net = testbed_net();
+        let f = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::gib(1), 0),
+        );
+        let link = net.flow_route(f).expect("present").links[0];
+        // Degrading re-solves the same component shape — a cache hit that
+        // must still see the reduced capacity.
+        net.set_link_degrade(Nanos::ZERO, link, 0.5);
+        assert_eq!(net.remap_cache_stats(), (1, 1));
+        assert!((net.flow_rate(f).as_gbps() - 25.0).abs() < 1e-6);
     }
 
     #[test]

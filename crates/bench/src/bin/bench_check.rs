@@ -274,6 +274,18 @@ fn check_file(base_path: &Path, cand_path: &Path, tol: f64) -> Result<Vec<String
     Ok(diff(&base, &cand, tol))
 }
 
+/// Sorted `BENCH_*.json` file names in a directory.
+fn bench_records(dir: &str) -> Result<Vec<String>, String> {
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("cannot list {dir}: {e}"))?;
+    let mut names: Vec<String> = rd
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let (Some(base_dir), Some(cand_dir)) = (args.get(1), args.get(2)) else {
@@ -282,44 +294,51 @@ fn main() -> ExitCode {
     };
     let tol: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.05);
 
-    let mut baselines: Vec<std::path::PathBuf> = match std::fs::read_dir(base_dir) {
-        Ok(rd) => rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| {
-                p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
-            })
-            .collect(),
-        Err(e) => {
-            eprintln!("cannot list {base_dir}: {e}");
+    let (baselines, candidates) = match (bench_records(base_dir), bench_records(cand_dir)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
-    baselines.sort();
     if baselines.is_empty() {
         eprintln!("no BENCH_*.json baselines in {base_dir}");
         return ExitCode::from(2);
     }
 
+    // The record *sets* must match exactly before any contents are
+    // compared: a regenerator that stopped producing a record, or a new
+    // bench without a committed baseline, is a failure in itself — and
+    // one a per-file read error would report far less legibly.
     let mut failed = false;
-    for base_path in &baselines {
-        let name = base_path.file_name().expect("file").to_owned();
-        let cand_path = Path::new(cand_dir).join(&name);
-        match check_file(base_path, &cand_path, tol) {
+    for name in baselines.iter().filter(|n| !candidates.contains(n)) {
+        failed = true;
+        println!("FAIL {name}: in baseline {base_dir} but not regenerated in {cand_dir}");
+    }
+    for name in candidates.iter().filter(|n| !baselines.contains(n)) {
+        failed = true;
+        println!(
+            "FAIL {name}: regenerated in {cand_dir} but no baseline in {base_dir} (commit one)"
+        );
+    }
+
+    for name in baselines.iter().filter(|n| candidates.contains(n)) {
+        let base_path = Path::new(base_dir).join(name);
+        let cand_path = Path::new(cand_dir).join(name);
+        match check_file(&base_path, &cand_path, tol) {
             Ok(v) if v.is_empty() => {
-                println!("OK   {}", name.to_string_lossy());
+                println!("OK   {name}");
             }
             Ok(v) => {
                 failed = true;
-                println!("FAIL {}", name.to_string_lossy());
+                println!("FAIL {name}");
                 for line in v {
                     println!("     {line}");
                 }
             }
             Err(e) => {
                 failed = true;
-                println!("FAIL {}: {e}", name.to_string_lossy());
+                println!("FAIL {name}: {e}");
             }
         }
     }
@@ -382,6 +401,18 @@ mod tests {
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().any(|m| m.contains("missing in candidate")));
         assert!(v.iter().any(|m| m.contains("\"old\" -> \"new\"")));
+    }
+
+    #[test]
+    fn bench_records_filters_and_sorts() {
+        let dir = std::env::temp_dir().join(format!("bench_check_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for name in ["BENCH_b.json", "BENCH_a.json", "fig1.txt", "BENCH_x.txt"] {
+            std::fs::write(dir.join(name), "{}").expect("write");
+        }
+        let names = bench_records(dir.to_str().expect("utf8")).expect("list");
+        assert_eq!(names, vec!["BENCH_a.json", "BENCH_b.json"]);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Figure 12 (extension) — degradation-aware routing under brownouts.
+//!
+//! Two interleaved four-host tenants AllReduce over the testbed while
+//! spine 0 browns out to a swept fraction of line rate at t=4ms. Each
+//! brownout level runs under both degradation policies:
+//!
+//! * **weighted** — the default [`DegradationPolicy`]: flows rebalance
+//!   toward the route with the best estimated max-min share, so a
+//!   half-rate spine keeps carrying a proportional load;
+//! * **route-around** — the binary policy: any degraded route is
+//!   abandoned, piling both tenants onto the survivor where cross-tenant
+//!   sharing costs extra.
+//!
+//! All reported times are **virtual** (deterministic, seed-stable): the
+//! record is diffable across runs and machines by design.
+//!
+//! Run: `cargo run --release -p mccs-bench --bin fig12_degradation`
+
+use mccs_bench::report::{json_rows, print_csv, print_table, write_bench_json};
+use mccs_collectives::op::all_reduce_sum;
+use mccs_core::{Cluster, ClusterConfig, DegradationPolicy};
+use mccs_ipc::{AppId, CommunicatorId};
+use mccs_netsim::FaultPlan;
+use mccs_shim::{AppProgram, ScriptStep, ScriptedProgram};
+use mccs_sim::{Bytes, Nanos};
+use mccs_topology::graph::Endpoint;
+use mccs_topology::{presets, GpuId, LinkId, SwitchRole};
+use std::sync::Arc;
+
+const SIZE: Bytes = Bytes::mib(8);
+const ITERS: usize = 4;
+const SEED: u64 = 61;
+const BROWNOUT_AT: Nanos = Nanos::from_millis(4);
+/// Remaining capacity fractions swept (per mille): healthy down to 25%.
+const LEVELS: [u32; 4] = [1000, 750, 500, 250];
+
+fn rank_program(name: &str, comm: CommunicatorId, rank: usize, world: &[GpuId]) -> ScriptedProgram {
+    ScriptedProgram::new(
+        format!("{name}/r{rank}"),
+        vec![
+            ScriptStep::Alloc {
+                size: SIZE,
+                slot: 0,
+            },
+            ScriptStep::Alloc {
+                size: SIZE,
+                slot: 1,
+            },
+            ScriptStep::CommInit {
+                comm,
+                world: world.to_vec(),
+                rank,
+            },
+            ScriptStep::Collective {
+                comm,
+                op: all_reduce_sum(),
+                size: SIZE,
+                send_slot: 0,
+                recv_slot: 1,
+            },
+            ScriptStep::Repeat {
+                from_step: 3,
+                times: ITERS - 1,
+            },
+        ],
+    )
+}
+
+/// Every link touching the first spine switch (the brownout domain).
+fn spine0_links(cluster: &Cluster) -> Vec<LinkId> {
+    let topo = &cluster.world.topo;
+    let spine = topo
+        .switches()
+        .iter()
+        .find(|s| s.role == SwitchRole::Spine)
+        .expect("testbed has spines")
+        .id;
+    topo.links()
+        .iter()
+        .filter(|l| {
+            matches!(l.from, Endpoint::Switch(s) if s == spine)
+                || matches!(l.to, Endpoint::Switch(s) if s == spine)
+        })
+        .map(|l| l.id)
+        .collect()
+}
+
+/// One cell of the sweep: makespan and failure-machinery counters for the
+/// two-tenant brownout at `milli` remaining capacity under `policy`.
+fn run_cell(policy: DegradationPolicy, milli: u32) -> (Nanos, u64, u64) {
+    let mut cfg = ClusterConfig::with_seed(SEED);
+    cfg.service.degradation = policy;
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), cfg);
+    let tenants = [
+        (
+            "brown-a",
+            CommunicatorId(1),
+            [GpuId(0), GpuId(2), GpuId(4), GpuId(6)],
+        ),
+        (
+            "brown-b",
+            CommunicatorId(2),
+            [GpuId(1), GpuId(3), GpuId(5), GpuId(7)],
+        ),
+    ];
+    for (name, comm, gpus) in tenants {
+        let ranks = gpus
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let prog = rank_program(name, comm, rank, &gpus);
+                (gpu, Box::new(prog) as Box<dyn AppProgram>)
+            })
+            .collect();
+        cluster.add_app(name, ranks);
+    }
+    let domain = spine0_links(&cluster);
+    cluster.install_fault_plan(FaultPlan::new().degrade_group(BROWNOUT_AT, &domain, milli));
+    cluster.run_until_quiescent(Nanos::from_secs(60));
+    let mut makespan = Nanos::ZERO;
+    for app in [AppId(0), AppId(1)] {
+        let tl = cluster.mgmt().timeline(app);
+        assert_eq!(tl.len(), ITERS, "brownout sweep lost collectives");
+        makespan = makespan.max(tl.last().expect("ran").completed_at.expect("complete"));
+    }
+    let counters = cluster.mgmt().health_counters();
+    assert_eq!(counters.collectives_failed, 0);
+    (makespan, counters.flow_rebalances, counters.recoveries)
+}
+
+fn main() {
+    println!("== Figure 12 (extension): brownout sweep, weighted vs route-around ==\n");
+    let policies = [
+        ("weighted", DegradationPolicy::default()),
+        ("route_around", DegradationPolicy::route_around()),
+    ];
+    let headers = [
+        "capacity_milli",
+        "policy",
+        "makespan_ms",
+        "rebalances",
+        "recoveries",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for milli in LEVELS {
+        for (name, policy) in policies {
+            let (makespan, rebalances, recoveries) = run_cell(policy, milli);
+            rows.push(vec![
+                milli.to_string(),
+                name.to_string(),
+                format!("{:.3}", makespan.as_secs_f64() * 1e3),
+                rebalances.to_string(),
+                recoveries.to_string(),
+            ]);
+        }
+    }
+    print_table(&headers, &rows);
+    print_csv("fig12_degradation", &headers, &rows);
+    write_bench_json(
+        "fig12_degradation",
+        &format!("\"rows\":{}", json_rows(&headers, &rows)),
+    );
+}

@@ -26,27 +26,42 @@ use std::collections::HashMap;
 pub struct FailoverPolicy;
 
 impl FailoverPolicy {
-    /// Best-fit one connection onto its healthy equal-cost paths: the one
-    /// minimizing post-placement maximum link utilization; ties (e.g. when
-    /// the shared NIC uplink dominates every candidate's max) broken by
-    /// total path utilization, then lowest route id (determinism). `None`
-    /// when every path is dead.
+    /// Best-fit one connection onto its surviving equal-cost paths: the
+    /// one minimizing post-placement maximum link utilization, measured
+    /// against each link's *effective* (degrade-adjusted) capacity so a
+    /// half-rate spine attracts half the placements; ties (e.g. when the
+    /// shared NIC uplink dominates every candidate's max) broken by total
+    /// path utilization, then lowest route id (determinism). Routes the
+    /// degradation policy deems unusable are considered only when no
+    /// usable route survives; `None` when every path is dead.
     fn place(w: &World, load: &mut HashMap<usize, f64>, src: NicId, dst: NicId) -> Option<RouteId> {
+        let policy = w.svc.degradation;
         let demand = w.topo.nic(src).bandwidth.as_bps();
         let mut best: Option<(f64, f64, RouteId)> = None;
-        for p in w.topo.ecmp_paths(src, dst).iter() {
-            if !w.net.route_healthy(src, dst, p.id) {
-                continue;
+        for pass in 0..2 {
+            for p in w.topo.ecmp_paths(src, dst).iter() {
+                let weight = w.net.route_weight(src, dst, p.id);
+                let eligible = if pass == 0 {
+                    policy.usable_weight(weight) > 0.0
+                } else {
+                    weight > 0.0
+                };
+                if !eligible {
+                    continue;
+                }
+                let (mut worst, mut total) = (0.0_f64, 0.0_f64);
+                for l in p.links.iter() {
+                    let cap = w.net.link_effective_capacity(*l).as_bps();
+                    let u = (load.get(&l.index()).copied().unwrap_or(0.0) + demand) / cap;
+                    worst = worst.max(u);
+                    total += u;
+                }
+                if best.is_none_or(|(bw, bt, _)| worst < bw || (worst == bw && total < bt)) {
+                    best = Some((worst, total, p.id));
+                }
             }
-            let (mut worst, mut total) = (0.0_f64, 0.0_f64);
-            for l in p.links.iter() {
-                let cap = w.topo.link(*l).bandwidth.as_bps();
-                let u = (load.get(&l.index()).copied().unwrap_or(0.0) + demand) / cap;
-                worst = worst.max(u);
-                total += u;
-            }
-            if best.is_none_or(|(bw, bt, _)| worst < bw || (worst == bw && total < bt)) {
-                best = Some((worst, total, p.id));
+            if best.is_some() {
+                break;
             }
         }
         let (_, _, id) = best?;

@@ -28,11 +28,13 @@
 pub mod controller;
 pub mod failover;
 pub mod flow_policy;
+pub mod monitor;
 pub mod ring_policy;
 pub mod ts;
 
 pub use controller::{apply_traffic_schedule, optimize_cluster, FlowAssignment, PolicySpec};
 pub use failover::FailoverPolicy;
 pub use flow_policy::{ffa, pfa, JobFlows};
+pub use monitor::{HealthMonitor, MonitorReport};
 pub use ring_policy::{optimal_rings, ChannelPolicy};
 pub use ts::infer_windows;

@@ -1,0 +1,127 @@
+//! The controller's event-driven health monitor.
+//!
+//! [`HealthMonitor`] subscribes to the service's bounded health push
+//! channel (via [`Management::subscribe_health`]) and reacts **per
+//! event** — no polling of `links_down()` / `failure_events()` anywhere
+//! in the reaction path. Link-down, link-degrade, and host events fold
+//! into a set of affected communicators; each affected communicator gets
+//! one corrective [`FailoverPolicy`] reconfiguration per poll, placed
+//! against effective (degrade-adjusted) link capacities. A channel
+//! overflow delivers a snapshot resync instead of a gapped stream, and
+//! the monitor falls back to re-evaluating every communicator against
+//! the snapshot — the same coalescing the service-side recovery engine
+//! applies.
+//!
+//! [`Management::subscribe_health`]: mccs_core::mgmt::Management::subscribe_health
+
+use crate::failover::FailoverPolicy;
+use mccs_core::health::{FailureEvent, HealthDelivery, HealthSubscription};
+use mccs_core::recovery::{comm_min_route_weight, RecoveryPolicy};
+use mccs_core::{Cluster, CommInfo};
+use mccs_ipc::CommunicatorId;
+use std::collections::BTreeSet;
+
+/// What one [`HealthMonitor::poll`] observed and did.
+#[derive(Clone, Debug, Default)]
+pub struct MonitorReport {
+    /// Seq-numbered events delivered this poll (empty on a resync).
+    pub events: Vec<(u64, FailureEvent)>,
+    /// Whether the channel overflowed and handed us a snapshot instead.
+    pub resynced: bool,
+    /// Events lost to overflow (0 unless `resynced`).
+    pub lost: u64,
+    /// Communicators this poll reconfigured via [`FailoverPolicy`].
+    pub reconfigured: Vec<CommunicatorId>,
+}
+
+/// Event-driven controller reaction loop over the health push channel.
+pub struct HealthMonitor {
+    sub: HealthSubscription,
+    /// Total events consumed across polls (observability).
+    consumed: u64,
+}
+
+impl HealthMonitor {
+    /// Subscribe at the channel's current tail: the monitor reacts to
+    /// everything recorded after this call.
+    pub fn subscribe(cluster: &mut Cluster) -> Self {
+        HealthMonitor {
+            sub: cluster.mgmt().subscribe_health(),
+            consumed: 0,
+        }
+    }
+
+    /// Events consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Drain the channel and react: fold this batch's topology events
+    /// into a set of affected communicators, then issue one
+    /// [`FailoverPolicy`] reconfiguration per affected communicator.
+    pub fn poll(&mut self, cluster: &mut Cluster) -> MonitorReport {
+        let mut report = MonitorReport::default();
+        let mut topo_changed = false;
+        match cluster.mgmt().poll_health(&mut self.sub) {
+            HealthDelivery::Events(events) => {
+                self.consumed += events.len() as u64;
+                for &(_, ev) in &events {
+                    if matches!(
+                        ev,
+                        FailureEvent::LinkDown { .. }
+                            | FailureEvent::LinkDegraded { .. }
+                            | FailureEvent::HostDown { .. }
+                            | FailureEvent::HostUp { .. }
+                    ) {
+                        topo_changed = true;
+                    }
+                }
+                report.events = events;
+            }
+            HealthDelivery::Resync(snap) => {
+                report.resynced = true;
+                report.lost = snap.lost;
+                topo_changed = true;
+            }
+        }
+        if !topo_changed {
+            return report;
+        }
+        // One corrective pass per affected communicator: affected means
+        // its current routes cross a link the degradation policy rejects.
+        let comms: Vec<CommInfo> = cluster.mgmt().communicators();
+        let mut affected: BTreeSet<CommunicatorId> = BTreeSet::new();
+        for info in &comms {
+            if info.registered_ranks != info.world.len() {
+                continue;
+            }
+            let w = &cluster.world;
+            let weight = comm_min_route_weight(w, info.comm);
+            if w.svc.degradation.usable_weight(weight) <= 0.0 {
+                affected.insert(info.comm);
+            }
+        }
+        for comm in affected {
+            let (current, world_gpus) = {
+                let w = &cluster.world;
+                let Some(rank) = w
+                    .comms
+                    .iter()
+                    .find(|((c, _), _)| *c == comm)
+                    .map(|(_, r)| r)
+                else {
+                    continue;
+                };
+                (rank.config.clone(), rank.world_gpus.clone())
+            };
+            let Some((rings, routes)) =
+                FailoverPolicy.plan(&cluster.world, comm, &current, &world_gpus)
+            else {
+                continue;
+            };
+            cluster.mgmt().reconfigure(comm, rings, routes);
+            report.reconfigured.push(comm);
+        }
+        report
+    }
+}

@@ -1,0 +1,153 @@
+//! Controller-side health monitoring over the push channel.
+//!
+//! The service never runs its own recovery engine here (no fault plan is
+//! installed, so the plan-gated machinery is inert): every corrective
+//! action observed below was driven by the controller's [`HealthMonitor`]
+//! reacting to pushed `FailureEvent`s — no polling of `links_down()` or
+//! `failure_events()` anywhere in the reaction path.
+
+use mccs_collectives::op::all_reduce_sum;
+use mccs_control::HealthMonitor;
+use mccs_core::{Cluster, ClusterConfig, FailureEvent};
+use mccs_ipc::CommunicatorId;
+use mccs_shim::{ScriptStep, ScriptedProgram};
+use mccs_sim::{Bytes, Nanos};
+use mccs_topology::graph::Endpoint;
+use mccs_topology::{presets, GpuId, LinkId};
+use std::sync::Arc;
+
+const COMM: CommunicatorId = CommunicatorId(1);
+const GPUS: [GpuId; 4] = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+
+fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(seed));
+    let ranks = GPUS
+        .iter()
+        .enumerate()
+        .map(|(rank, &gpu)| {
+            let prog = ScriptedProgram::new(
+                format!("mon/r{rank}"),
+                vec![
+                    ScriptStep::Alloc { size, slot: 0 },
+                    ScriptStep::Alloc { size, slot: 1 },
+                    ScriptStep::CommInit {
+                        comm: COMM,
+                        world: GPUS.to_vec(),
+                        rank,
+                    },
+                    ScriptStep::Collective {
+                        comm: COMM,
+                        op: all_reduce_sum(),
+                        size,
+                        send_slot: 0,
+                        recv_slot: 1,
+                    },
+                    ScriptStep::Repeat {
+                        from_step: 3,
+                        times: iters - 1,
+                    },
+                ],
+            );
+            (gpu, Box::new(prog) as Box<dyn mccs_shim::AppProgram>)
+        })
+        .collect();
+    cluster.add_app("mon", ranks);
+    cluster
+}
+
+/// Every switch-to-switch (spine<->leaf) link of the testbed fabric.
+fn fabric_links(cluster: &Cluster) -> Vec<LinkId> {
+    cluster
+        .world
+        .topo
+        .links()
+        .iter()
+        .filter(|l| matches!(l.from, Endpoint::Switch(_)) && matches!(l.to, Endpoint::Switch(_)))
+        .map(|l| l.id)
+        .collect()
+}
+
+/// Degrade one link the way the fault machinery would: effective capacity
+/// in the network simulator plus a pushed health event.
+fn degrade(cluster: &mut Cluster, link: LinkId, milli: u32) {
+    let now = cluster.world.clock;
+    cluster
+        .world
+        .net
+        .set_link_degrade(now, link, f64::from(milli) / 1000.0);
+    cluster.world.health.link_degraded(link, milli, now);
+}
+
+/// The controller receives degrade and host events through the bounded
+/// push channel — in order, gapless, exactly once — and reconfigures a
+/// communicator only when the degradation policy rejects its routes.
+#[test]
+fn monitor_reacts_to_pushed_events_without_polling() {
+    let mut cluster = cluster_with(71, Bytes::mib(8), 6);
+    // Let registration and the first collectives get going.
+    cluster.run_until(Nanos::from_millis(3));
+    let mut mon = HealthMonitor::subscribe(&mut cluster);
+    let fabric = fabric_links(&cluster);
+    assert_eq!(fabric.len(), 8, "testbed: 2 spines x 2 leaves, both ways");
+
+    // A mild brownout (60% capacity left) plus a host blip: all three
+    // events must arrive, but 0.6 is above the route-around threshold,
+    // so no corrective reconfiguration fires.
+    degrade(&mut cluster, fabric[0], 600);
+    let host = cluster.world.topo.host_of_gpu(GpuId(6));
+    let now = cluster.world.clock;
+    cluster.world.health.host_down(host, now);
+    cluster.world.health.host_up(host, now);
+    let rep = mon.poll(&mut cluster);
+    assert!(!rep.resynced, "three events cannot overflow the channel");
+    assert_eq!(rep.events.len(), 3);
+    let first = rep.events[0].0;
+    for (i, (seq, _)) in rep.events.iter().enumerate() {
+        assert_eq!(*seq, first + i as u64, "delivery must be gapless");
+    }
+    assert!(matches!(
+        rep.events[0].1,
+        FailureEvent::LinkDegraded { milli: 600, .. }
+    ));
+    assert!(matches!(rep.events[1].1, FailureEvent::HostDown { .. }));
+    assert!(matches!(rep.events[2].1, FailureEvent::HostUp { .. }));
+    assert!(
+        rep.reconfigured.is_empty(),
+        "0.6 capacity is usable; reconfigured {:?}",
+        rep.reconfigured
+    );
+
+    // A severe fabric-wide brownout (10% left on every spine<->leaf
+    // link) drops the communicator's bottleneck below the route-around
+    // threshold: this poll must issue a corrective reconfiguration.
+    for &l in &fabric {
+        degrade(&mut cluster, l, 100);
+    }
+    let rep = mon.poll(&mut cluster);
+    assert_eq!(rep.events.len(), fabric.len());
+    assert_eq!(rep.reconfigured, vec![COMM]);
+    assert_eq!(mon.consumed(), 3 + fabric.len() as u64);
+
+    // The controller's reconfiguration must drive the Figure 4 barrier
+    // to completion: a new epoch, every collective still completing —
+    // with the service-side recovery engine never having acted.
+    cluster.run_until_quiescent(Nanos::from_secs(60));
+    let info = cluster.mgmt().communicator(COMM).expect("comm persists");
+    assert!(info.epoch >= 1, "controller recovery must bump the epoch");
+    for r in cluster.world.trace.records() {
+        assert!(
+            r.completed_at.is_some() && r.failed_at.is_none(),
+            "collective lost under controller-driven recovery: {r:?}"
+        );
+    }
+    let counters = cluster.mgmt().health_counters();
+    assert_eq!(
+        counters.recoveries, 0,
+        "the service recovery engine must stay inert; the controller acted"
+    );
+    assert_eq!(counters.collectives_failed, 0);
+    assert_eq!(counters.links_degraded as usize, fabric.len());
+    let degraded = cluster.mgmt().links_degraded();
+    assert_eq!(degraded.len(), fabric.len());
+    assert!(degraded.iter().all(|&(_, f)| (f - 0.1).abs() < 1e-9));
+}

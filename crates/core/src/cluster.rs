@@ -165,6 +165,21 @@ impl Cluster {
         Management::new(&mut self.world)
     }
 
+    /// A digest of everything externally observable about this run: the
+    /// trace records, the failure-event log, and the health counters.
+    /// Two runs of the same scenario (same seed, same plan) must produce
+    /// identical digests — the determinism gate CI enforces by running
+    /// scenarios twice in separate processes and diffing the output.
+    pub fn observable_digest(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let w = &self.world;
+        let mut h = DefaultHasher::new();
+        format!("{:?}", w.trace.records()).hash(&mut h);
+        format!("{:?}", w.health.events()).hash(&mut h);
+        format!("{:?}", w.health.counters).hash(&mut h);
+        h.finish()
+    }
+
     /// Run until virtual time `t` (or until the system quiesces earlier).
     pub fn run_until(&mut self, t: Nanos) {
         loop {

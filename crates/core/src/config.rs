@@ -142,6 +142,9 @@ pub struct ServiceConfig {
     /// Corrective reconfigurations the recovery engine attempts per
     /// communicator-and-collective before aborting the collective.
     pub recovery_max_attempts: u32,
+    /// How transports and the recovery engine treat partially-degraded
+    /// routes (brownouts), as opposed to the binary up/down handling.
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -156,7 +159,104 @@ impl Default for ServiceConfig {
             liveness_timeout: Nanos::from_millis(20),
             gossip_retry: Nanos::from_micros(300),
             recovery_max_attempts: 3,
+            degradation: DegradationPolicy::default(),
         }
+    }
+}
+
+/// How routing treats links running below line rate.
+///
+/// A route's weight is the bottleneck [`link_weight`] along it: 1.0
+/// healthy, 0.0 down, the remaining capacity fraction in between. The
+/// policy maps that weight to a selection weight: hard-down routes are
+/// never selected, routes below `route_around_below` are routed around
+/// like down ones (unless nothing better exists), and the rest are
+/// chosen with probability proportional to their weight, so a
+/// half-capacity link keeps carrying half its healthy share instead of
+/// dumping everything onto its siblings. `route_around_below = 1.0`
+/// degenerates to today's binary route-around of anything degraded.
+///
+/// [`link_weight`]: mccs_netsim::Network::link_weight
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationPolicy {
+    /// Routes whose bottleneck weight falls below this fraction are
+    /// treated as unusable and routed around (0.0 = use any link with
+    /// capacity left; 1.0 = route around every degraded link).
+    pub route_around_below: f64,
+    /// An in-flight flow is only rebalanced when some usable route beats
+    /// its current route's weight by more than this margin — small
+    /// fluctuations don't thrash pinned flows.
+    pub rebalance_hysteresis: f64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            route_around_below: 0.25,
+            rebalance_hysteresis: 0.1,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// The binary pre-degradation behavior: route around anything running
+    /// below line rate, keep a degraded route only when nothing healthy
+    /// is left.
+    pub fn route_around() -> Self {
+        DegradationPolicy {
+            route_around_below: 1.0,
+            rebalance_hysteresis: 0.0,
+        }
+    }
+
+    /// Selection weight of a route with bottleneck weight `w`: zero for
+    /// hard-down or below-threshold routes, `w` otherwise.
+    pub fn usable_weight(&self, w: f64) -> f64 {
+        if w <= 0.0 || w < self.route_around_below {
+            0.0
+        } else {
+            w
+        }
+    }
+
+    /// Deterministic weighted route selection. `weights` are bottleneck
+    /// route weights by [`RouteId`] index; `key` seeds the pick (callers
+    /// pass a stable per-flow value so repeated selections agree). Routes
+    /// the policy deems unusable are skipped; if no route is usable the
+    /// best route with any capacity left is returned (degraded beats
+    /// down); `None` only when every route is hard-down.
+    pub fn select(&self, weights: &[f64], key: u64) -> Option<usize> {
+        let total: f64 = weights.iter().map(|&w| self.usable_weight(w)).sum();
+        if total <= 0.0 {
+            // Everything is routed around: fall back to the least-bad
+            // route that still moves bytes.
+            return weights
+                .iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0.0)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are finite"))
+                .map(|(i, _)| i);
+        }
+        // splitmix64 finalizer: a uniform point on the cumulative line.
+        let mut h = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        let point = (h >> 11) as f64 / (1u64 << 53) as f64 * total;
+        let mut acc = 0.0;
+        let mut last = None;
+        for (i, &w) in weights.iter().enumerate() {
+            let uw = self.usable_weight(w);
+            if uw <= 0.0 {
+                continue;
+            }
+            acc += uw;
+            last = Some(i);
+            if point < acc {
+                return Some(i);
+            }
+        }
+        last
     }
 }
 

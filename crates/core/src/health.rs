@@ -1,17 +1,25 @@
 //! Failure observability — the health half of the management plane.
 //!
 //! The service records every fault it observes (links and hosts going
-//! down and up, flow retries, stalled collectives) and every corrective
-//! action it takes (re-pins, recoveries, clean failures) in a single
-//! [`HealthRegistry`] on the world. The controller's recovery policy
-//! consumes the event log; tests and the management API read the
-//! counters. With no fault plan installed nothing ever writes here, so
-//! an all-default registry doubles as the zero-overhead regression check.
+//! down, up, or degrading, flow retries, stalled collectives) and every
+//! corrective action it takes (re-pins, rebalances, recoveries, clean
+//! failures) in a single [`HealthRegistry`] on the world. Every recorded
+//! event is also published on a bounded, sequence-numbered
+//! [`HealthChannel`]: subscribers ([`RecoveryEngine`], the controller's
+//! health monitor) consume per-event deliveries instead of polling, and
+//! a subscriber that falls behind the ring gets a snapshot-resync marker
+//! rather than silently missing events. The polling accessors
+//! (`links_down()`, `events()`, the counters) remain as a compatibility
+//! shim over the same state. With no fault plan installed nothing ever
+//! writes here, so an all-default registry doubles as the zero-overhead
+//! regression check.
+//!
+//! [`RecoveryEngine`]: crate::recovery::RecoveryEngine
 
 use mccs_ipc::CommunicatorId;
 use mccs_sim::Nanos;
 use mccs_topology::{HostId, LinkId};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One observed failure or recovery action, timestamped in virtual time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,6 +50,27 @@ pub enum FailureEvent {
         /// The restarted host.
         host: HostId,
         /// When it restarted.
+        at: Nanos,
+    },
+    /// A link degraded to a fraction of line rate (or recovered back to
+    /// it — `milli == 1000` clears the degradation).
+    LinkDegraded {
+        /// The degraded link.
+        link: LinkId,
+        /// Remaining capacity in thousandths of line rate (integer so the
+        /// event stays `Copy`/`Eq`; 1000 = restored to full rate).
+        milli: u32,
+        /// When the degradation was observed.
+        at: Nanos,
+    },
+    /// A transport moved an in-flight flow to a better-weighted route
+    /// under the degradation policy (progress kept, no retry burned).
+    FlowRebalanced {
+        /// Owning communicator.
+        comm: CommunicatorId,
+        /// The collective the flow belongs to.
+        seq: u64,
+        /// When the flow was re-pinned.
         at: Nanos,
     },
     /// A transport retried a stalled or killed flow.
@@ -99,6 +128,12 @@ pub struct HealthCounters {
     pub flow_retries: u64,
     /// Retries that moved the flow to a different equal-cost route.
     pub flow_repins: u64,
+    /// In-flight flows moved to a better-weighted route by the
+    /// degradation sweep (progress kept, no retry burned).
+    pub flow_rebalances: u64,
+    /// Gauge: links currently running below line rate (brownouts, as
+    /// opposed to the `links_down` blackout set).
+    pub links_degraded: u64,
     /// Flows abandoned after exhausting retries.
     pub flow_failures: u64,
     /// `CollectiveFailed` completions delivered to tenant ranks.
@@ -111,12 +146,122 @@ pub struct HealthCounters {
     pub reconfig_rejects: u64,
 }
 
-/// Per-link/host status plus the failure event log and counters.
+/// Default capacity of the bounded health push channel.
+pub const DEFAULT_HEALTH_CHANNEL_CAPACITY: usize = 256;
+
+/// Bounded, sequence-numbered ring of published [`FailureEvent`]s.
+///
+/// Every event gets an absolute sequence number (0-based, never reused).
+/// When the ring is full the oldest event is dropped and `base_seq`
+/// advances — a subscriber whose cursor falls below `base_seq` missed
+/// events and is handed a snapshot resync instead of a gapped stream.
+#[derive(Debug)]
+pub struct HealthChannel {
+    buf: VecDeque<FailureEvent>,
+    /// Sequence number of `buf[0]`.
+    base_seq: u64,
+    capacity: usize,
+    /// Total events dropped off the front (observability).
+    overflows: u64,
+}
+
+impl Default for HealthChannel {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_HEALTH_CHANNEL_CAPACITY)
+    }
+}
+
+impl HealthChannel {
+    /// An empty channel holding at most `capacity` undelivered events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "health channel needs room for one event");
+        HealthChannel {
+            buf: VecDeque::with_capacity(capacity.min(64)),
+            base_seq: 0,
+            capacity,
+            overflows: 0,
+        }
+    }
+
+    /// Sequence number the next published event will get.
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.buf.len() as u64
+    }
+
+    /// Events dropped to overflow so far.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+
+    fn publish(&mut self, event: FailureEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.base_seq += 1;
+            self.overflows += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+/// A subscriber's cursor into the [`HealthChannel`].
+#[derive(Clone, Copy, Debug)]
+pub struct HealthSubscription {
+    /// Next sequence number this subscriber has not yet seen.
+    next_seq: u64,
+}
+
+impl HealthSubscription {
+    /// A cursor at sequence zero: the subscriber sees every event ever
+    /// published (or a resync if the ring already rolled past zero).
+    pub fn from_start() -> Self {
+        HealthSubscription { next_seq: 0 }
+    }
+
+    /// The next sequence number this subscription expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// What one [`HealthRegistry::poll`] hands a subscriber.
+#[derive(Clone, Debug)]
+pub enum HealthDelivery {
+    /// In-order events with their absolute sequence numbers (empty when
+    /// the subscriber is caught up).
+    Events(Vec<(u64, FailureEvent)>),
+    /// The subscriber fell behind the bounded ring and lost events; the
+    /// snapshot re-establishes current status and the cursor resumes at
+    /// the ring's oldest retained event.
+    Resync(HealthSnapshot),
+}
+
+/// Current health status, handed out on channel overflow resync.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Links currently down.
+    pub links_down: Vec<LinkId>,
+    /// Hosts currently crashed.
+    pub hosts_down: Vec<HostId>,
+    /// Links currently degraded, with remaining milli-capacity.
+    pub links_degraded: Vec<(LinkId, u32)>,
+    /// Counter values at snapshot time.
+    pub counters: HealthCounters,
+    /// How many events this subscriber missed.
+    pub lost: u64,
+    /// Sequence number the subscription resumes at.
+    pub resumed_at_seq: u64,
+}
+
+/// Per-link/host status plus the failure event log, push channel, and
+/// counters.
 #[derive(Debug, Default)]
 pub struct HealthRegistry {
     links_down: BTreeSet<LinkId>,
     hosts_down: BTreeSet<HostId>,
+    /// Degraded links with remaining milli-capacity (1..=999).
+    links_degraded: BTreeMap<LinkId, u32>,
     events: Vec<FailureEvent>,
+    channel: HealthChannel,
     /// Monotonic counters (public: hot paths bump them directly).
     pub counters: HealthCounters,
 }
@@ -130,33 +275,54 @@ impl HealthRegistry {
     /// Record a link going down.
     pub fn link_down(&mut self, link: LinkId, at: Nanos) {
         if self.links_down.insert(link) {
-            self.events.push(FailureEvent::LinkDown { link, at });
+            self.push(FailureEvent::LinkDown { link, at });
         }
     }
 
     /// Record a link repair.
     pub fn link_up(&mut self, link: LinkId, at: Nanos) {
         if self.links_down.remove(&link) {
-            self.events.push(FailureEvent::LinkUp { link, at });
+            self.push(FailureEvent::LinkUp { link, at });
+        }
+    }
+
+    /// Record a link degrading to `milli`/1000 of line rate; 1000 clears
+    /// the degradation. Duplicates (same link, same fraction) are not
+    /// re-logged, mirroring the down/up dedup.
+    pub fn link_degraded(&mut self, link: LinkId, milli: u32, at: Nanos) {
+        let milli = milli.min(1000);
+        let changed = if milli >= 1000 {
+            self.links_degraded.remove(&link).is_some()
+        } else {
+            self.links_degraded.insert(link, milli) != Some(milli)
+        };
+        if changed {
+            self.counters.links_degraded = self.links_degraded.len() as u64;
+            self.push(FailureEvent::LinkDegraded { link, milli, at });
         }
     }
 
     /// Record a host crash.
     pub fn host_down(&mut self, host: HostId, at: Nanos) {
         if self.hosts_down.insert(host) {
-            self.events.push(FailureEvent::HostDown { host, at });
+            self.push(FailureEvent::HostDown { host, at });
         }
     }
 
     /// Record a host restart.
     pub fn host_up(&mut self, host: HostId, at: Nanos) {
         if self.hosts_down.remove(&host) {
-            self.events.push(FailureEvent::HostUp { host, at });
+            self.push(FailureEvent::HostUp { host, at });
         }
     }
 
     /// Append a non-topology failure event.
     pub fn record(&mut self, event: FailureEvent) {
+        self.push(event);
+    }
+
+    fn push(&mut self, event: FailureEvent) {
+        self.channel.publish(event);
         self.events.push(event);
     }
 
@@ -180,9 +346,64 @@ impl HealthRegistry {
         self.hosts_down.iter().copied()
     }
 
+    /// Whether this link currently runs below line rate.
+    pub fn is_link_degraded(&self, link: LinkId) -> bool {
+        self.links_degraded.contains_key(&link)
+    }
+
+    /// Links currently degraded, with remaining milli-capacity.
+    pub fn links_degraded(&self) -> impl Iterator<Item = (LinkId, u32)> + '_ {
+        self.links_degraded.iter().map(|(&l, &m)| (l, m))
+    }
+
     /// The full failure event log, in observation order.
     pub fn events(&self) -> &[FailureEvent] {
         &self.events
+    }
+
+    // ---- push channel -----------------------------------------------------
+
+    /// Subscribe from the current channel tail: the subscription sees
+    /// only events published after this call.
+    pub fn subscribe(&self) -> HealthSubscription {
+        HealthSubscription {
+            next_seq: self.channel.next_seq(),
+        }
+    }
+
+    /// Drain everything published since the subscription's cursor. If the
+    /// cursor fell behind the bounded ring the delivery is a
+    /// [`HealthDelivery::Resync`] carrying a status snapshot, and the
+    /// cursor jumps to the ring's oldest retained event.
+    pub fn poll(&self, sub: &mut HealthSubscription) -> HealthDelivery {
+        let ch = &self.channel;
+        if sub.next_seq < ch.base_seq {
+            let lost = ch.base_seq - sub.next_seq;
+            sub.next_seq = ch.base_seq;
+            return HealthDelivery::Resync(HealthSnapshot {
+                links_down: self.links_down.iter().copied().collect(),
+                hosts_down: self.hosts_down.iter().copied().collect(),
+                links_degraded: self.links_degraded.iter().map(|(&l, &m)| (l, m)).collect(),
+                counters: self.counters,
+                lost,
+                resumed_at_seq: ch.base_seq,
+            });
+        }
+        let skip = (sub.next_seq - ch.base_seq) as usize;
+        let out: Vec<(u64, FailureEvent)> = ch
+            .buf
+            .iter()
+            .enumerate()
+            .skip(skip)
+            .map(|(i, &ev)| (ch.base_seq + i as u64, ev))
+            .collect();
+        sub.next_seq = ch.next_seq();
+        HealthDelivery::Events(out)
+    }
+
+    /// Events dropped off the bounded channel so far.
+    pub fn channel_overflows(&self) -> u64 {
+        self.channel.overflows()
     }
 
     /// True when nothing was ever recorded — the invariant a run without
@@ -191,6 +412,7 @@ impl HealthRegistry {
         self.events.is_empty()
             && self.links_down.is_empty()
             && self.hosts_down.is_empty()
+            && self.links_degraded.is_empty()
             && self.counters == HealthCounters::default()
     }
 }
@@ -220,5 +442,90 @@ mod tests {
         let mut h = HealthRegistry::new();
         h.counters.flow_retries += 1;
         assert!(!h.is_quiet());
+    }
+
+    #[test]
+    fn degraded_links_gauge_and_dedup() {
+        let mut h = HealthRegistry::new();
+        h.link_degraded(LinkId(2), 500, Nanos::from_micros(1));
+        h.link_degraded(LinkId(2), 500, Nanos::from_micros(2));
+        assert_eq!(h.events().len(), 1, "same fraction not re-logged");
+        assert!(h.is_link_degraded(LinkId(2)));
+        assert_eq!(h.counters.links_degraded, 1);
+        h.link_degraded(LinkId(2), 250, Nanos::from_micros(3));
+        assert_eq!(h.events().len(), 2, "deeper degrade is news");
+        assert_eq!(h.counters.links_degraded, 1);
+        h.link_degraded(LinkId(2), 1000, Nanos::from_micros(4));
+        assert!(!h.is_link_degraded(LinkId(2)));
+        assert_eq!(h.counters.links_degraded, 0);
+        assert_eq!(h.links_degraded().count(), 0);
+        assert!(!h.is_quiet(), "the event log remembers the brownout");
+    }
+
+    #[test]
+    fn channel_delivers_in_order_with_seq_numbers() {
+        let mut h = HealthRegistry::new();
+        let mut sub = h.subscribe();
+        h.link_down(LinkId(1), Nanos::from_micros(1));
+        h.link_degraded(LinkId(2), 500, Nanos::from_micros(2));
+        match h.poll(&mut sub) {
+            HealthDelivery::Events(evs) => {
+                assert_eq!(evs.len(), 2);
+                assert_eq!(evs[0].0, 0);
+                assert_eq!(evs[1].0, 1);
+                assert!(matches!(evs[0].1, FailureEvent::LinkDown { .. }));
+                assert!(matches!(
+                    evs[1].1,
+                    FailureEvent::LinkDegraded { milli: 500, .. }
+                ));
+            }
+            d => panic!("expected events, got {d:?}"),
+        }
+        // Caught up: next poll is empty, and a late subscriber sees only
+        // what comes after its subscribe().
+        assert!(matches!(h.poll(&mut sub), HealthDelivery::Events(e) if e.is_empty()));
+        let mut late = h.subscribe();
+        h.host_down(HostId(1), Nanos::from_micros(3));
+        match h.poll(&mut late) {
+            HealthDelivery::Events(evs) => {
+                assert_eq!(evs.len(), 1);
+                assert_eq!(evs[0].0, 2);
+            }
+            d => panic!("expected events, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn channel_overflow_resyncs_with_snapshot() {
+        let mut h = HealthRegistry::new();
+        let mut sub = HealthSubscription::from_start();
+        // Blow well past the ring capacity with alternating degrades.
+        for i in 0..(DEFAULT_HEALTH_CHANNEL_CAPACITY as u32 + 50) {
+            let milli = 100 + (i % 2) * 100;
+            h.link_degraded(LinkId(3), milli, Nanos::from_micros(u64::from(i)));
+        }
+        h.link_down(LinkId(7), Nanos::from_secs(1));
+        match h.poll(&mut sub) {
+            HealthDelivery::Resync(snap) => {
+                assert_eq!(snap.lost, 51);
+                assert_eq!(snap.resumed_at_seq, sub.next_seq());
+                assert_eq!(snap.links_down, vec![LinkId(7)]);
+                assert_eq!(snap.links_degraded.len(), 1);
+                assert_eq!(snap.counters.links_degraded, 1);
+            }
+            d => panic!("expected resync, got {d:?}"),
+        }
+        // After the resync the subscriber streams normally again.
+        match h.poll(&mut sub) {
+            HealthDelivery::Events(evs) => {
+                assert_eq!(evs.len(), DEFAULT_HEALTH_CHANNEL_CAPACITY);
+                assert!(matches!(
+                    evs.last().unwrap().1,
+                    FailureEvent::LinkDown { .. }
+                ));
+            }
+            d => panic!("expected events, got {d:?}"),
+        }
+        assert_eq!(h.channel_overflows(), 51);
     }
 }

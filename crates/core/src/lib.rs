@@ -49,11 +49,14 @@ pub mod transport;
 pub mod world;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use config::{CollectiveConfig, RouteMap, ServiceConfig};
+pub use config::{CollectiveConfig, DegradationPolicy, RouteMap, ServiceConfig};
 pub use error::ServiceError;
-pub use health::{FailureEvent, HealthCounters, HealthRegistry};
+pub use health::{
+    FailureEvent, HealthCounters, HealthDelivery, HealthRegistry, HealthSnapshot,
+    HealthSubscription,
+};
 pub use mgmt::CommInfo;
 pub use qos::TrafficWindows;
-pub use recovery::{DetourPolicy, RecoveryEngine, RecoveryPolicy};
+pub use recovery::{comm_min_route_weight, DetourPolicy, RecoveryEngine, RecoveryPolicy};
 pub use tracing::{TraceCollector, TraceRecord};
 pub use world::World;

@@ -8,7 +8,7 @@
 //! maps (FFA/PFA) and traffic windows (TS).
 
 use crate::config::{CollectiveConfig, RouteMap};
-use crate::health::{FailureEvent, HealthCounters};
+use crate::health::{FailureEvent, HealthCounters, HealthDelivery, HealthSubscription};
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::qos::TrafficWindows;
 use crate::tracing::TraceRecord;
@@ -229,14 +229,41 @@ impl<'a> Management<'a> {
         self.world.health.hosts_down().collect()
     }
 
+    /// The provider's health view: links running below line rate, with
+    /// remaining capacity as a fraction (brownouts, as opposed to the
+    /// `links_down` blackout set).
+    pub fn links_degraded(&self) -> Vec<(mccs_topology::LinkId, f64)> {
+        self.world
+            .health
+            .links_degraded()
+            .map(|(l, m)| (l, f64::from(m) / 1000.0))
+            .collect()
+    }
+
     /// Retry/recovery counters accumulated since boot.
     pub fn health_counters(&self) -> HealthCounters {
         self.world.health.counters
     }
 
-    /// The full failure-event log, in occurrence order.
+    /// The full failure-event log, in occurrence order. (Compatibility
+    /// shim over the push channel — controllers should prefer
+    /// [`subscribe_health`](Management::subscribe_health).)
     pub fn failure_events(&self) -> &[FailureEvent] {
         self.world.health.events()
+    }
+
+    /// Subscribe to the bounded health push channel from its current
+    /// tail: subsequent [`poll_health`](Management::poll_health) calls
+    /// deliver only events recorded after this point.
+    pub fn subscribe_health(&self) -> HealthSubscription {
+        self.world.health.subscribe()
+    }
+
+    /// Drain everything the push channel holds for `sub`: in-order
+    /// seq-numbered events, or a snapshot resync if the subscriber fell
+    /// behind the ring.
+    pub fn poll_health(&self, sub: &mut HealthSubscription) -> HealthDelivery {
+        self.world.health.poll(sub)
     }
 
     /// Resolve an application id by the name given at `add_app`.

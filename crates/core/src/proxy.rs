@@ -127,6 +127,12 @@ pub struct CommRank {
     /// When this rank last sent its barrier gossip (`Some` only while in
     /// the barrier). Drives the plan-gated gossip re-send timer.
     pub barrier_since: Option<Nanos>,
+    /// The complete entry set of the last barrier this rank finished:
+    /// `(epoch, entries)`. Lets a rank that has already applied a
+    /// reconfiguration answer a peer still stuck gathering it — a peer
+    /// whose final gossip hop was lost would otherwise resend an
+    /// incomplete view forever past ranks that merely forward it.
+    pub last_barrier: Option<(u64, BTreeMap<usize, Option<u64>>)>,
 }
 
 impl CommRank {
@@ -212,6 +218,7 @@ impl ProxyEngine {
                         resume_at: Nanos::ZERO,
                         pending_gossip: Vec::new(),
                         barrier_since: None,
+                        last_barrier: None,
                     },
                 );
                 assert!(
@@ -450,6 +457,39 @@ impl ProxyEngine {
             self.begin_barrier(w, comm, config, gossip);
             return;
         }
+        // Liveness under control loss: a rank that already finished this
+        // epoch's barrier holds the complete view, while a peer whose
+        // final gossip hop was dropped circulates an incomplete one that
+        // ranks past the barrier only forward, never fill in. Answer with
+        // the recorded complete view, sent the whole way around the ring
+        // so it reaches the stuck rank wherever it sits. A complete view
+        // never triggers this (`len == size`), so the answer terminates.
+        let answer = {
+            let rank = &w.comms[&key];
+            if w.fault_plan.is_some() && gossip.len() < rank.size() {
+                match &rank.last_barrier {
+                    Some((e, full)) if *e == epoch => {
+                        Some((rank.next_rank_gpu(), full.clone(), rank.size() - 1))
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        };
+        if let Some((next_gpu, entries, hops_left)) = answer {
+            w.send_control(
+                next_gpu,
+                ProxyMsg::BarrierGossip {
+                    comm,
+                    epoch,
+                    config,
+                    entries,
+                    hops_left,
+                },
+            );
+            return;
+        }
         let rank = w.comms.get_mut(&key).expect("checked above");
         let next_gpu = rank.next_rank_gpu();
         match &mut rank.reconfig {
@@ -553,6 +593,7 @@ impl ProxyEngine {
             return;
         }
         let max_seq = entries.values().filter_map(|v| *v).max();
+        rank.last_barrier = Some((new_config.epoch, entries.clone()));
         rank.reconfig = ReconfigState::Draining {
             new_config: new_config.clone(),
             max_seq,

@@ -1,25 +1,31 @@
 //! Failure-driven reconfiguration: the service-side recovery loop.
 //!
-//! The [`RecoveryEngine`] consumes [`FailureEvent`]s from the world's
-//! [`HealthRegistry`](crate::health::HealthRegistry) and turns them into
-//! corrective [`CollectiveConfig`]s, re-entering the Figure 4
-//! reconfiguration protocol with a strategy rebuilt around the failure.
-//! The config itself comes from a pluggable [`RecoveryPolicy`]; the
-//! built-in [`DetourPolicy`] re-pins inter-host connections onto healthy
-//! routes and drops whole channels only when a connection has no healthy
-//! route left, degrading bandwidth gracefully instead of deadlocking.
+//! The [`RecoveryEngine`] subscribes to the world's bounded
+//! [`HealthChannel`](crate::health::HealthChannel) (it is the first
+//! consumer of the push path — no polling of the event log) and turns
+//! deliveries into corrective [`CollectiveConfig`]s, re-entering the
+//! Figure 4 reconfiguration protocol with a strategy rebuilt around the
+//! failure. Concurrent failures are **coalesced**: every event in one
+//! delivery batch is folded into a single set of affected communicators,
+//! and each gets at most one corrective drain per batch — two links
+//! dying in the same instant cost one reconfiguration, not serial
+//! re-drains. The config itself comes from a pluggable
+//! [`RecoveryPolicy`]; the built-in [`DetourPolicy`] re-pins inter-host
+//! connections onto the best-weighted surviving routes and drops whole
+//! channels only when a connection has no route left, degrading
+//! bandwidth gracefully instead of deadlocking.
 //!
 //! The engine is inert without a fault plan installed: it polls `Idle`
 //! immediately, adding zero overhead to fault-free runs.
 
 use crate::config::{CollectiveConfig, RouteMap};
-use crate::health::FailureEvent;
+use crate::health::{FailureEvent, HealthDelivery, HealthSubscription};
 use crate::world::World;
 use mccs_collectives::{op::all_reduce_sum, CollectiveSchedule, EdgeTask, RingOrder};
 use mccs_ipc::CommunicatorId;
 use mccs_sim::{Bytes, Engine, Nanos, Poll};
 use mccs_topology::{GpuId, NicId, RouteId};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A controller policy that proposes a corrective strategy for a
 /// communicator after a failure. Returning `None` means no healthy
@@ -39,19 +45,37 @@ pub trait RecoveryPolicy: Send {
 }
 
 /// The built-in policy: keep the current rings, pin every inter-host
-/// connection to its first healthy route, and drop a channel's ring
-/// entirely when one of its connections has no healthy route at all.
-/// Dropping a ring shifts the channel-to-NIC assignment of the remaining
-/// channels, so the schedule is recomputed after every removal.
+/// connection to its best-weighted usable route (under the service's
+/// [`DegradationPolicy`](crate::config::DegradationPolicy); a degraded
+/// route is kept only when nothing better survives), and drop a
+/// channel's ring entirely when one of its connections has no route with
+/// capacity at all. Dropping a ring shifts the channel-to-NIC assignment
+/// of the remaining channels, so the schedule is recomputed after every
+/// removal.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DetourPolicy;
 
 impl DetourPolicy {
-    /// First healthy route id for a NIC pair, if any.
-    fn healthy_route(w: &World, src: NicId, dst: NicId) -> Option<RouteId> {
-        (0..w.topo.path_diversity(src, dst))
-            .map(|i| RouteId(i as u32))
-            .find(|&r| w.net.route_healthy(src, dst, r))
+    /// Best surviving route id for a NIC pair, if any: highest usable
+    /// weight, lowest id on ties (so a fully healthy fabric pins the
+    /// first route, as before degradation awareness); falls back to the
+    /// least-degraded route when everything usable is gone.
+    fn best_route(w: &World, src: NicId, dst: NicId) -> Option<RouteId> {
+        let policy = w.svc.degradation;
+        let mut best: Option<(RouteId, f64)> = None;
+        let mut fallback: Option<(RouteId, f64)> = None;
+        for i in 0..w.topo.path_diversity(src, dst) {
+            let r = RouteId(i as u32);
+            let weight = w.net.route_weight(src, dst, r);
+            let usable = policy.usable_weight(weight);
+            if usable > 0.0 && best.as_ref().is_none_or(|&(_, bw)| usable > bw) {
+                best = Some((r, usable));
+            }
+            if weight > 0.0 && fallback.as_ref().is_none_or(|&(_, fw)| weight > fw) {
+                fallback = Some((r, weight));
+            }
+        }
+        best.or(fallback).map(|(r, _)| r)
     }
 }
 
@@ -80,7 +104,7 @@ impl RecoveryPolicy for DetourPolicy {
                     else {
                         continue;
                     };
-                    match Self::healthy_route(w, src_nic, dst_nic) {
+                    match Self::best_route(w, src_nic, dst_nic) {
                         Some(r) => routes.pin(ch.channel, src_nic, dst_nic, r),
                         None => {
                             // No path at all between this pair: the channel
@@ -102,65 +126,79 @@ impl RecoveryPolicy for DetourPolicy {
 /// while one is still propagating.
 type Issued = HashMap<CommunicatorId, (u64, Nanos)>;
 
-/// The failure-monitoring engine (one per cluster). Consumes health
-/// events, issues corrective reconfigurations, and aborts collectives
-/// whose recovery attempts are exhausted.
+/// The failure-monitoring engine (one per cluster). Subscribes to the
+/// health push channel, issues corrective reconfigurations (coalescing a
+/// batch of concurrent failures into one drain per communicator), and
+/// aborts collectives whose recovery attempts are exhausted.
 pub struct RecoveryEngine {
-    /// Read position into `World::health::events`.
-    cursor: usize,
+    /// Cursor into the world's health push channel.
+    sub: HealthSubscription,
     issued: Issued,
     /// Recovery attempts per stalled collective.
     attempts: HashMap<(CommunicatorId, u64), u32>,
 }
 
+/// Minimum bottleneck route weight across `comm`'s current inter-host
+/// connections (pinned or ECMP-resolved): 1.0 for a healthy or
+/// fully-intra-host communicator, 0.0 when some connection crosses a
+/// dead link. Shared with the controller's health monitor.
+pub fn comm_min_route_weight(w: &World, comm: CommunicatorId) -> f64 {
+    let Some(rank) = w
+        .comms
+        .iter()
+        .find(|((c, _), _)| *c == comm)
+        .map(|(_, r)| r)
+    else {
+        return 1.0;
+    };
+    let cfg = &rank.config;
+    if cfg.channel_rings.is_empty() {
+        return 1.0;
+    }
+    let sched =
+        CollectiveSchedule::ring(&w.topo, all_reduce_sum(), Bytes::mib(1), &cfg.channel_rings);
+    let mut min = 1.0f64;
+    for ch in &sched.channels {
+        for task in &ch.tasks {
+            let EdgeTask::InterHost {
+                src_nic, dst_nic, ..
+            } = *task
+            else {
+                continue;
+            };
+            let route = match cfg.routes.get(ch.channel, src_nic, dst_nic) {
+                Some(r) => w.topo.pinned_route(src_nic, dst_nic, r),
+                None => {
+                    let h = cfg.ecmp_hash(comm, ch.channel, src_nic, dst_nic);
+                    w.topo.ecmp_route(src_nic, dst_nic, h)
+                }
+            };
+            for &l in route.links.iter() {
+                min = min.min(w.net.link_weight(l));
+            }
+        }
+    }
+    min
+}
+
 impl RecoveryEngine {
-    /// A fresh engine.
+    /// A fresh engine, subscribed from the start of the health stream.
     pub fn new() -> Self {
         RecoveryEngine {
-            cursor: 0,
+            sub: HealthSubscription::from_start(),
             issued: HashMap::new(),
             attempts: HashMap::new(),
         }
     }
 
-    /// Whether any of `comm`'s current inter-host connections traverses a
-    /// dead link (so a link event warrants a corrective config).
-    fn comm_crosses_dead_link(w: &World, comm: CommunicatorId) -> bool {
-        let Some(rank) = w
-            .comms
-            .iter()
-            .find(|((c, _), _)| *c == comm)
-            .map(|(_, r)| r)
-        else {
-            return false;
-        };
-        let cfg = &rank.config;
-        if cfg.channel_rings.is_empty() {
-            return false;
-        }
-        let sched =
-            CollectiveSchedule::ring(&w.topo, all_reduce_sum(), Bytes::mib(1), &cfg.channel_rings);
-        for ch in &sched.channels {
-            for task in &ch.tasks {
-                let EdgeTask::InterHost {
-                    src_nic, dst_nic, ..
-                } = *task
-                else {
-                    continue;
-                };
-                let route = match cfg.routes.get(ch.channel, src_nic, dst_nic) {
-                    Some(r) => w.topo.pinned_route(src_nic, dst_nic, r),
-                    None => {
-                        let h = cfg.ecmp_hash(comm, ch.channel, src_nic, dst_nic);
-                        w.topo.ecmp_route(src_nic, dst_nic, h)
-                    }
-                };
-                if route.links.iter().any(|&l| !w.net.link_up(l)) {
-                    return true;
-                }
-            }
-        }
-        false
+    /// Whether `comm`'s current configuration routes over a link the
+    /// degradation policy deems unusable (dead, or browned out below the
+    /// route-around threshold).
+    fn comm_needs_reroute(w: &World, comm: CommunicatorId) -> bool {
+        w.svc
+            .degradation
+            .usable_weight(comm_min_route_weight(w, comm))
+            <= 0.0
     }
 
     /// Issue a corrective reconfiguration for `comm` if its ranks are in a
@@ -233,37 +271,54 @@ impl RecoveryEngine {
         });
     }
 
-    fn handle_event(&mut self, w: &mut World, ev: FailureEvent) {
-        match ev {
-            FailureEvent::LinkDown { .. } => {
-                let comms: Vec<CommunicatorId> = {
-                    let mut v: Vec<CommunicatorId> = w.comms.keys().map(|(c, _)| *c).collect();
-                    v.dedup();
-                    v
-                };
-                for comm in comms {
-                    if Self::comm_crosses_dead_link(w, comm) {
-                        self.try_recover(w, comm);
+    /// Fold one delivery batch into the set of communicators needing a
+    /// corrective drain. Topology events (link down/degrade) are
+    /// evaluated once against every communicator after the whole batch
+    /// is applied — N simultaneous failures on one communicator coalesce
+    /// into a single recovery — and stall reports are folded into the
+    /// same set after their attempt accounting.
+    fn handle_batch(&mut self, w: &mut World, events: &[(u64, FailureEvent)], resync: bool) {
+        let mut topo_changed = resync;
+        let mut to_recover: BTreeSet<CommunicatorId> = BTreeSet::new();
+        for &(_, ev) in events {
+            match ev {
+                FailureEvent::LinkDown { .. } | FailureEvent::LinkDegraded { .. } => {
+                    topo_changed = true;
+                }
+                FailureEvent::CollectiveStalled { comm, seq, .. } => {
+                    let a = self.attempts.entry((comm, seq)).or_insert(0);
+                    if *a >= w.svc.recovery_max_attempts {
+                        w.abort_collective(comm, seq);
+                    } else {
+                        *a += 1;
+                        to_recover.insert(comm);
                     }
                 }
+                // Informational events need no corrective action here.
+                FailureEvent::LinkUp { .. }
+                | FailureEvent::HostDown { .. }
+                | FailureEvent::HostUp { .. }
+                | FailureEvent::FlowRetried { .. }
+                | FailureEvent::FlowRebalanced { .. }
+                | FailureEvent::FlowExhausted { .. }
+                | FailureEvent::RecoveryIssued { .. }
+                | FailureEvent::ReconfigRejected { .. } => {}
             }
-            FailureEvent::CollectiveStalled { comm, seq, .. } => {
-                let a = self.attempts.entry((comm, seq)).or_insert(0);
-                if *a >= w.svc.recovery_max_attempts {
-                    w.abort_collective(comm, seq);
-                } else {
-                    *a += 1;
-                    self.try_recover(w, comm);
+        }
+        if topo_changed {
+            let comms: Vec<CommunicatorId> = {
+                let mut v: Vec<CommunicatorId> = w.comms.keys().map(|(c, _)| *c).collect();
+                v.dedup();
+                v
+            };
+            for comm in comms {
+                if Self::comm_needs_reroute(w, comm) {
+                    to_recover.insert(comm);
                 }
             }
-            // Informational events need no corrective action here.
-            FailureEvent::LinkUp { .. }
-            | FailureEvent::HostDown { .. }
-            | FailureEvent::HostUp { .. }
-            | FailureEvent::FlowRetried { .. }
-            | FailureEvent::FlowExhausted { .. }
-            | FailureEvent::RecoveryIssued { .. }
-            | FailureEvent::ReconfigRejected { .. } => {}
+        }
+        for comm in to_recover {
+            self.try_recover(w, comm);
         }
     }
 }
@@ -280,13 +335,20 @@ impl Engine<World> for RecoveryEngine {
         if w.fault_plan.is_none() {
             return Poll::Idle;
         }
-        if self.cursor >= w.health.events().len() {
-            return Poll::Idle;
-        }
-        let events: Vec<FailureEvent> = w.health.events()[self.cursor..].to_vec();
-        self.cursor = w.health.events().len();
-        for ev in events {
-            self.handle_event(w, ev);
+        match w.health.poll(&mut self.sub) {
+            HealthDelivery::Events(events) => {
+                if events.is_empty() {
+                    return Poll::Idle;
+                }
+                self.handle_batch(w, &events, false);
+            }
+            HealthDelivery::Resync(_) => {
+                // Events were lost to channel overflow: conservatively
+                // re-check every communicator against current link state.
+                // Missed stall reports re-arrive from the proxies'
+                // recurring liveness timers.
+                self.handle_batch(w, &[], true);
+            }
         }
         Poll::Progressed
     }

@@ -10,10 +10,17 @@
 //! stalls (rate pinned at zero past
 //! [`ServiceConfig::flow_timeout`](crate::config::ServiceConfig)) and for
 //! fault-injected kills, retrying each with exponential backoff on an
-//! alternate healthy route, and cleanly failing the owning collective once
+//! alternate route, and cleanly failing the owning collective once
 //! [`ServiceConfig::flow_max_retries`](crate::config::ServiceConfig) is
-//! exhausted. Without a plan none of this machinery runs: no timers, no
-//! per-flow checks, byte-identical traces.
+//! exhausted. Route selection is degradation-aware: each equal-cost route
+//! is weighted by its bottleneck effective capacity and picked
+//! proportionally under the configured
+//! [`DegradationPolicy`](crate::config::DegradationPolicy), so a
+//! half-capacity link keeps half its share instead of being abandoned,
+//! and the same sweep that detects stalls rebalances in-flight flows off
+//! browned-out routes (with hysteresis, keeping their progress). Without
+//! a plan none of this machinery runs: no timers, no per-flow checks,
+//! byte-identical traces.
 
 use crate::health::FailureEvent;
 use crate::messages::TransportMsg;
@@ -23,7 +30,7 @@ use mccs_ipc::{AppId, CommunicatorId};
 use mccs_netsim::{FlowId, FlowSpec, RouteChoice};
 use mccs_sim::{Bandwidth, Bytes, Engine, Nanos, Poll};
 use mccs_topology::{NicId, RouteId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 #[derive(Debug)]
 struct ActiveFlow {
@@ -56,17 +63,20 @@ struct RetryEntry {
     bytes: Bytes,
     /// The attempt number this restart will be (1-based).
     attempts: u32,
-    /// The route the previous attempt died on. `route_healthy` only
-    /// reflects hard link-down state, so a degraded-but-nominally-healthy
-    /// route that just timed out would otherwise be eligible again;
-    /// excluded from re-pinning whenever an alternative exists.
+    /// The route the previous attempt died on. Route weights only
+    /// reflect observed link state, so a nominally-fine route that just
+    /// timed out would otherwise be eligible again; its weight is zeroed
+    /// in the selection whenever an alternative has capacity left.
     exclude: Option<RouteId>,
 }
 
 /// The per-NIC transport engine.
 pub struct TransportEngine {
     nic: NicId,
-    active: HashMap<FlowId, ActiveFlow>,
+    /// Ordered so sweeps visit flows in `FlowId` order — iteration order
+    /// is observable through retry/rebalance event ordering, and digests
+    /// must match across processes.
+    active: BTreeMap<FlowId, ActiveFlow>,
     windows: BTreeMap<AppId, TrafficWindows>,
     pending: VecDeque<PendingSend>,
     /// Last wake-up boundary scheduled, to avoid duplicate events.
@@ -82,7 +92,7 @@ impl TransportEngine {
     pub fn new(nic: NicId) -> Self {
         TransportEngine {
             nic,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             windows: BTreeMap::new(),
             pending: VecDeque::new(),
             scheduled_wake: None,
@@ -185,12 +195,18 @@ impl TransportEngine {
                 .mul_f64(f64::from(1u32 << (entry.attempts - 2).min(16)));
             w.clock + backoff
         };
-        w.schedule_wake(due);
+        if due > w.clock {
+            w.schedule_wake(due);
+        }
+        // A retry due *now* needs no wake: this poll round keeps polling
+        // until every engine idles, and `run_due_retries` picks it up on
+        // the next pass. A same-instant Wake would linger in the event
+        // queue (everything due has already been drained) as a stale head.
         self.retries.push((due, entry));
     }
 
-    /// Restart retries whose backoff elapsed, re-pinning each onto the
-    /// first healthy route to its destination.
+    /// Restart retries whose backoff elapsed, re-pinning each by weighted
+    /// selection over the surviving routes' bottleneck capacities.
     fn run_due_retries(&mut self, w: &mut World) -> bool {
         let now = w.clock;
         let mut progressed = false;
@@ -208,19 +224,21 @@ impl TransportEngine {
             due
         };
         for entry in due {
-            let diversity = w.topo.path_diversity(self.nic, entry.dst_nic);
-            let mut healthy: Vec<RouteId> = (0..diversity)
-                .map(|i| RouteId(i as u32))
-                .filter(|&r| w.net.route_healthy(self.nic, entry.dst_nic, r))
-                .collect();
+            let policy = w.svc.degradation;
+            let mut weights = route_weights(w, self.nic, entry.dst_nic);
             // Never re-pin straight back onto the route that just failed
-            // this flow — unless it is the only one left.
+            // this flow — unless it is the only one left with capacity.
             if let Some(bad) = entry.exclude {
-                if healthy.len() > 1 {
-                    healthy.retain(|&r| r != bad);
+                let others = weights
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &x)| i != bad.0 as usize && x > 0.0);
+                if others {
+                    weights[bad.0 as usize] = 0.0;
                 }
             }
-            let Some(&route) = healthy.get(entry.attempts as usize % healthy.len().max(1)) else {
+            let key = selection_key(entry.token, entry.attempts);
+            let Some(idx) = policy.select(&weights, key) else {
                 // Nowhere to go right now: burn an attempt and try again
                 // later (the cap guarantees termination).
                 self.schedule_retry(
@@ -232,9 +250,11 @@ impl TransportEngine {
                 );
                 continue;
             };
+            let route = RouteId(idx as u32);
             w.health.counters.flow_retries += 1;
-            if healthy.len() < diversity {
-                // We actively detoured around a dead or just-failed route.
+            if weights.iter().any(|&x| policy.usable_weight(x) <= 0.0) {
+                // We actively detoured around a dead, excluded, or
+                // below-threshold route.
                 w.health.counters.flow_repins += 1;
             }
             w.health.record(FailureEvent::FlowRetried {
@@ -264,7 +284,9 @@ impl TransportEngine {
     }
 
     /// Detect flows pinned at zero rate (a dead link on their path) and
-    /// cancel-and-retry those stalled past the timeout. Plan-gated.
+    /// cancel-and-retry those stalled past the timeout; rebalance moving
+    /// flows off browned-out routes per the degradation policy.
+    /// Plan-gated.
     fn sweep_stalls(&mut self, w: &mut World) -> bool {
         let now = w.clock;
         if self.next_stall_check.is_some_and(|t| now < t) {
@@ -281,6 +303,8 @@ impl TransportEngine {
             }
             if w.net.flow_rate(id) > Bandwidth::ZERO {
                 f.stalled_since = None;
+                let (app, comm, seq) = (f.app, f.comm, f.seq);
+                progressed |= maybe_rebalance(w, self.nic, id, app, comm, seq);
                 continue;
             }
             match f.stalled_since {
@@ -388,6 +412,99 @@ impl TransportEngine {
         }
         progressed
     }
+}
+
+/// Bottleneck weight of every equal-cost route from `src` to `dst`,
+/// indexed by `RouteId`.
+fn route_weights(w: &World, src: NicId, dst: NicId) -> Vec<f64> {
+    let diversity = w.topo.path_diversity(src, dst);
+    (0..diversity)
+        .map(|i| w.net.route_weight(src, dst, RouteId(i as u32)))
+        .collect()
+}
+
+/// Stable per-flow selection key: FNV-1a over the flow token and attempt
+/// number, so repeated sweeps agree on where a flow belongs while
+/// distinct flows spread proportionally across the weight line.
+fn selection_key(token: u64, attempt: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in token
+        .to_le_bytes()
+        .into_iter()
+        .chain(u64::from(attempt).to_le_bytes())
+    {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Move one in-flight flow toward the route with the best estimated
+/// max-min share when the degradation policy says so, keeping its
+/// progress (a repin, not a retry). Estimated shares fold together the
+/// bottleneck effective capacity, the flows already on each path, and
+/// the cross-tenant sharing penalty — so under a brownout, flows split
+/// between the degraded and healthy spines proportionally to what each
+/// can actually deliver instead of piling onto the survivor. Returns
+/// whether the flow moved.
+fn maybe_rebalance(
+    w: &mut World,
+    nic: NicId,
+    id: FlowId,
+    app: AppId,
+    comm: CommunicatorId,
+    seq: u64,
+) -> bool {
+    let Some(route) = w.net.flow_route(id) else {
+        return false;
+    };
+    let current = route.id.0 as usize;
+    let dst = route.dst;
+    let policy = w.svc.degradation;
+    let weights = route_weights(w, nic, dst);
+    if weights.iter().all(|&x| x >= 1.0) {
+        // Fully healthy fabric between this pair (the common case):
+        // nothing to rebalance around.
+        return false;
+    }
+    let line = w.topo.nic(nic).bandwidth.as_bps();
+    let score = |i: usize| -> f64 {
+        w.net
+            .estimate_route_share(nic, dst, RouteId(i as u32), app.0, Some(id))
+            .as_bps()
+            / line
+    };
+    // Best usable route by estimated share; ties keep the lowest id.
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &wt) in weights.iter().enumerate() {
+        if policy.usable_weight(wt) <= 0.0 {
+            continue;
+        }
+        let s = score(i);
+        if best.is_none_or(|(_, bs)| s > bs) {
+            best = Some((i, s));
+        }
+    }
+    let Some((idx, best_score)) = best else {
+        return false;
+    };
+    if idx == current {
+        return false;
+    }
+    // A flow on a usable route only moves when the alternative clears the
+    // hysteresis band; one on an unusable route moves unconditionally.
+    if policy.usable_weight(weights[current]) > 0.0
+        && best_score - score(current) <= policy.rebalance_hysteresis
+    {
+        return false;
+    }
+    w.net.repin_flow(w.clock, id, RouteId(idx as u32));
+    w.health.counters.flow_rebalances += 1;
+    w.health.record(FailureEvent::FlowRebalanced {
+        comm,
+        seq,
+        at: w.clock,
+    });
+    true
 }
 
 impl Engine<World> for TransportEngine {

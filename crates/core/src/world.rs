@@ -19,7 +19,7 @@ use mccs_ipc::{AppId, CommunicatorId, IpcConfig, LatencyQueue, ShimCommand, Shim
 use mccs_netsim::{ControlFault, FaultEvent, FaultPlan, FlowCompletion, FlowId, Network};
 use mccs_shim::ShimPort;
 use mccs_sim::{EventQueue, Nanos, Rng};
-use mccs_topology::{GpuId, NicId, Topology};
+use mccs_topology::{GpuId, LinkId, NicId, Topology};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -416,7 +416,15 @@ impl World {
                 }
             }
         };
-        consider(self.events.next_time());
+        // The queue only exposes its head; a head at or before the clock
+        // (scheduled during a poll at the current instant) must surface
+        // as "immediately" rather than mask later entries behind it —
+        // the advance drains it and re-exposes whatever follows.
+        consider(
+            self.events
+                .next_time()
+                .map(|t| t.max(self.clock + Nanos(1))),
+        );
         consider(self.net.next_completion_time());
         consider(self.devices.next_time());
         if let Some(plan) = &self.fault_plan {
@@ -493,8 +501,12 @@ impl World {
                 self.health.link_up(link, now);
             }
             FaultEvent::LinkDegrade { link, milli } => {
-                self.net
-                    .set_link_degrade(now, link, f64::from(milli.min(1000)) / 1000.0);
+                self.apply_degrade(link, milli);
+            }
+            FaultEvent::CorrelatedDegrade { links, milli } => {
+                for &link in links.iter() {
+                    self.apply_degrade(link, milli);
+                }
             }
             FaultEvent::AbortFlowsOn(link) => {
                 let victims = self.net.kill_flows_on_link(now, link);
@@ -512,6 +524,14 @@ impl World {
                 self.health.host_up(host, now);
             }
         }
+    }
+
+    fn apply_degrade(&mut self, link: LinkId, milli: u32) {
+        let now = self.clock;
+        let milli = milli.min(1000);
+        self.net
+            .set_link_degrade(now, link, f64::from(milli) / 1000.0);
+        self.health.link_degraded(link, milli, now);
     }
 
     /// Hand fault-killed flows to their owning transports for retry.

@@ -4,22 +4,27 @@
 
 use mccs_collectives::op::all_reduce_sum;
 use mccs_collectives::CollectiveOp;
-use mccs_core::{Cluster, ClusterConfig};
+use mccs_core::{Cluster, ClusterConfig, DegradationPolicy, FailureEvent, HealthDelivery};
 use mccs_ipc::{AppId, CommunicatorId};
 use mccs_netsim::{FaultEvent, FaultPlan};
 use mccs_shim::{ScriptStep, ScriptedProgram};
 use mccs_sim::{Bytes, Nanos};
 use mccs_topology::graph::Endpoint;
-use mccs_topology::{presets, GpuId, LinkId};
+use mccs_topology::{presets, GpuId, LinkId, SwitchRole};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
 
 const COMM: CommunicatorId = CommunicatorId(1);
 const GPUS: [GpuId; 4] = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
+/// A second tenant interleaved on the other GPU of every host.
+const COMM_B: CommunicatorId = CommunicatorId(2);
+const GPUS_B: [GpuId; 4] = [GpuId(1), GpuId(3), GpuId(5), GpuId(7)];
 
+#[allow(clippy::too_many_arguments)]
 fn rank_program(
+    name: &str,
+    comm: CommunicatorId,
     rank: usize,
     world: &[GpuId],
     op: CollectiveOp,
@@ -27,17 +32,17 @@ fn rank_program(
     iters: usize,
 ) -> ScriptedProgram {
     ScriptedProgram::new(
-        format!("faulty/r{rank}"),
+        format!("{name}/r{rank}"),
         vec![
             ScriptStep::Alloc { size, slot: 0 },
             ScriptStep::Alloc { size, slot: 1 },
             ScriptStep::CommInit {
-                comm: COMM,
+                comm,
                 world: world.to_vec(),
                 rank,
             },
             ScriptStep::Collective {
-                comm: COMM,
+                comm,
                 op,
                 size,
                 send_slot: 0,
@@ -58,7 +63,7 @@ fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
         .iter()
         .enumerate()
         .map(|(rank, &gpu)| {
-            let prog = rank_program(rank, &GPUS, all_reduce_sum(), size, iters);
+            let prog = rank_program("faulty", COMM, rank, &GPUS, all_reduce_sum(), size, iters);
             (gpu, Box::new(prog) as Box<dyn mccs_shim::AppProgram>)
         })
         .collect();
@@ -68,14 +73,10 @@ fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
 
 /// A stable digest of everything a run observably did: the full service
 /// trace (per rank: issue/launch/complete/fail instants and epochs), the
-/// failure-event log, and the health counters.
+/// failure-event log, and the health counters. Delegates to the digest
+/// the determinism CI gate diffs across processes.
 fn run_digest(cluster: &Cluster) -> u64 {
-    let w = &cluster.world;
-    let mut h = DefaultHasher::new();
-    format!("{:?}", w.trace.records()).hash(&mut h);
-    format!("{:?}", w.health.events()).hash(&mut h);
-    format!("{:?}", w.health.counters).hash(&mut h);
-    h.finish()
+    cluster.observable_digest()
 }
 
 fn spine_links(cluster: &Cluster) -> Vec<LinkId> {
@@ -242,6 +243,202 @@ fn host_crash_and_restart_completes_all_collectives() {
 }
 
 // ---------------------------------------------------------------------------
+// Brownouts: degradation-aware routing vs binary route-around
+// ---------------------------------------------------------------------------
+
+/// Every link touching the lowest-id spine switch (both directions) —
+/// one correlated brownout domain, as when a spine linecard overheats.
+fn spine0_links(cluster: &Cluster) -> Vec<LinkId> {
+    let topo = &cluster.world.topo;
+    let spine = topo
+        .switches()
+        .iter()
+        .find(|s| s.role == SwitchRole::Spine)
+        .expect("testbed has spines")
+        .id;
+    topo.links()
+        .iter()
+        .filter(|l| {
+            matches!(l.from, Endpoint::Switch(s) if s == spine)
+                || matches!(l.to, Endpoint::Switch(s) if s == spine)
+        })
+        .map(|l| l.id)
+        .collect()
+}
+
+/// Two interleaved four-host tenants; spine 0 browns out to 50% early in
+/// the run. Returns the makespan (last completion across both tenants).
+fn brownout_run(policy: DegradationPolicy) -> (Nanos, Cluster) {
+    // Sized so even the route-around pileup finishes each collective well
+    // under the liveness timeout: the comparison measures routing quality,
+    // not stall-recovery churn.
+    let size = Bytes::mib(8);
+    let iters = 4;
+    let mut cfg = ClusterConfig::with_seed(61);
+    cfg.service.degradation = policy;
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), cfg);
+    for (name, comm, gpus) in [("brown-a", COMM, GPUS), ("brown-b", COMM_B, GPUS_B)] {
+        let ranks = gpus
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let prog = rank_program(name, comm, rank, &gpus, all_reduce_sum(), size, iters);
+                (gpu, Box::new(prog) as Box<dyn mccs_shim::AppProgram>)
+            })
+            .collect();
+        cluster.add_app(name, ranks);
+    }
+    let domain = spine0_links(&cluster);
+    cluster.install_fault_plan(FaultPlan::new().degrade_group(Nanos::from_millis(4), &domain, 500));
+    cluster.run_until_quiescent(Nanos::from_secs(60));
+    let mut makespan = Nanos::ZERO;
+    for app in [AppId(0), AppId(1)] {
+        let tl = cluster.mgmt().timeline(app);
+        assert_eq!(
+            tl.len(),
+            iters,
+            "brownout lost collectives (policy {policy:?}, counters {:?}, events {:?})",
+            cluster.mgmt().health_counters(),
+            cluster.world.health.events(),
+        );
+        makespan = makespan.max(tl.last().expect("ran").completed_at.expect("complete"));
+    }
+    assert_eq!(cluster.mgmt().health_counters().collectives_failed, 0);
+    (makespan, cluster)
+}
+
+/// The acceptance scenario for partial degradation: with one spine at
+/// half rate, weighted selection keeps carrying a proportional share over
+/// the brownout instead of piling both tenants onto the survivor (where
+/// cross-tenant sharing costs extra), so the weighted makespan beats
+/// binary route-around measurably.
+#[test]
+fn brownout_weighted_beats_route_around() {
+    let (weighted, mut wc) = brownout_run(DegradationPolicy::default());
+    let (binary, _) = brownout_run(DegradationPolicy::route_around());
+    assert!(
+        wc.mgmt().health_counters().flow_rebalances > 0,
+        "weighted policy never rebalanced a flow"
+    );
+    assert!(
+        weighted.as_secs_f64() < binary.as_secs_f64() * 0.95,
+        "weighted routing should beat route-around under a 50% brownout: \
+         weighted {weighted}, route-around {binary}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The health push channel (service side)
+// ---------------------------------------------------------------------------
+
+/// Degrades and host events reach a subscriber through the bounded push
+/// channel, in order and consecutively seq-numbered — and the degraded-
+/// link gauge tracks what is still below line rate at quiescence.
+#[test]
+fn push_channel_delivers_degrade_and_host_events_in_order() {
+    let mut cluster = cluster_with(51, Bytes::mib(16), 3);
+    let mut sub = cluster.mgmt().subscribe_health();
+    let spine = spine0_links(&cluster)[0];
+    let host = cluster.world.topo.host_of_gpu(GpuId(6));
+    cluster.install_fault_plan(
+        FaultPlan::new()
+            .at(
+                Nanos::from_millis(2),
+                FaultEvent::LinkDegrade {
+                    link: spine,
+                    milli: 500,
+                },
+            )
+            .at(Nanos::from_millis(6), FaultEvent::CrashHost(host))
+            .at(Nanos::from_millis(9), FaultEvent::RestartHost(host)),
+    );
+    cluster.run_until_quiescent(Nanos::from_secs(30));
+
+    let HealthDelivery::Events(events) = cluster.mgmt().poll_health(&mut sub) else {
+        panic!("a short run must not overflow the channel");
+    };
+    assert!(!events.is_empty());
+    for (i, &(seq, _)) in events.iter().enumerate() {
+        assert_eq!(seq, events[0].0 + i as u64, "seq numbers must be gapless");
+    }
+    assert!(
+        events.iter().any(|&(_, e)| matches!(
+            e,
+            FailureEvent::LinkDegraded { link, milli: 500, .. } if link == spine
+        )),
+        "degrade never pushed: {events:?}"
+    );
+    assert!(events
+        .iter()
+        .any(|&(_, e)| matches!(e, FailureEvent::HostDown { host: h, .. } if h == host)));
+    assert!(events
+        .iter()
+        .any(|&(_, e)| matches!(e, FailureEvent::HostUp { host: h, .. } if h == host)));
+
+    // Fully drained: the next poll is empty, not a resync.
+    let HealthDelivery::Events(rest) = cluster.mgmt().poll_health(&mut sub) else {
+        panic!("resync after a full drain");
+    };
+    assert!(rest.is_empty());
+
+    // The gauge reflects the one still-degraded link.
+    assert_eq!(cluster.mgmt().links_degraded(), vec![(spine, 0.5)]);
+    assert_eq!(cluster.mgmt().health_counters().links_degraded, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property: weighted route selection
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weighted selection never lands on a hard-down route, under any
+    /// threshold; `None` only when every route is dead.
+    #[test]
+    fn weighted_selection_never_picks_a_dead_route(
+        weights in proptest::collection::vec(
+            prop_oneof![Just(0.0_f64), 0.0_f64..1.0], 1..6),
+        key in any::<u64>(),
+        threshold in 0.0_f64..1.0,
+    ) {
+        let policy = DegradationPolicy {
+            route_around_below: threshold,
+            rebalance_hysteresis: 0.1,
+        };
+        match policy.select(&weights, key) {
+            Some(i) => prop_assert!(
+                weights[i] > 0.0,
+                "picked dead route {} of {:?}", i, weights
+            ),
+            None => prop_assert!(weights.iter().all(|&w| w <= 0.0)),
+        }
+    }
+
+    /// `route_around_below = 1.0` degenerates to the binary behavior:
+    /// while any full-rate route exists only full-rate routes are picked,
+    /// and with none left the least-degraded survivor is.
+    #[test]
+    fn threshold_one_degenerates_to_route_around(
+        weights in proptest::collection::vec(
+            prop_oneof![Just(0.0_f64), Just(1.0_f64), 0.1_f64..0.95], 1..6),
+        key in any::<u64>(),
+    ) {
+        let policy = DegradationPolicy::route_around();
+        match policy.select(&weights, key) {
+            None => prop_assert!(weights.iter().all(|&w| w <= 0.0)),
+            Some(i) if weights.iter().any(|&w| w >= 1.0) => {
+                prop_assert_eq!(weights[i], 1.0);
+            }
+            Some(i) => {
+                let best = weights.iter().copied().fold(0.0_f64, f64::max);
+                prop_assert_eq!(weights[i], best);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Property: random fault plans
 // ---------------------------------------------------------------------------
 
@@ -254,16 +451,24 @@ fn build_plan(cluster: &Cluster, events: &[RawEvent], drops: &[u64]) -> FaultPla
     for &(us, raw, kind) in events {
         let at = Nanos::from_micros(us);
         let link = LinkId((raw % nlinks) as u32);
-        let ev = match kind % 4 {
-            0 => FaultEvent::LinkDown(link),
-            1 => FaultEvent::LinkUp(link),
-            2 => FaultEvent::LinkDegrade {
-                link,
-                milli: 100 + ((raw as u32 * 7) % 900),
-            },
-            _ => FaultEvent::AbortFlowsOn(link),
+        plan = match kind % 5 {
+            0 => plan.at(at, FaultEvent::LinkDown(link)),
+            1 => plan.at(at, FaultEvent::LinkUp(link)),
+            2 => plan.at(
+                at,
+                FaultEvent::LinkDegrade {
+                    link,
+                    milli: 100 + ((raw as u32 * 7) % 900),
+                },
+            ),
+            3 => plan.at(at, FaultEvent::AbortFlowsOn(link)),
+            // Correlated brownout: two links sag in the same instant,
+            // exercising coalesced multi-failure recovery.
+            _ => {
+                let partner = LinkId(((raw / 3 + 1) % nlinks) as u32);
+                plan.degrade_group(at, &[link, partner], 100 + ((raw as u32 * 7) % 900))
+            }
         };
-        plan = plan.at(at, ev);
     }
     for &d in drops {
         plan = plan.drop_control(d);
@@ -291,7 +496,7 @@ proptest! {
     #[test]
     fn random_fault_plans_resolve_every_collective(
         seed in 1_u64..1_000,
-        events in proptest::collection::vec((2_000_u64..25_000, 0_usize..1_000, 0_u8..4), 0..6),
+        events in proptest::collection::vec((2_000_u64..25_000, 0_usize..1_000, 0_u8..5), 0..6),
         drops in proptest::collection::vec(0_u64..50, 0..3),
     ) {
         let cluster = run_random(seed, &events, &drops);

@@ -10,9 +10,10 @@
 use mccs_sim::Nanos;
 use mccs_topology::{HostId, LinkId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One scripted fault (or repair) at a point in virtual time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultEvent {
     /// Take a link down: capacity drops to zero, flows crossing it freeze.
     LinkDown(LinkId),
@@ -24,6 +25,17 @@ pub enum FaultEvent {
         /// The degraded link.
         link: LinkId,
         /// Remaining capacity in thousandths of line rate.
+        milli: u32,
+    },
+    /// Degrade several links at once to the same fraction — the correlated
+    /// brownout signature of a shared optic bundle or a flapping switch
+    /// ASIC, where one physical fault dims a whole group of logical links.
+    CorrelatedDegrade {
+        /// The degraded link group (shared so the event stays cheap to
+        /// clone through the timeline).
+        links: Arc<[LinkId]>,
+        /// Remaining capacity in thousandths of line rate, applied to
+        /// every link in the group.
         milli: u32,
     },
     /// Abort every in-flight flow currently crossing a link (the flows
@@ -76,6 +88,18 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a correlated multi-link degrade at `at`: every link in
+    /// `links` drops to `milli`/1000 of line rate in the same instant.
+    pub fn degrade_group(self, at: Nanos, links: &[LinkId], milli: u32) -> Self {
+        self.at(
+            at,
+            FaultEvent::CorrelatedDegrade {
+                links: Arc::from(links),
+                milli,
+            },
+        )
+    }
+
     /// Drop the `ordinal`-th control message sent cluster-wide.
     pub fn drop_control(mut self, ordinal: u64) -> Self {
         self.control.insert(ordinal, ControlFault::Drop);
@@ -102,12 +126,12 @@ impl FaultPlan {
     /// in time (then authoring) order.
     pub fn pop_due(&mut self, now: Nanos) -> Vec<FaultEvent> {
         let mut out = Vec::new();
-        while let Some(&(t, ev)) = self.timeline.get(self.cursor) {
-            if t > now {
+        while let Some((t, ev)) = self.timeline.get(self.cursor) {
+            if *t > now {
                 break;
             }
+            out.push(ev.clone());
             self.cursor += 1;
-            out.push(ev);
         }
         out
     }
@@ -163,6 +187,21 @@ mod tests {
         assert_eq!(
             plan.control_fault(5),
             Some(ControlFault::Delay(Nanos::from_micros(100)))
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn degrade_group_pops_as_one_event() {
+        let links = [LinkId(4), LinkId(7)];
+        let mut plan = FaultPlan::new().degrade_group(Nanos::from_millis(2), &links, 500);
+        let due = plan.pop_due(Nanos::from_millis(2));
+        assert_eq!(
+            due,
+            vec![FaultEvent::CorrelatedDegrade {
+                links: Arc::from(&links[..]),
+                milli: 500,
+            }]
         );
         assert!(plan.is_empty());
     }

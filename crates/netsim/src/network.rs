@@ -155,6 +155,12 @@ struct LinkFaults {
 
 impl Network {
     /// A quiet network over `topo` at time zero.
+    ///
+    /// Incremental rate recomputation is on by default; setting the
+    /// `MCCS_NETSIM_ORACLE` environment variable flips the default to the
+    /// from-scratch oracle solver (CI's oracle-equivalence job runs whole
+    /// test suites that way without touching call sites). Explicit
+    /// [`set_incremental`](Network::set_incremental) calls still win.
     pub fn new(topo: Arc<Topology>) -> Self {
         let capacities = topo.links().iter().map(|l| l.bandwidth).collect();
         Network {
@@ -166,7 +172,7 @@ impl Network {
             cross_tenant_penalty: DEFAULT_CROSS_TENANT_PENALTY,
             link_flows: HashMap::new(),
             dirty_links: BTreeSet::new(),
-            incremental: true,
+            incremental: std::env::var_os("MCCS_NETSIM_ORACLE").is_none(),
             link_faults: None,
             solver: NetSolver::default(),
         }
@@ -337,6 +343,83 @@ impl Network {
     ) -> bool {
         let route = self.topo.pinned_route(src, dst, id);
         route.links.iter().all(|&l| self.link_up(l))
+    }
+
+    /// Remaining capacity fraction of a link: 1.0 healthy, 0.0 down, the
+    /// degrade fraction in between. This is the routing weight a
+    /// degradation-aware policy feeds on.
+    pub fn link_weight(&self, link: LinkId) -> f64 {
+        match &self.link_faults {
+            None => 1.0,
+            Some(f) if !f.up[link.index()] => 0.0,
+            Some(f) => f.degrade[link.index()],
+        }
+    }
+
+    /// Effective capacity of a link: base bandwidth × degrade fraction,
+    /// zero while the link is down.
+    pub fn link_effective_capacity(&self, link: LinkId) -> Bandwidth {
+        self.effective_capacity(link.index())
+    }
+
+    /// Bottleneck weight of the identified pinned route: the minimum
+    /// [`link_weight`](Network::link_weight) along it (1.0 for a fully
+    /// healthy path, 0.0 if any link is down).
+    pub fn route_weight(
+        &self,
+        src: mccs_topology::NicId,
+        dst: mccs_topology::NicId,
+        id: RouteId,
+    ) -> f64 {
+        if self.link_faults.is_none() {
+            return 1.0;
+        }
+        let route = self.topo.pinned_route(src, dst, id);
+        route
+            .links
+            .iter()
+            .map(|&l| self.link_weight(l))
+            .fold(1.0, f64::min)
+    }
+
+    /// Estimated max-min share a (new or moved) flow of `tenant` would
+    /// get over the pinned route `id`, assuming every other flow stays
+    /// put: per link, the effective capacity — cross-tenant-penalized if
+    /// tenants would mix on it — split evenly over the flows the link
+    /// would then carry; the route estimate is the bottleneck minimum.
+    /// `exclude` discounts the querying flow itself wherever it currently
+    /// runs. A cheap planning signal for degradation-aware rebalancing;
+    /// authoritative rates still come from the max-min solve.
+    pub fn estimate_route_share(
+        &self,
+        src: mccs_topology::NicId,
+        dst: mccs_topology::NicId,
+        id: RouteId,
+        tenant: u32,
+        exclude: Option<FlowId>,
+    ) -> Bandwidth {
+        let route = self.topo.pinned_route(src, dst, id);
+        let mut share = f64::INFINITY;
+        for &l in route.links.iter() {
+            let idx = l.index();
+            let mut others = 0usize;
+            let mut mixed = false;
+            if let Some(set) = self.link_flows.get(&idx) {
+                for &f in set {
+                    if Some(f) == exclude {
+                        continue;
+                    }
+                    others += 1;
+                    mixed |= self.flows[&f].spec.tenant != tenant;
+                }
+            }
+            let mut cap = self.effective_capacity(idx).as_bps();
+            if mixed {
+                cap *= 1.0 - self.cross_tenant_penalty;
+            }
+            share = share.min(cap / (others + 1) as f64);
+        }
+        Bandwidth::bps(share)
     }
 
     /// Abort every in-flight flow crossing `link`, returning the victims'
@@ -1204,8 +1287,45 @@ mod tests {
     }
 
     #[test]
+    fn link_weight_and_route_weight_track_degrades() {
+        let mut net = testbed_net();
+        let r0 = net.topo.pinned_route(nic(0), nic(4), RouteId(0));
+        let spine = r0.links[1];
+        assert_eq!(net.link_weight(spine), 1.0);
+        assert_eq!(net.route_weight(nic(0), nic(4), RouteId(0)), 1.0);
+        net.set_link_degrade(Nanos::ZERO, spine, 0.5);
+        assert_eq!(net.link_weight(spine), 0.5);
+        assert_eq!(
+            net.route_weight(nic(0), nic(4), RouteId(0)),
+            0.5,
+            "route weight is the bottleneck link weight"
+        );
+        assert_eq!(
+            net.route_weight(nic(0), nic(4), RouteId(1)),
+            1.0,
+            "the other spine is unaffected"
+        );
+        let base = net.topo.link(spine).bandwidth;
+        assert!((net.link_effective_capacity(spine).as_bps() - base.as_bps() * 0.5).abs() < 1e-6);
+        net.set_link_up(Nanos::ZERO, spine, false);
+        assert_eq!(net.link_weight(spine), 0.0);
+        assert_eq!(net.route_weight(nic(0), nic(4), RouteId(0)), 0.0);
+        assert_eq!(net.link_effective_capacity(spine), Bandwidth::ZERO);
+        net.set_link_up(Nanos::ZERO, spine, true);
+        assert_eq!(
+            net.link_weight(spine),
+            0.5,
+            "repair restores the degraded weight, not full"
+        );
+    }
+
+    #[test]
     fn remap_cache_hits_on_recurring_component_shapes() {
         let mut net = testbed_net();
+        // This test is about the incremental path specifically; pin it on
+        // so the oracle-equivalence CI job (MCCS_NETSIM_ORACLE) doesn't
+        // turn the assertions vacuous.
+        net.set_incremental(true);
         // First solve of each structural shape is a miss...
         let _a = net.start_flow(
             Nanos::ZERO,
@@ -1231,6 +1351,7 @@ mod tests {
     #[test]
     fn remap_cache_hit_after_degrade_reads_fresh_capacity() {
         let mut net = testbed_net();
+        net.set_incremental(true);
         let f = net.start_flow(
             Nanos::ZERO,
             FlowSpec::ecmp(nic(0), nic(2), Bytes::gib(1), 0),
@@ -1294,6 +1415,7 @@ mod tests {
                     (0u8..8, 0u32..8, 0u32..8, 0u64..64, any::<u64>()), 1..32)
             ) {
                 let mut inc = testbed_net();
+                inc.set_incremental(true);
                 let mut full = testbed_net();
                 full.set_incremental(false);
                 let mut now = Nanos::ZERO;

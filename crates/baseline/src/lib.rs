@@ -241,7 +241,7 @@ impl BaselineJob {
                 EdgeTask::IntraHost { from, bytes, .. } => {
                     let bandwidth = w.devices.config().intra_host_bandwidth;
                     let stream = self.stream_for(w, from, channel);
-                    w.devices.enqueue(
+                    w.device_enqueue(
                         stream,
                         StreamOp::Transfer {
                             bytes,

@@ -347,6 +347,138 @@ fn bench_schedule_cache(c: &mut Criterion) {
     );
 }
 
+fn bench_completion_index(c: &mut Criterion) {
+    // Draining a large bounded-flow population: the indexed completion
+    // heap finds the next finisher in O(log F) amortized; the oracle
+    // rescans every stored prediction per step, so a full drain is
+    // O(F^2) in the scan alone.
+    let topo = Arc::new(presets::spine_leaf(&SpineLeafConfig::paper_large_scale()));
+    let n = 1000usize;
+    let build = |incremental: bool| {
+        let mut rng = Rng::seed_from(0xD1A1 ^ n as u64);
+        let mut net = Network::new(Arc::clone(&topo));
+        net.set_incremental(incremental);
+        for i in 0..n {
+            // Rack-local bounded flows with staggered sizes so the drain
+            // produces ~n distinct completion instants.
+            let base = rng.below(24) as u32 * 32;
+            let src = base + rng.below(32) as u32;
+            let mut dst = base + rng.below(32) as u32;
+            if dst == src {
+                dst = base + (dst - base + 1) % 32;
+            }
+            net.start_flow(
+                Nanos::ZERO,
+                FlowSpec::ecmp(
+                    mccs_topology::NicId(src),
+                    mccs_topology::NicId(dst),
+                    Bytes::mib(1 + (i as u64 % 64)),
+                    rng.next_u64(),
+                ),
+            );
+        }
+        net
+    };
+    for &(label, incremental) in &[("indexed", true), ("oracle", false)] {
+        c.bench_function(&format!("completions/{n}flows-drain/{label}"), |b| {
+            b.iter_batched(
+                || build(incremental),
+                |mut net| {
+                    let done = net.advance_to(Nanos::from_secs(600));
+                    assert_eq!(done.len(), n);
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    let median = |label: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("completions/{n}flows-drain/{label}"))
+            .expect("benched above")
+            .median_ns
+    };
+    println!(
+        "completions/{n}flows indexed speedup: {:.1}x",
+        median("oracle") / median("indexed")
+    );
+}
+
+fn bench_scheduler_event_loop(c: &mut Criterion) {
+    // The fig13 regime in miniature: one active tenant, one parked, on
+    // the testbed. The naive scheduler polls every engine on every pass;
+    // the wake scheduler touches only ready engines.
+    use mccs_core::{Cluster, ClusterConfig};
+    use mccs_ipc::CommunicatorId;
+    use mccs_shim::{AppProgram, ScriptStep, ScriptedProgram};
+    let run = |naive: bool| {
+        let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(9));
+        cluster.set_naive_scheduler(naive);
+        let tenants = [
+            (
+                "hot",
+                CommunicatorId(1),
+                [GpuId(0), GpuId(2), GpuId(4), GpuId(6)],
+                None,
+            ),
+            (
+                "cold",
+                CommunicatorId(2),
+                [GpuId(1), GpuId(3), GpuId(5), GpuId(7)],
+                Some(Nanos::from_millis(40)),
+            ),
+        ];
+        for (name, comm, gpus, sleep) in tenants {
+            let ranks = gpus
+                .iter()
+                .enumerate()
+                .map(|(rank, &gpu)| {
+                    let size = Bytes::mib(4);
+                    let mut steps = vec![
+                        ScriptStep::Alloc { size, slot: 0 },
+                        ScriptStep::Alloc { size, slot: 1 },
+                        ScriptStep::CommInit {
+                            comm,
+                            world: gpus.to_vec(),
+                            rank,
+                        },
+                    ];
+                    if let Some(t) = sleep {
+                        steps.push(ScriptStep::SleepUntil(t));
+                    }
+                    steps.push(ScriptStep::Collective {
+                        comm,
+                        op: all_reduce_sum(),
+                        size,
+                        send_slot: 0,
+                        recv_slot: 1,
+                    });
+                    let prog = ScriptedProgram::new(format!("{name}/r{rank}"), steps);
+                    (gpu, Box::new(prog) as Box<dyn AppProgram>)
+                })
+                .collect();
+            cluster.add_app(name, ranks);
+        }
+        cluster.run_until_quiescent(Nanos::from_secs(10));
+    };
+    for &(label, naive) in &[("wake", false), ("naive", true)] {
+        c.bench_function(&format!("scheduler/idle-heavy-testbed/{label}"), |b| {
+            b.iter(|| run(naive))
+        });
+    }
+    let median = |label: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.name == format!("scheduler/idle-heavy-testbed/{label}"))
+            .expect("benched above")
+            .median_ns
+    };
+    println!(
+        "scheduler/idle-heavy-testbed wake speedup: {:.1}x",
+        median("naive") / median("wake")
+    );
+}
+
 criterion_group!(
     benches,
     bench_maxmin,
@@ -357,6 +489,8 @@ criterion_group!(
     bench_netsim_collective,
     bench_flow_churn,
     bench_churn_steady_state,
-    bench_schedule_cache
+    bench_schedule_cache,
+    bench_completion_index,
+    bench_scheduler_event_loop
 );
 criterion_main!(benches);

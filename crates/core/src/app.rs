@@ -7,9 +7,9 @@
 //! but one whose only access is the shim surface (queues, own streams,
 //! handles): the isolation boundary of the paper.
 
-use crate::world::{EndpointPort, World};
+use crate::world::{resources, EndpointPort, World};
 use mccs_shim::{AppProgram, AppStatus, ShimApi, ShimSession};
-use mccs_sim::{Engine, Poll};
+use mccs_sim::{Engine, Poll, Wake, WakeSet};
 
 /// The engine driving one tenant rank.
 pub struct AppEngine {
@@ -31,7 +31,13 @@ impl AppEngine {
 
 impl Engine<World> for AppEngine {
     fn progress(&mut self, w: &mut World) -> Poll {
-        let gpu = w.endpoints[self.endpoint].gpu;
+        let ep = &mut w.endpoints[self.endpoint];
+        let gpu = ep.gpu;
+        // A due program timer is consumed by this poll; the program
+        // re-arms it if it blocks on time again.
+        if ep.next_app_wake.is_some_and(|t| t <= w.clock) {
+            ep.next_app_wake = None;
+        }
         let mut port = EndpointPort {
             world: w,
             idx: self.endpoint,
@@ -42,6 +48,26 @@ impl Engine<World> for AppEngine {
             AppStatus::Blocked => Poll::Idle,
             AppStatus::Finished => Poll::Finished,
         }
+    }
+
+    fn wake_when(&self, w: &World) -> Wake {
+        let ep = &w.endpoints[self.endpoint];
+        let mut ws = WakeSet::new();
+        // Completions from the service, and their head-visibility lag.
+        ws.watch(resources::endpoint_comp(self.endpoint as u32));
+        ws.deadline_opt(ep.comp.next_visible());
+        // Programs also block on device streams (compute kernels, event
+        // waits); the fabric attributes activity per GPU, so watch only
+        // this rank's device.
+        ws.watch(resources::device_activity(ep.gpu.index() as u32));
+        // Program-armed timers (SleepUntil-style waits).
+        ws.deadline_opt(ep.next_app_wake);
+        // Under command-queue back-pressure the session holds unsent
+        // commands; the frontend signals when it frees space.
+        if self.session.has_unsent() {
+            ws.watch(resources::endpoint_cmd_space(self.endpoint as u32));
+        }
+        ws.build()
     }
 
     fn name(&self) -> String {

@@ -111,6 +111,7 @@ impl Cluster {
                 cmd: LatencyQueue::new(cap),
                 comp: LatencyQueue::new(cap),
                 rng,
+                next_app_wake: None,
             });
             per_host
                 .entry(self.world.topo.host_of_gpu(gpu))
@@ -146,7 +147,7 @@ impl Cluster {
     /// without one, runs are byte-identical to a build without fault
     /// support.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
-        self.world.fault_plan = Some(plan);
+        self.world.install_fault_plan(plan);
     }
 
     /// Install a controller recovery policy consulted for corrective
@@ -183,7 +184,7 @@ impl Cluster {
     /// Run until virtual time `t` (or until the system quiesces earlier).
     pub fn run_until(&mut self, t: Nanos) {
         loop {
-            self.pool.poll_until_quiescent(&mut self.world);
+            self.pool.poll(&mut self.world);
             match self.world.next_time() {
                 Some(next) if next <= t => self.world.advance_to(next),
                 _ => break,
@@ -191,8 +192,9 @@ impl Cluster {
         }
         if self.world.clock < t {
             self.world.advance_to(t);
-            self.pool.poll_until_quiescent(&mut self.world);
+            self.pool.poll(&mut self.world);
         }
+        self.sync_scheduler_stats();
     }
 
     /// Run until nothing can ever happen again (all programs finished or
@@ -203,7 +205,7 @@ impl Cluster {
     /// hang detector for tests.
     pub fn run_until_quiescent(&mut self, deadline: Nanos) -> Nanos {
         loop {
-            self.pool.poll_until_quiescent(&mut self.world);
+            self.pool.poll(&mut self.world);
             match self.world.next_time() {
                 Some(next) => {
                     assert!(
@@ -214,9 +216,40 @@ impl Cluster {
                     );
                     self.world.advance_to(next);
                 }
-                None => return self.world.clock,
+                None => {
+                    self.sync_scheduler_stats();
+                    return self.world.clock;
+                }
             }
         }
+    }
+
+    /// Mirror the pool's efficiency counters into the world-resident
+    /// [`SchedulerStats`](crate::health::SchedulerStats) the management
+    /// API reads. Called after every run loop.
+    fn sync_scheduler_stats(&mut self) {
+        let s = &mut self.world.health.scheduler;
+        s.polls = self.pool.poll_count();
+        s.wasted_polls = self.pool.wasted_poll_count();
+        s.wakes = self.pool.wake_count();
+    }
+
+    /// Toggle the pool between the wake-driven scheduler and the naive
+    /// round-robin oracle (equivalence tests; mirrors
+    /// `Network::set_incremental`).
+    pub fn set_naive_scheduler(&mut self, naive: bool) {
+        self.pool.set_naive(naive);
+    }
+
+    /// Whether the pool currently runs the naive round-robin oracle.
+    pub fn naive_scheduler(&self) -> bool {
+        self.pool.is_naive()
+    }
+
+    /// Scheduler efficiency counters (polls, wasted polls, wakes),
+    /// synced from the pool after the last run loop.
+    pub fn scheduler_stats(&self) -> crate::health::SchedulerStats {
+        self.world.health.scheduler
     }
 
     /// Live (unfinished) engine count — tenants, frontends, proxies,

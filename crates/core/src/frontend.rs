@@ -6,9 +6,9 @@
 //! communicator and collective commands to the owning proxy engines.
 
 use crate::messages::ProxyMsg;
-use crate::world::World;
+use crate::world::{resources, World};
 use mccs_ipc::{AppId, ErrorCode, ShimCommand, ShimCompletion};
-use mccs_sim::{Engine, Poll};
+use mccs_sim::{Engine, Poll, Wake, WakeSet};
 use mccs_topology::{GpuId, HostId};
 
 /// The per-(application, host) frontend engine.
@@ -150,13 +150,20 @@ impl Engine<World> for FrontendEngine {
         let mut progressed = false;
         for i in 0..self.endpoints.len() {
             let endpoint = self.endpoints[i];
+            let mut popped = false;
             loop {
                 let now = w.clock;
                 let Some(cmd) = w.endpoints[endpoint].cmd.pop(now) else {
                     break;
                 };
+                popped = true;
                 self.handle(w, endpoint, cmd);
                 progressed = true;
+            }
+            if popped {
+                // Space freed: resume any rank back-pressured on this
+                // command queue.
+                w.signal(resources::endpoint_cmd_space(endpoint as u32));
             }
         }
         if progressed {
@@ -164,6 +171,18 @@ impl Engine<World> for FrontendEngine {
         } else {
             Poll::Idle
         }
+    }
+
+    fn wake_when(&self, w: &World) -> Wake {
+        // One command-queue resource per served endpoint, plus the
+        // earliest not-yet-visible head as a deadline (pushes signal at
+        // push time; visibility lags by the sampled IPC latency).
+        let mut ws = WakeSet::new();
+        for &endpoint in &self.endpoints {
+            ws.watch(resources::endpoint_cmd(endpoint as u32));
+            ws.deadline_opt(w.endpoints[endpoint].cmd.next_visible());
+        }
+        ws.build()
     }
 
     fn name(&self) -> String {

@@ -146,6 +146,20 @@ pub struct HealthCounters {
     pub reconfig_rejects: u64,
 }
 
+/// Engine-scheduler efficiency counters, synced from the runtime pool
+/// after every run loop. Kept separate from [`HealthCounters`]: scheduler
+/// choice is not observable behaviour, so these must stay out of the
+/// trace digest and the [`HealthRegistry::is_quiet`] invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Engine polls issued by the pool.
+    pub polls: u64,
+    /// Polls that returned `Idle` (no work done).
+    pub wasted_polls: u64,
+    /// Parked engines readied by a resource signal or deadline.
+    pub wakes: u64,
+}
+
 /// Default capacity of the bounded health push channel.
 pub const DEFAULT_HEALTH_CHANNEL_CAPACITY: usize = 256;
 
@@ -264,6 +278,13 @@ pub struct HealthRegistry {
     channel: HealthChannel,
     /// Monotonic counters (public: hot paths bump them directly).
     pub counters: HealthCounters,
+    /// Scheduler efficiency counters (not observable behaviour: excluded
+    /// from the digest and from [`Self::is_quiet`]).
+    pub scheduler: SchedulerStats,
+    /// Edge flag: an event was published since the last `take_signal`.
+    /// The world's wake plumbing drains this into the health-channel
+    /// resource so subscribed engines are readied.
+    signal: bool,
 }
 
 impl HealthRegistry {
@@ -324,6 +345,13 @@ impl HealthRegistry {
     fn push(&mut self, event: FailureEvent) {
         self.channel.publish(event);
         self.events.push(event);
+        self.signal = true;
+    }
+
+    /// Consume the edge flag raised by any publication since the last
+    /// call (wake plumbing; see the `signal` field).
+    pub fn take_signal(&mut self) -> bool {
+        std::mem::take(&mut self.signal)
     }
 
     /// Whether this link is currently believed down.

@@ -245,6 +245,15 @@ impl<'a> Management<'a> {
         self.world.health.counters
     }
 
+    /// Engine-scheduler efficiency counters (total polls, wasted polls,
+    /// wakes delivered) for the run so far. Deliberately outside
+    /// [`HealthCounters`]: scheduling efficiency is an implementation
+    /// property, not observable behavior, so it stays out of the
+    /// determinism digest the oracle-equivalence gate compares.
+    pub fn scheduler_stats(&self) -> crate::health::SchedulerStats {
+        self.world.health.scheduler
+    }
+
     /// The full failure-event log, in occurrence order. (Compatibility
     /// shim over the push channel — controllers should prefer
     /// [`subscribe_health`](Management::subscribe_health).)

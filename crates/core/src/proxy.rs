@@ -25,12 +25,12 @@ use crate::config::CollectiveConfig;
 use crate::error::ServiceError;
 use crate::health::FailureEvent;
 use crate::messages::{ProxyMsg, TransportMsg};
-use crate::world::World;
+use crate::world::{resources, World};
 use mccs_collectives::{CollectiveOp, CollectiveSchedule, EdgeTask, ScheduleKey};
 use mccs_device::{EventId, StreamId, StreamOp};
 use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ErrorCode, ShimCompletion};
 use mccs_netsim::RouteChoice;
-use mccs_sim::{Bytes, Engine, Nanos, Poll};
+use mccs_sim::{Bytes, Engine, Nanos, Poll, Wake, WakeSet};
 use mccs_topology::GpuId;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -618,8 +618,7 @@ impl ProxyEngine {
                     // Record the communicator event so tenant streams
                     // waiting on it unblock.
                     let stream = ensure_stream(&mut rank, 0, w);
-                    w.devices
-                        .enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
+                    w.device_enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
                     w.trace.completed(comm, rank.rank, seq, done_at);
                     w.send_completion(rank.endpoint, ShimCompletion::CollectiveDone { comm, seq });
                     rank.inflight = None;
@@ -810,8 +809,7 @@ fn fail_to_tenant(rank: &mut CommRank, w: &mut World, comm: CommunicatorId, seq:
     // Record the communicator event so tenant streams waiting on the
     // collective unblock instead of hanging on a result that never comes.
     let stream = ensure_stream(rank, 0, w);
-    w.devices
-        .enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
+    w.device_enqueue(stream, StreamOp::RecordEvent(rank.comm_event));
     w.trace.failed(comm, rank.rank, seq, w.clock);
     w.health.counters.collectives_failed += 1;
     w.send_completion(
@@ -867,7 +865,7 @@ fn launch_tasks(rank: &mut CommRank, w: &mut World, p: &PendingCollective) {
             EdgeTask::IntraHost { bytes, .. } => {
                 let stream = ensure_stream(rank, channel, w);
                 let bandwidth = w.devices.config().intra_host_bandwidth;
-                w.devices.enqueue(
+                w.device_enqueue(
                     stream,
                     StreamOp::Transfer {
                         bytes,
@@ -940,6 +938,57 @@ impl Engine<World> for ProxyEngine {
         } else {
             Poll::Idle
         }
+    }
+
+    fn wake_when(&self, w: &World) -> Wake {
+        let plan = w.fault_plan.is_some();
+        // Frozen on a crashed host: only a health event (HostUp) can
+        // change anything this engine would do.
+        if plan && w.health.is_host_down(w.topo.host_of_gpu(self.gpu)) {
+            return Wake::on(vec![resources::health_channel()]);
+        }
+        let mut ws = WakeSet::new();
+        ws.watch(resources::proxy_inbox(self.gpu.index() as u32));
+        ws.deadline_opt(w.proxy_inbox[self.gpu.index()].next_visible());
+        if !plan {
+            // Installing a plan arms the liveness/gossip timers below.
+            ws.watch(resources::fault_plan_installed());
+        }
+        let mut hosts_comms = false;
+        for ((comm, gpu), rank) in w.comms.iter() {
+            if *gpu != self.gpu {
+                continue;
+            }
+            hosts_comms = true;
+            // Token completions, failures, and aborts for this comm.
+            ws.watch(resources::progress(*comm));
+            // Reconnect gate after an applied reconfiguration.
+            if w.clock < rank.resume_at {
+                ws.deadline(rank.resume_at);
+            }
+            if plan {
+                // Gossip re-send while the barrier AllGather is stalled.
+                if let Some(since) = rank.barrier_since {
+                    ws.deadline(since + w.svc.gossip_retry);
+                }
+                // Liveness check for a launched, unfinished collective.
+                if let Some(inf) = &rank.inflight {
+                    if let (true, Some(at)) = (inf.launched, inf.launched_at) {
+                        let grace = w
+                            .svc
+                            .liveness_timeout
+                            .mul_f64(f64::from(inf.stall_reports + 1));
+                        ws.deadline(at + grace);
+                    }
+                }
+            }
+        }
+        if hosts_comms {
+            // Dependency events and comm-event records complete on device
+            // streams, which carry no per-comm attribution.
+            ws.watch(resources::device_activity(self.gpu.index() as u32));
+        }
+        ws.build()
     }
 
     fn name(&self) -> String {

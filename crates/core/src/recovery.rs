@@ -20,10 +20,10 @@
 
 use crate::config::{CollectiveConfig, RouteMap};
 use crate::health::{FailureEvent, HealthDelivery, HealthSubscription};
-use crate::world::World;
+use crate::world::{resources, World};
 use mccs_collectives::{op::all_reduce_sum, CollectiveSchedule, EdgeTask, RingOrder};
 use mccs_ipc::CommunicatorId;
-use mccs_sim::{Bytes, Engine, Nanos, Poll};
+use mccs_sim::{Bytes, Engine, Nanos, Poll, Wake};
 use mccs_topology::{GpuId, NicId, RouteId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -351,6 +351,16 @@ impl Engine<World> for RecoveryEngine {
             }
         }
         Poll::Progressed
+    }
+
+    fn wake_when(&self, w: &World) -> Wake {
+        if w.fault_plan.is_none() {
+            // Inert until a plan arrives; `install_fault_plan` signals.
+            Wake::on(vec![resources::fault_plan_installed()])
+        } else {
+            // Driven purely by health-channel pushes.
+            Wake::on(vec![resources::health_channel()])
+        }
     }
 
     fn name(&self) -> String {

@@ -25,10 +25,10 @@
 use crate::health::FailureEvent;
 use crate::messages::TransportMsg;
 use crate::qos::TrafficWindows;
-use crate::world::World;
+use crate::world::{resources, World};
 use mccs_ipc::{AppId, CommunicatorId};
 use mccs_netsim::{FlowId, FlowSpec, RouteChoice};
-use mccs_sim::{Bandwidth, Bytes, Engine, Nanos, Poll};
+use mccs_sim::{Bandwidth, Bytes, Engine, Nanos, Poll, Wake, WakeSet};
 use mccs_topology::{NicId, RouteId};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -573,6 +573,37 @@ impl Engine<World> for TransportEngine {
         } else {
             Poll::Idle
         }
+    }
+
+    fn wake_when(&self, w: &World) -> Wake {
+        let plan = w.fault_plan.is_some();
+        // Frozen on a crashed host: only a health event (HostUp) matters.
+        if plan && w.health.is_host_down(w.topo.nics()[self.nic.index()].host) {
+            return Wake::on(vec![resources::health_channel()]);
+        }
+        let mut ws = WakeSet::new();
+        let idx = self.nic.index();
+        // Commands from proxies, and flow completions / kill notices
+        // routed to this NIC by the world.
+        ws.watch(resources::transport_inbox(idx as u32));
+        ws.watch(resources::transport_flow(idx as u32));
+        ws.deadline_opt(w.transport_inbox[idx].next_visible());
+        if !plan {
+            // Installing a plan arms the retry/stall timers below.
+            ws.watch(resources::fault_plan_installed());
+        } else {
+            // Backoff-delayed restarts and the recurring stall sweep.
+            ws.deadline_opt(self.retries.iter().map(|(t, _)| *t).min());
+            ws.deadline_opt(self.next_stall_check);
+        }
+        // QoS window boundaries, mirrored from `enforce_windows`' arming
+        // condition: boundaries only matter while something is gated.
+        if !self.windows.is_empty() && (!self.active.is_empty() || !self.pending.is_empty()) {
+            for win in self.windows.values() {
+                ws.deadline(win.next_boundary(w.clock));
+            }
+        }
+        ws.build()
     }
 
     fn name(&self) -> String {

@@ -18,10 +18,79 @@ use mccs_device::{
 use mccs_ipc::{AppId, CommunicatorId, IpcConfig, LatencyQueue, ShimCommand, ShimCompletion};
 use mccs_netsim::{ControlFault, FaultEvent, FaultPlan, FlowCompletion, FlowId, Network};
 use mccs_shim::ShimPort;
-use mccs_sim::{EventQueue, Nanos, Rng};
+use mccs_sim::{EventQueue, Nanos, ResourceId, Rng, WakeSource};
 use mccs_topology::{GpuId, LinkId, NicId, Topology};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// The world's wake-resource keying: every queue, channel, and event
+/// stream an engine can block on maps to a [`ResourceId`] here. Engines
+/// declare these in `wake_when`; the world raises the matching signal at
+/// each produce site, and the [`RuntimePool`](mccs_sim::RuntimePool)
+/// readies exactly the parked engines that watch them.
+pub mod resources {
+    use mccs_ipc::CommunicatorId;
+    use mccs_sim::ResourceId;
+
+    /// Shim -> service command queue of one endpoint gained a message.
+    pub const fn endpoint_cmd(endpoint: u32) -> ResourceId {
+        ResourceId::new(1, endpoint)
+    }
+
+    /// Service -> shim completion queue of one endpoint gained a message.
+    pub const fn endpoint_comp(endpoint: u32) -> ResourceId {
+        ResourceId::new(2, endpoint)
+    }
+
+    /// A GPU's proxy inbox gained a message.
+    pub const fn proxy_inbox(gpu: u32) -> ResourceId {
+        ResourceId::new(3, gpu)
+    }
+
+    /// A NIC's transport inbox gained a message.
+    pub const fn transport_inbox(nic: u32) -> ResourceId {
+        ResourceId::new(4, nic)
+    }
+
+    /// A NIC's transport received flow completions or failure notices.
+    pub const fn transport_flow(nic: u32) -> ResourceId {
+        ResourceId::new(5, nic)
+    }
+
+    /// Device activity on one GPU: a stream of that GPU dispatched,
+    /// completed (silently or not — inline-executed records included),
+    /// or was unblocked by an event recorded elsewhere. Attribution
+    /// comes from [`mccs_device::DeviceFabric::take_touched_gpus`], so
+    /// engines park against their own GPU instead of the whole fabric.
+    pub const fn device_activity(gpu: u32) -> ResourceId {
+        ResourceId::new(6, gpu)
+    }
+
+    /// Cluster-wide progress of one communicator's collectives changed
+    /// (launch registered, task token completed or failed, abort). The
+    /// 64-bit communicator id is truncated; collisions only cause
+    /// harmless extra wakes.
+    pub const fn progress(comm: CommunicatorId) -> ResourceId {
+        ResourceId::new(7, comm.0 as u32)
+    }
+
+    /// A failure event was published on the health channel.
+    pub const fn health_channel() -> ResourceId {
+        ResourceId::new(8, 0)
+    }
+
+    /// A fault plan was installed (fault-gated engines leave their
+    /// plan-free parking).
+    pub const fn fault_plan_installed() -> ResourceId {
+        ResourceId::new(9, 0)
+    }
+
+    /// The service drained messages from an endpoint's command queue —
+    /// space freed for a back-pressured rank to resume pushing.
+    pub const fn endpoint_cmd_space(endpoint: u32) -> ResourceId {
+        ResourceId::new(10, endpoint)
+    }
+}
 
 /// Scheduled wake-ups (payload-free: advancing time re-polls every engine).
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +124,9 @@ pub struct Endpoint {
     pub comp: LatencyQueue<ShimCompletion>,
     /// Tenant-local randomness.
     pub rng: Rng,
+    /// Earliest program-armed timer (`ShimPort::schedule_wake`) not yet
+    /// reached — the app engine mirrors it as its wake deadline.
+    pub next_app_wake: Option<Nanos>,
 }
 
 /// Cluster-wide completion tracking for one collective — the flow-level
@@ -226,6 +298,9 @@ pub struct World {
     pub tenant_log: TenantLog,
     /// Application names, indexed by `AppId`.
     pub app_names: Vec<String>,
+    /// Wake-resource signals raised since the scheduler last drained them
+    /// (edge events; duplicates are fine).
+    signals: Vec<ResourceId>,
 }
 
 /// Tenant-side latency bookkeeping, fed by the endpoint ports: a real
@@ -396,7 +471,15 @@ impl World {
             trace: TraceCollector::new(),
             tenant_log: TenantLog::default(),
             app_names: Vec::new(),
+            signals: Vec::new(),
         }
+    }
+
+    /// Raise a wake-resource signal (edge event; consumed by the pool on
+    /// its next drain). Harmless under the naive scheduler, which drains
+    /// and discards.
+    pub fn signal(&mut self, r: ResourceId) {
+        self.signals.push(r);
     }
 
     /// Current virtual time.
@@ -407,6 +490,13 @@ impl World {
     // ---- time -----------------------------------------------------------
 
     /// The earliest future instant at which anything can happen.
+    ///
+    /// Only the event schedule and the self-timing substrates (network,
+    /// devices, fault plan) are consulted: every queue push pairs with a
+    /// `schedule_wake` at its visibility time, so a queue head that is
+    /// not yet visible is always covered by a pending event. The debug
+    /// assertion checks that invariant against the exhaustive scan on
+    /// every call in debug builds.
     pub fn next_time(&self) -> Option<Nanos> {
         let mut best: Option<Nanos> = None;
         let mut consider = |t: Option<Nanos>| {
@@ -420,6 +510,36 @@ impl World {
         // (scheduled during a poll at the current instant) must surface
         // as "immediately" rather than mask later entries behind it —
         // the advance drains it and re-exposes whatever follows.
+        consider(
+            self.events
+                .next_time()
+                .map(|t| t.max(self.clock + Nanos(1))),
+        );
+        consider(self.net.next_completion_time());
+        consider(self.devices.next_time());
+        if let Some(plan) = &self.fault_plan {
+            consider(plan.next_time());
+        }
+        debug_assert_eq!(
+            best,
+            self.next_time_exhaustive(),
+            "a queue became visible with no covering scheduled wake"
+        );
+        best
+    }
+
+    /// The original exhaustive next-time scan over every queue head —
+    /// kept as the debug-mode oracle for [`Self::next_time`].
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn next_time_exhaustive(&self) -> Option<Nanos> {
+        let mut best: Option<Nanos> = None;
+        let mut consider = |t: Option<Nanos>| {
+            if let Some(t) = t {
+                if t > self.clock {
+                    best = Some(best.map_or(t, |b| b.min(t)));
+                }
+            }
+        };
         consider(
             self.events
                 .next_time()
@@ -474,7 +594,10 @@ impl World {
                 .remove(&c.id)
                 .expect("completed flow has no registered owner")
             {
-                FlowOwner::Transport(nic) => self.transport_flow_events[nic].push(c),
+                FlowOwner::Transport(nic) => {
+                    self.signals.push(resources::transport_flow(nic as u32));
+                    self.transport_flow_events[nic].push(c);
+                }
                 FlowOwner::External(owner) => {
                     self.external_flow_events.entry(owner).or_default().push(c)
                 }
@@ -484,6 +607,12 @@ impl World {
             if let DeviceNotification::OpDone { token, at, .. } = n {
                 self.complete_token(token, at);
             }
+        }
+        // Device completions can be silent (token-0 kernels, inline
+        // records): the fabric's touched-GPU set covers those too, with
+        // per-GPU attribution so only that GPU's engines wake.
+        for gpu in self.devices.take_touched_gpus() {
+            self.signals.push(resources::device_activity(gpu));
         }
         while self.events.pop_due(t).is_some() {}
         self.clock = t;
@@ -544,9 +673,30 @@ impl World {
                 .remove(&id)
                 .expect("killed flow has no registered owner")
             {
-                FlowOwner::Transport(nic) => self.transport_flow_failures[nic].push((id, token)),
+                FlowOwner::Transport(nic) => {
+                    self.signals.push(resources::transport_flow(nic as u32));
+                    self.transport_flow_failures[nic].push((id, token));
+                }
                 FlowOwner::External(_) => {}
             }
+        }
+    }
+
+    /// Install (or replace) the scripted fault plan, waking the engines
+    /// parked on its absence.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+        self.signal(resources::fault_plan_installed());
+    }
+
+    /// Enqueue a device-stream op and raise device-activity signals so
+    /// engines blocked on stream/event state re-poll. An inline-executed
+    /// record can unblock waiters on other GPUs' streams, so every GPU
+    /// the fabric touched is signalled, not just the enqueue target.
+    pub fn device_enqueue(&mut self, stream: StreamId, op: mccs_device::StreamOp) {
+        self.devices.enqueue(stream, op);
+        for gpu in self.devices.take_touched_gpus() {
+            self.signal(resources::device_activity(gpu));
         }
     }
 
@@ -594,6 +744,13 @@ impl World {
         }
         self.next_token += local_tasks as u64;
         prog.maybe_complete(now);
+        // Launches and task completions are only observable through the
+        // completed/failed predicates, so signal on those transitions
+        // alone — a per-task signal would wake every rank of the
+        // communicator once per task for nothing.
+        if prog.completed_at.is_some() {
+            self.signals.push(resources::progress(comm));
+        }
         tokens
     }
 
@@ -610,6 +767,9 @@ impl World {
         assert!(prog.outstanding_tasks > 0, "token underflow");
         prog.outstanding_tasks -= 1;
         prog.maybe_complete(at);
+        if prog.completed_at.is_some() {
+            self.signals.push(resources::progress(comm));
+        }
     }
 
     /// When a collective completed (if it has).
@@ -632,6 +792,7 @@ impl World {
         assert!(prog.outstanding_tasks > 0, "token underflow");
         prog.outstanding_tasks -= 1;
         prog.failed = true;
+        self.signals.push(resources::progress(comm));
         (comm, seq)
     }
 
@@ -640,6 +801,7 @@ impl World {
     pub fn abort_collective(&mut self, comm: CommunicatorId, seq: u64) {
         if let Some(prog) = self.progress.get_mut(&(comm, seq)) {
             prog.failed = true;
+            self.signals.push(resources::progress(comm));
         }
     }
 
@@ -658,6 +820,8 @@ impl World {
             .push(now, lat, msg)
             .unwrap_or_else(|_| panic!("proxy inbox overflow on {gpu}"));
         self.schedule_wake(now + lat);
+        self.signals
+            .push(resources::proxy_inbox(gpu.index() as u32));
     }
 
     /// Push to a NIC's transport inbox with one internal engine hop.
@@ -668,6 +832,8 @@ impl World {
             .push(now, lat, msg)
             .unwrap_or_else(|_| panic!("transport inbox overflow on {nic}"));
         self.schedule_wake(now + lat);
+        self.signals
+            .push(resources::transport_inbox(nic.index() as u32));
     }
 
     /// Push a completion back to a tenant endpoint.
@@ -679,6 +845,7 @@ impl World {
             .push(now, lat, completion)
             .unwrap_or_else(|_| panic!("completion queue overflow on endpoint {endpoint}"));
         self.schedule_wake(now + lat);
+        self.signals.push(resources::endpoint_comp(endpoint as u32));
     }
 
     /// Deliver a control-plane message to a proxy with control-channel
@@ -703,6 +870,8 @@ impl World {
             .push(now, lat, msg)
             .unwrap_or_else(|_| panic!("proxy inbox overflow on {gpu}"));
         self.schedule_wake(now + lat);
+        self.signals
+            .push(resources::proxy_inbox(gpu.index() as u32));
     }
 
     /// The send ordinal the *next* control message will get — what a
@@ -734,6 +903,19 @@ impl World {
     }
 }
 
+impl WakeSource for World {
+    fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    fn drain_signals(&mut self, into: &mut Vec<ResourceId>) {
+        if self.health.take_signal() {
+            self.signals.push(resources::health_channel());
+        }
+        into.append(&mut self.signals);
+    }
+}
+
 /// A borrow of the world scoped to one endpoint, implementing the tenant's
 /// [`ShimPort`]. Constructed per poll by the app engine.
 pub struct EndpointPort<'a> {
@@ -757,6 +939,9 @@ impl ShimPort for EndpointPort<'_> {
         match ep.cmd.push(now, lat, cmd) {
             Ok(()) => {
                 self.world.events.schedule(now + lat, WorldEvent::Wake);
+                self.world
+                    .signals
+                    .push(resources::endpoint_cmd(self.idx as u32));
                 true
             }
             Err(_) => false,
@@ -787,20 +972,17 @@ impl ShimPort for EndpointPort<'_> {
 
     fn enqueue_kernel(&mut self, stream: StreamId, duration: Nanos) {
         self.world
-            .devices
-            .enqueue(stream, mccs_device::StreamOp::Kernel { duration, token: 0 });
+            .device_enqueue(stream, mccs_device::StreamOp::Kernel { duration, token: 0 });
     }
 
     fn enqueue_record(&mut self, stream: StreamId, event: EventId) {
         self.world
-            .devices
-            .enqueue(stream, mccs_device::StreamOp::RecordEvent(event));
+            .device_enqueue(stream, mccs_device::StreamOp::RecordEvent(event));
     }
 
     fn enqueue_wait(&mut self, stream: StreamId, event: EventId) {
         self.world
-            .devices
-            .enqueue(stream, mccs_device::StreamOp::WaitEvent(event));
+            .device_enqueue(stream, mccs_device::StreamOp::WaitEvent(event));
     }
 
     fn stream_idle(&self, stream: StreamId) -> bool {
@@ -817,6 +999,8 @@ impl ShimPort for EndpointPort<'_> {
 
     fn schedule_wake(&mut self, at: Nanos) {
         self.world.schedule_wake(at);
+        let ep = &mut self.world.endpoints[self.idx];
+        ep.next_app_wake = Some(ep.next_app_wake.map_or(at, |t| t.min(at)));
     }
 }
 

@@ -51,6 +51,10 @@ pub struct DeviceFabric {
     waiters: std::collections::HashMap<EventId, Vec<usize>>,
     /// Timed-op finish times, kept as a min-set for O(1)-ish next_time.
     running_finishes: std::collections::BTreeMap<(Nanos, usize), ()>,
+    /// GPUs whose streams dispatched, completed, or unblocked since the
+    /// last [`Self::take_touched_gpus`] — the wake-scheduler's per-GPU
+    /// device-activity attribution.
+    touched: std::collections::BTreeSet<u32>,
 }
 
 impl DeviceFabric {
@@ -69,6 +73,7 @@ impl DeviceFabric {
             pending: Vec::new(),
             waiters: std::collections::HashMap::new(),
             running_finishes: std::collections::BTreeMap::new(),
+            touched: std::collections::BTreeSet::new(),
         }
     }
 
@@ -191,6 +196,18 @@ impl DeviceFabric {
         self.streams[stream.0 as usize].is_idle()
     }
 
+    /// The GPU a stream is bound to.
+    pub fn stream_gpu(&self, stream: StreamId) -> GpuId {
+        self.streams[stream.0 as usize].gpu
+    }
+
+    /// Drain the set of GPUs with stream activity (ops dispatched,
+    /// completed — silently or not — or unblocked) since the last drain.
+    /// The caller turns these into per-GPU wake signals.
+    pub fn take_touched_gpus(&mut self) -> std::collections::BTreeSet<u32> {
+        std::mem::take(&mut self.touched)
+    }
+
     /// Queued + running ops on a stream.
     pub fn stream_depth(&self, stream: StreamId) -> usize {
         self.streams[stream.0 as usize].depth()
@@ -247,6 +264,7 @@ impl DeviceFabric {
     /// proportional to affected streams only.
     fn dispatch_streams(&mut self, mut work: Vec<usize>) {
         while let Some(i) = work.pop() {
+            self.touched.insert(self.streams[i].gpu.index() as u32);
             while self.streams[i].running.is_none() {
                 let Some(&head) = self.streams[i].queue.front() else {
                     break;

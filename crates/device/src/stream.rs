@@ -88,7 +88,6 @@ pub(crate) struct Stream {
     /// Kept for diagnostics and future per-GPU scheduling policies.
     #[allow(dead_code)]
     pub id: StreamId,
-    #[allow(dead_code)]
     pub gpu: GpuId,
     pub queue: VecDeque<QueuedOp>,
     /// The in-flight timed op, if any: (token, finish time).

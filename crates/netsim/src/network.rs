@@ -13,6 +13,17 @@
 //! max-min problems, so disjoint flows keep their rates untouched. The
 //! from-scratch path ([`allocate_with_priority`] over every active flow)
 //! remains available via [`Network::set_incremental`] as the oracle.
+//!
+//! Completion times are **indexed**: each rate assignment stores the
+//! flow's predicted finish instant and (in incremental mode) pushes it
+//! onto a lazily-invalidated min-heap, so
+//! [`next_completion_time`](Network::next_completion_time) is O(log F)
+//! amortized instead of a scan of every flow, and per-flow byte progress
+//! is accrued lazily — only when a flow's own rate changes or it is
+//! inspected — so advancing past K completions among F flows costs
+//! O((K + changed) · log F) rather than O(K·F). The oracle path scans
+//! the same stored predictions linearly, which keeps the two modes
+//! byte-identical by construction.
 
 use crate::flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
 use crate::maxmin::{
@@ -20,17 +31,32 @@ use crate::maxmin::{
 };
 use mccs_sim::{Bandwidth, Bytes, Nanos};
 use mccs_topology::{LinkId, Route, RouteId, Topology};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 #[derive(Clone, Debug)]
 struct FlowState {
     spec: FlowSpec,
     route: Route,
+    /// Bytes moved as of `accrued_at` (progress between accruals is
+    /// linear at `rate`, so it is materialized lazily).
     bytes_done: f64,
+    /// Time up to which `bytes_done` is materialized.
+    accrued_at: Nanos,
     rate: Bandwidth,
     paused: bool,
     started: Nanos,
+    /// Predicted finish instant under the current rate (`None` for
+    /// unbounded, paused, or zero-rate flows). Recomputed whenever the
+    /// rate is assigned; between assignments progress is linear, so the
+    /// prediction stays exact.
+    predicted: Option<Nanos>,
+    /// Bumped whenever `predicted` changes — completion-heap entries
+    /// carry the generation they were pushed with, so stale entries are
+    /// recognized and dropped lazily.
+    gen: u64,
     /// Structural signature (FNV over route links, tenant, guaranteed)
     /// used as the quick-reject probe of the component remap cache.
     /// Recomputed on re-pin. Signatures only gate the cheap path: a cache
@@ -56,6 +82,7 @@ fn flow_sig(route: &Route, tenant: u32, guaranteed: bool) -> u64 {
 }
 
 impl FlowState {
+    /// Remaining bytes as of `accrued_at`.
     fn remaining(&self) -> Option<f64> {
         self.spec
             .bytes
@@ -64,6 +91,47 @@ impl FlowState {
 
     fn active(&self) -> bool {
         !self.paused
+    }
+
+    /// Materialize linear progress up to `to` (paused flows only advance
+    /// their anchor).
+    fn accrue_to(&mut self, to: Nanos) {
+        let dt = to - self.accrued_at;
+        if dt > Nanos::ZERO {
+            if self.active() {
+                self.bytes_done += self.rate.bytes_in(dt);
+            }
+            self.accrued_at = to;
+        }
+    }
+
+    /// Bytes moved by time `at` (≥ `accrued_at`), without materializing.
+    fn progress_at(&self, at: Nanos) -> f64 {
+        if self.active() {
+            self.bytes_done + self.rate.bytes_in(at - self.accrued_at)
+        } else {
+            self.bytes_done
+        }
+    }
+
+    /// Predicted finish instant, anchored at `accrued_at` (where
+    /// `bytes_done` is current). Call only right after `accrue_to`.
+    fn predict(&self) -> Option<Nanos> {
+        if !self.active() {
+            return None;
+        }
+        let rem = self.remaining()?;
+        if rem <= COMPLETION_EPSILON_BYTES {
+            return Some(self.accrued_at);
+        }
+        if self.rate.as_bps() <= 0.0 {
+            return None;
+        }
+        // Round UP to a whole nanosecond (and at least 1 ns): the flow
+        // must be *finished* at the returned instant, or the advance loop
+        // would spin on a sub-nanosecond residue.
+        let ns = (rem / self.rate.as_bytes_per_sec() * 1e9).ceil().max(1.0);
+        Some(self.accrued_at + Nanos::from_nanos(ns as u64))
     }
 }
 
@@ -89,6 +157,14 @@ pub struct Network {
     /// When false, every solve is from scratch over all active flows (the
     /// oracle path for tests and benchmarks).
     incremental: bool,
+    /// Min-heap of `(predicted finish, flow, generation)` — the
+    /// completion index of the incremental path. Entries are invalidated
+    /// lazily: a pushed entry goes stale when its flow leaves or its
+    /// prediction is superseded (generation mismatch), and stale heads
+    /// are popped on the next peek. `RefCell` because
+    /// [`next_completion_time`](Network::next_completion_time) is a
+    /// `&self` query that must be able to discard stale heads.
+    completions: RefCell<BinaryHeap<Reverse<(Nanos, FlowId, u64)>>>,
     /// Per-link fault state. `None` (the default) means the whole fabric
     /// is healthy and no fault bookkeeping runs at all — the zero-overhead
     /// guarantee for fault-free simulations.
@@ -173,6 +249,7 @@ impl Network {
             link_flows: HashMap::new(),
             dirty_links: BTreeSet::new(),
             incremental: std::env::var_os("MCCS_NETSIM_ORACLE").is_none(),
+            completions: RefCell::new(BinaryHeap::new()),
             link_faults: None,
             solver: NetSolver::default(),
         }
@@ -188,9 +265,22 @@ impl Network {
     }
 
     /// Toggle incremental rate recomputation (on by default). With it off
-    /// every membership change re-solves the full active flow set — the
-    /// from-scratch oracle the incremental path is tested against.
+    /// every membership change re-solves the full active flow set and
+    /// completions come from a linear scan of the stored predictions —
+    /// the oracle the incremental path (and its completion heap) is
+    /// tested against.
     pub fn set_incremental(&mut self, enabled: bool) {
+        if enabled && !self.incremental {
+            // Rebuild the completion index from the current predictions
+            // (no entries were pushed while the oracle path ran).
+            let heap = self.completions.get_mut();
+            heap.clear();
+            for (&id, f) in &self.flows {
+                if let (true, Some(t)) = (f.active(), f.predicted) {
+                    heap.push(Reverse((t, id, f.gen)));
+                }
+            }
+        }
         self.incremental = enabled;
     }
 
@@ -233,9 +323,12 @@ impl Network {
                 spec,
                 route,
                 bytes_done: 0.0,
+                accrued_at: now,
                 rate: Bandwidth::ZERO,
                 paused: false,
                 started: now,
+                predicted: None,
+                gen: 0,
                 route_sig,
             },
         );
@@ -266,11 +359,23 @@ impl Network {
         if was != paused {
             if paused {
                 self.index_remove(id);
+                let clock = self.clock;
                 let f = self.flows.get_mut(&id).expect("checked above");
+                // Freeze progress at the pause instant; the prediction is
+                // void until resume re-solves a rate.
+                f.accrue_to(clock);
                 f.paused = true;
                 f.rate = Bandwidth::ZERO;
+                if f.predicted.is_some() {
+                    f.predicted = None;
+                    f.gen += 1;
+                }
             } else {
-                self.flows.get_mut(&id).expect("checked above").paused = false;
+                let clock = self.clock;
+                let f = self.flows.get_mut(&id).expect("checked above");
+                // No progress while paused: restart the anchor here.
+                f.accrued_at = clock;
+                f.paused = false;
                 self.index_insert(id);
             }
             self.recompute_rates();
@@ -485,12 +590,12 @@ impl Network {
         loop {
             match self.next_completion_time() {
                 Some(t) if t <= target => {
-                    self.accrue(t);
+                    self.catch_up(t);
                     self.reap(&mut out);
                     self.recompute_rates();
                 }
                 _ => {
-                    self.accrue(target);
+                    self.catch_up(target);
                     // Flows can also land exactly on `target`.
                     let before = out.len();
                     self.reap(&mut out);
@@ -504,25 +609,37 @@ impl Network {
     }
 
     /// When the earliest bounded flow will finish at current rates.
+    ///
+    /// Incremental mode peeks the completion heap, discarding stale heads
+    /// (O(log F) amortized — each pushed entry is popped at most once).
+    /// Oracle mode scans the same stored predictions linearly, so the two
+    /// modes agree byte-for-byte.
     pub fn next_completion_time(&self) -> Option<Nanos> {
-        self.flows
-            .values()
-            .filter(|f| f.active())
-            .filter_map(|f| {
-                let rem = f.remaining()?;
-                if rem <= COMPLETION_EPSILON_BYTES {
-                    return Some(self.clock);
-                }
-                if f.rate.as_bps() <= 0.0 {
-                    return None;
-                }
-                // Round UP to a whole nanosecond (and at least 1 ns): the
-                // flow must be *finished* at the returned instant, or the
-                // advance loop would spin on a sub-nanosecond residue.
-                let ns = (rem / f.rate.as_bytes_per_sec() * 1e9).ceil().max(1.0);
-                Some(self.clock + Nanos::from_nanos(ns as u64))
-            })
-            .min()
+        if !self.incremental {
+            return self
+                .flows
+                .values()
+                .filter(|f| f.active())
+                .filter_map(|f| f.predicted)
+                .min();
+        }
+        let mut heap = self.completions.borrow_mut();
+        while let Some(&Reverse((t, id, gen))) = heap.peek() {
+            if self
+                .flows
+                .get(&id)
+                .is_some_and(|f| f.active() && f.gen == gen)
+            {
+                debug_assert_eq!(
+                    self.flows[&id].predicted,
+                    Some(t),
+                    "generation-current heap entry disagrees with its flow"
+                );
+                return Some(t);
+            }
+            heap.pop();
+        }
+        None
     }
 
     // ---- inspection --------------------------------------------------------
@@ -539,7 +656,7 @@ impl Network {
     pub fn flow_progress(&self, id: FlowId) -> Bytes {
         self.flows
             .get(&id)
-            .map(|f| Bytes::new(f.bytes_done as u64))
+            .map(|f| Bytes::new(f.progress_at(self.clock) as u64))
             .unwrap_or(Bytes::ZERO)
     }
 
@@ -571,36 +688,47 @@ impl Network {
 
     // ---- internals --------------------------------------------------------
 
+    /// Move the clock forward. Per-flow byte counters accrue lazily from
+    /// each flow's own `accrued_at` anchor, so advancing time is O(1) —
+    /// nothing per-flow happens here.
     fn catch_up(&mut self, now: Nanos) {
         assert!(
             now >= self.clock,
             "mutation in the past: {now} < {}",
             self.clock
         );
-        self.accrue(now);
-    }
-
-    fn accrue(&mut self, to: Nanos) {
-        let dt = to - self.clock;
-        if dt > Nanos::ZERO {
-            for f in self.flows.values_mut() {
-                if f.active() {
-                    f.bytes_done += f.rate.bytes_in(dt);
-                }
-            }
-        }
-        self.clock = to;
+        self.clock = now;
     }
 
     fn reap(&mut self, out: &mut Vec<FlowCompletion>) {
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| {
-                f.active() && f.remaining().is_some_and(|r| r <= COMPLETION_EPSILON_BYTES)
-            })
-            .map(|(&id, _)| id)
-            .collect();
+        let clock = self.clock;
+        let mut done: Vec<FlowId> = if self.incremental {
+            // Pop every heap entry due by now; generation-stale entries
+            // are discarded for free on the way. Cost is O(due · log F),
+            // not O(F).
+            let flows = &self.flows;
+            let heap = self.completions.get_mut();
+            let mut due = Vec::new();
+            while let Some(&Reverse((t, id, gen))) = heap.peek() {
+                if t > clock {
+                    break;
+                }
+                heap.pop();
+                if flows.get(&id).is_some_and(|f| f.active() && f.gen == gen) {
+                    due.push(id);
+                }
+            }
+            due
+        } else {
+            self.flows
+                .iter()
+                .filter(|(_, f)| f.active() && f.predicted.is_some_and(|t| t <= clock))
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        // Heap order is (time, id); the oracle scans in id order. Completions
+        // in one reap batch share `finished_at`, so id order is canonical.
+        done.sort_unstable();
         for id in done {
             self.index_remove(id);
             let f = self.flows.remove(&id).expect("listed above");
@@ -719,7 +847,7 @@ impl Network {
             let (demands, compact_caps) = self.build_problem(ids);
             let rates = allocate_with_priority(&demands, &compact_caps);
             for (&id, rate) in ids.iter().zip(rates) {
-                self.flows.get_mut(&id).expect("listed above").rate = rate;
+                self.set_rate_and_predict(id, rate);
             }
             return;
         }
@@ -727,9 +855,34 @@ impl Network {
         self.fill_problem_cached(ids, &mut s);
         allocate_with_priority_into(&s.demands, &s.caps, &mut s.scratch, &mut s.rates);
         for (&id, &rate) in ids.iter().zip(&s.rates) {
-            self.flows.get_mut(&id).expect("listed above").rate = rate;
+            self.set_rate_and_predict(id, rate);
         }
         self.solver = s;
+    }
+
+    /// Assign a freshly solved rate to a flow: materialize its progress up
+    /// to now (the old rate applied until this instant), store the rate,
+    /// and refresh the completion prediction. If the prediction changed,
+    /// the flow's generation is bumped — lazily invalidating any heap
+    /// entry carrying the old one — and the new instant is pushed.
+    fn set_rate_and_predict(&mut self, id: FlowId, rate: Bandwidth) {
+        let clock = self.clock;
+        let indexed = self.incremental;
+        let f = self.flows.get_mut(&id).expect("listed above");
+        f.accrue_to(clock);
+        f.rate = rate;
+        let p = f.predict();
+        if p == f.predicted {
+            return; // any existing heap entry is still exact
+        }
+        f.predicted = p;
+        f.gen += 1;
+        let gen = f.gen;
+        if indexed {
+            if let Some(t) = p {
+                self.completions.get_mut().push(Reverse((t, id, gen)));
+            }
+        }
     }
 
     /// FNV-1a over the component's per-flow structural signatures — the

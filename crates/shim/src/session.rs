@@ -64,6 +64,13 @@ impl ShimSession {
         req
     }
 
+    /// Whether back-pressure left commands queued but not yet pushed.
+    /// (Wake plumbing: a blocked rank with unsent commands must re-poll
+    /// when the service drains the command queue.)
+    pub fn has_unsent(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
     /// Drain the outbox into `push` (a fallible push that returns the
     /// rejected command on back-pressure — the `LatencyQueue` contract) and
     /// ingest completions from `pop`. Returns `true` if anything moved.

@@ -5,13 +5,39 @@
 //! executed by a pool of *runtimes*, each corresponding to a kernel thread.
 //! This module reproduces that structure in virtual time: an [`Engine`] is a
 //! state machine advanced by [`Engine::progress`], and a [`RuntimePool`]
-//! polls its engines until the whole pool is quiescent, exactly like a set
+//! drives its engines until the whole pool is quiescent, exactly like a set
 //! of executor threads draining ready futures before parking.
+//!
+//! Two schedulers share that contract:
+//!
+//! * **Wake-driven** (default, [`RuntimePool::poll_ready`]): engines that
+//!   return [`Poll::Idle`] declare a [`Wake`] condition — resources to
+//!   watch, an optional virtual-time deadline — and are parked until a
+//!   matching signal or the deadline readies them. Each scheduler call
+//!   costs O(ready work), not O(live engines).
+//! * **Naive round-robin** ([`RuntimePool::poll_until_quiescent`]): every
+//!   live engine is re-polled every pass until a full pass is idle. Kept as
+//!   the oracle the wake-driven scheduler is differentially tested against
+//!   (`MCCS_SIM_NAIVE_POOL=1` flips the [`RuntimePool::poll`] dispatcher).
+//!
+//! The wake-driven scheduler is engineered to be *observably identical* to
+//! the oracle, not merely equivalent in outcome: within one scheduler call
+//! it runs rounds that mirror the naive passes (ready engines polled in
+//! slot order; an engine woken by a lower-indexed engine still runs in the
+//! same round, one woken by a higher-indexed engine waits for the next),
+//! so engines perform their observable actions in exactly the same order
+//! under both schedulers. The invariants this rests on — engines returning
+//! `Idle` have no observable effect, and every idle→ready transition is
+//! covered by a signal, a deadline, or [`Wake::Any`] — are enforced by the
+//! digest-equivalence battery in the service crate.
 //!
 //! The context type `Cx` is chosen by the embedder (the MCCS service uses a
 //! `World` holding the simulated network, devices and IPC queues); this
 //! crate stays agnostic of what engines act upon.
 
+use crate::waker::{ResourceId, Wake, WakeSource};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::fmt;
 
 /// Identifies an engine within a [`RuntimePool`].
@@ -42,9 +68,23 @@ pub enum Poll {
 /// queues, simulated fabrics), never by direct reference to each other —
 /// the same discipline the paper's service uses between its frontend, proxy
 /// and transport engines.
+///
+/// An engine returning [`Poll::Idle`] must have had no observable effect in
+/// that call: the wake-driven scheduler relies on idle polls being pure so
+/// it can skip them entirely.
 pub trait Engine<Cx: ?Sized> {
     /// Advance the engine's state machine as far as currently possible.
     fn progress(&mut self, cx: &mut Cx) -> Poll;
+
+    /// What must happen for this engine to be worth polling again, asked
+    /// immediately after `progress` returns [`Poll::Idle`]. The default —
+    /// [`Wake::Any`] — reproduces naive scheduling for this engine (it is
+    /// re-polled once per scheduler round whenever anything progresses),
+    /// so unported engines stay correct, just not cheap.
+    fn wake_when(&self, cx: &Cx) -> Wake {
+        let _ = cx;
+        Wake::Any
+    }
 
     /// Diagnostic label.
     fn name(&self) -> String {
@@ -54,21 +94,69 @@ pub trait Engine<Cx: ?Sized> {
 
 struct Slot<Cx: ?Sized> {
     id: EngineId,
-    engine: Box<dyn Engine<Cx>>,
+    /// `None` once finished (the engine is dropped; the slot stays so
+    /// indices held by the wake bookkeeping remain stable).
+    engine: Option<Box<dyn Engine<Cx>>>,
     finished: bool,
+    /// Bumped every (re-)park and unpark; a timer whose recorded epoch no
+    /// longer matches is stale and discarded lazily.
+    park_epoch: u64,
+    /// Resources this slot is currently registered on (cleared on wake so
+    /// waiter lists stay bounded by live registrations).
+    registered: Vec<ResourceId>,
+    /// Parked with [`Wake::Any`] (member of the pool's any-set).
+    parked_any: bool,
+    /// Spin-guard bookkeeping: polls issued during the current scheduler
+    /// call (reset lazily via the call stamp).
+    call_stamp: u64,
+    call_polls: u32,
 }
+
+/// Polls one engine may receive within a single scheduler call before the
+/// pool declares it (or its progress-reporting peers) stuck in a spin.
+/// Matches the naive scheduler's pass limit: there, a spinning engine is
+/// polled once per pass for `pass_limit` passes.
+const SPIN_LIMIT: u32 = 100_000;
 
 /// A pool of runtimes executing engines cooperatively.
 ///
 /// In the paper each runtime is a kernel thread and engines may share or
 /// dedicate runtimes; under virtual time the pool is a deterministic
-/// round-robin poller, but the API keeps the runtime grouping so CPU-usage
-/// accounting (engines per runtime) can be reported like the prototype's.
+/// scheduler (wake-driven by default, round-robin as the oracle), but the
+/// API keeps the runtime grouping so CPU-usage accounting (engines per
+/// runtime) can be reported like the prototype's.
 pub struct RuntimePool<Cx: ?Sized> {
     slots: Vec<Slot<Cx>>,
     next_id: u32,
-    /// Total number of `progress` calls issued (for scheduler overhead stats).
+    /// Cached count of non-finished engines (kept in sync on spawn/finish
+    /// so `live()` is O(1) — it sits in run-loop conditions).
+    live: usize,
+    /// Use the naive round-robin oracle instead of the wake-driven
+    /// scheduler when dispatching through [`RuntimePool::poll`].
+    naive: bool,
+    /// Total number of `progress` calls issued.
     polls: u64,
+    /// `progress` calls that returned [`Poll::Idle`] (pure scheduler
+    /// overhead — the "wasted poll" ratio both schedulers are compared on).
+    wasted_polls: u64,
+    /// Parked→ready transitions performed by the wake-driven scheduler.
+    wakes: u64,
+    /// Monotone scheduler-call stamp (lazily resets per-slot spin guards).
+    call_seq: u64,
+    /// Engines to poll in the next round/call, ordered by slot index.
+    ready: BTreeSet<usize>,
+    /// Slots parked with [`Wake::Any`]; polled once per round like the
+    /// naive scheduler would.
+    any_parked: BTreeSet<usize>,
+    /// resource id → slots registered on it.
+    waiters: HashMap<u64, Vec<usize>>,
+    /// (deadline, park epoch, slot) min-heap; stale epochs discarded lazily.
+    timers: BinaryHeap<Reverse<(crate::Nanos, u64, usize)>>,
+    /// Scratch for draining context signals without reallocating.
+    signal_scratch: Vec<ResourceId>,
+    /// Slots that returned [`Poll::Progressed`] in the current pass/round
+    /// (diagnostics for the spin panic).
+    round_progressed: Vec<usize>,
 }
 
 impl<Cx: ?Sized> Default for RuntimePool<Cx> {
@@ -78,31 +166,81 @@ impl<Cx: ?Sized> Default for RuntimePool<Cx> {
 }
 
 impl<Cx: ?Sized> RuntimePool<Cx> {
-    /// An empty pool.
+    /// An empty pool. The scheduler defaults to wake-driven unless the
+    /// `MCCS_SIM_NAIVE_POOL` environment variable is set (to anything but
+    /// `0`), which selects the round-robin oracle for differential runs.
     pub fn new() -> Self {
+        let naive = std::env::var_os("MCCS_SIM_NAIVE_POOL").is_some_and(|v| v != "0");
         RuntimePool {
             slots: Vec::new(),
             next_id: 0,
+            live: 0,
+            naive,
             polls: 0,
+            wasted_polls: 0,
+            wakes: 0,
+            call_seq: 0,
+            ready: BTreeSet::new(),
+            any_parked: BTreeSet::new(),
+            waiters: HashMap::new(),
+            timers: BinaryHeap::new(),
+            signal_scratch: Vec::new(),
+            round_progressed: Vec::new(),
         }
     }
 
+    /// Select the scheduler explicitly (overrides the environment default).
+    /// Switching to wake-driven re-readies every live engine so no parked
+    /// state is stranded.
+    pub fn set_naive(&mut self, naive: bool) {
+        if self.naive == naive {
+            return;
+        }
+        self.naive = naive;
+        if !naive {
+            for (i, slot) in self.slots.iter_mut().enumerate() {
+                if !slot.finished {
+                    slot.park_epoch += 1;
+                    slot.registered.clear();
+                    slot.parked_any = false;
+                    self.ready.insert(i);
+                }
+            }
+            self.any_parked.clear();
+            self.waiters.clear();
+            self.timers.clear();
+        }
+    }
+
+    /// Whether the naive round-robin oracle is selected.
+    pub fn is_naive(&self) -> bool {
+        self.naive
+    }
+
     /// Add an engine; returns its id. The engine is polled starting with
-    /// the next call to [`RuntimePool::poll_until_quiescent`].
+    /// the next scheduler call.
     pub fn spawn(&mut self, engine: Box<dyn Engine<Cx>>) -> EngineId {
         let id = EngineId(self.next_id);
         self.next_id += 1;
+        let index = self.slots.len();
         self.slots.push(Slot {
             id,
-            engine,
+            engine: Some(engine),
             finished: false,
+            park_epoch: 0,
+            registered: Vec::new(),
+            parked_any: false,
+            call_stamp: 0,
+            call_polls: 0,
         });
+        self.live += 1;
+        self.ready.insert(index);
         id
     }
 
-    /// Number of live (non-finished) engines.
+    /// Number of live (non-finished) engines. O(1).
     pub fn live(&self) -> usize {
-        self.slots.iter().filter(|s| !s.finished).count()
+        self.live
     }
 
     /// Cumulative number of `progress` calls.
@@ -110,31 +248,73 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         self.polls
     }
 
+    /// Cumulative `progress` calls that returned [`Poll::Idle`].
+    pub fn wasted_poll_count(&self) -> u64 {
+        self.wasted_polls
+    }
+
+    /// Cumulative parked→ready transitions (wake-driven scheduler only;
+    /// the oracle never parks, so this stays 0 there).
+    pub fn wake_count(&self) -> u64 {
+        self.wakes
+    }
+
+    /// Drive the selected scheduler until the pool is quiescent. Returns
+    /// the number of engines that finished during this call.
+    pub fn poll(&mut self, cx: &mut Cx) -> usize
+    where
+        Cx: WakeSource,
+    {
+        if self.naive {
+            // The oracle ignores wake signals; drain them so the context's
+            // buffer cannot grow without bound over a long run.
+            self.signal_scratch.clear();
+            cx.drain_signals(&mut self.signal_scratch);
+            self.signal_scratch.clear();
+            self.poll_until_quiescent(cx)
+        } else {
+            self.poll_ready(cx)
+        }
+    }
+
     /// Poll every live engine round-robin until a full pass makes no
-    /// progress (every engine returns [`Poll::Idle`]), then reap finished
-    /// engines. Returns the number of engines that finished during this
-    /// call.
+    /// progress (every engine returns [`Poll::Idle`]). Returns the number
+    /// of engines that finished during this call.
+    ///
+    /// This is the naive oracle scheduler: O(live engines) per pass no
+    /// matter how little happened. [`RuntimePool::poll`] dispatches here
+    /// only when naive mode is selected, but the method stays public so
+    /// differential tests can drive it directly.
     ///
     /// Termination: each pass either observes progress (bounded by the
     /// engines' own state machines, which are driven by finite queues and
     /// a finite event horizon) or exits. A runaway engine that always
-    /// claims progress trips the `pass_limit` safety valve with a panic,
-    /// which in practice catches engine bugs immediately in tests.
+    /// claims progress trips the `pass_limit` safety valve with a panic
+    /// naming the engines still reporting progress, which in practice
+    /// catches engine bugs immediately in tests.
     pub fn poll_until_quiescent(&mut self, cx: &mut Cx) -> usize {
-        let pass_limit = 100_000;
+        let pass_limit = SPIN_LIMIT;
         let mut passes = 0;
+        let mut finished_now = 0;
         loop {
             let mut any_progress = false;
-            for slot in self.slots.iter_mut() {
+            self.round_progressed.clear();
+            for (i, slot) in self.slots.iter_mut().enumerate() {
                 if slot.finished {
                     continue;
                 }
                 self.polls += 1;
-                match slot.engine.progress(cx) {
-                    Poll::Progressed => any_progress = true,
-                    Poll::Idle => {}
+                match slot.engine.as_mut().expect("live engine").progress(cx) {
+                    Poll::Progressed => {
+                        any_progress = true;
+                        self.round_progressed.push(i);
+                    }
+                    Poll::Idle => self.wasted_polls += 1,
                     Poll::Finished => {
                         slot.finished = true;
+                        slot.engine = None;
+                        self.live -= 1;
+                        finished_now += 1;
                         any_progress = true;
                     }
                 }
@@ -143,15 +323,252 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                 break;
             }
             passes += 1;
-            assert!(
-                passes < pass_limit,
-                "engine pool failed to quiesce after {pass_limit} passes; \
-                 an engine is spinning (always reporting progress)"
-            );
+            if passes >= pass_limit {
+                let spinners: Vec<String> = self
+                    .round_progressed
+                    .iter()
+                    .map(|&i| {
+                        let s = &self.slots[i];
+                        match &s.engine {
+                            Some(e) => format!("{} {}", s.id, e.name()),
+                            None => format!("{} <finished>", s.id),
+                        }
+                    })
+                    .collect();
+                panic!(
+                    "engine pool failed to quiesce after {pass_limit} passes; \
+                     an engine is spinning (always reporting progress); \
+                     engines that progressed in the final pass: {spinners:?}"
+                );
+            }
         }
-        let before = self.slots.len();
-        self.slots.retain(|s| !s.finished);
-        before - self.slots.len()
+        finished_now
+    }
+
+    /// Wake-driven scheduler: poll only engines that are ready — newly
+    /// spawned, signalled since the last call, past their deadline, or
+    /// parked with [`Wake::Any`] — in rounds that mirror the naive passes.
+    /// Returns the number of engines that finished during this call.
+    pub fn poll_ready(&mut self, cx: &mut Cx) -> usize
+    where
+        Cx: WakeSource,
+    {
+        self.call_seq += 1;
+        let now = cx.now();
+        // Release timers that have come due.
+        while let Some(&Reverse((t, epoch, idx))) = self.timers.peek() {
+            if t > now {
+                break;
+            }
+            self.timers.pop();
+            if !self.slots[idx].finished && self.slots[idx].park_epoch == epoch {
+                self.wake(idx, None, None);
+            }
+        }
+        // Absorb signals raised since the last scheduler call.
+        self.absorb_signals(cx, None, None);
+
+        let mut finished_now = 0;
+        loop {
+            // Round set: explicitly readied engines plus every Any-parked
+            // engine (the naive scheduler polls those each pass too).
+            let mut round = std::mem::take(&mut self.ready);
+            round.extend(self.any_parked.iter().copied());
+            if round.is_empty() {
+                break;
+            }
+            let mut progressed_any = false;
+            self.round_progressed.clear();
+            // Sweep in slot order with a monotone cursor, exactly like a
+            // naive pass restricted to ready engines. Engines woken during
+            // the sweep join this round if their slot is still ahead of
+            // the cursor, otherwise the next one — matching when the
+            // naive pass would reach them.
+            while let Some(&idx) = round.iter().next() {
+                round.remove(&idx);
+                let cursor = Some(idx);
+                if self.slots[idx].finished {
+                    continue;
+                }
+                // The engine is about to run: whatever parked state it held
+                // is consumed (it re-declares on its next Idle).
+                self.clear_registrations(idx);
+                self.any_parked.remove(&idx);
+                {
+                    let slot = &mut self.slots[idx];
+                    slot.park_epoch += 1;
+                    slot.parked_any = false;
+                    if slot.call_stamp != self.call_seq {
+                        slot.call_stamp = self.call_seq;
+                        slot.call_polls = 0;
+                    }
+                    slot.call_polls += 1;
+                }
+                let over_limit = self.slots[idx].call_polls > SPIN_LIMIT;
+                self.polls += 1;
+                let poll = self.slots[idx]
+                    .engine
+                    .as_mut()
+                    .expect("live engine")
+                    .progress(cx);
+                match poll {
+                    Poll::Progressed => {
+                        progressed_any = true;
+                        self.round_progressed.push(idx);
+                        // Its effects may ready parked peers; deliver them
+                        // with naive-pass ordering.
+                        self.absorb_signals(cx, cursor, Some(&mut round));
+                        // A progressing engine is re-polled next round,
+                        // like the naive scheduler's next pass.
+                        self.ready.insert(idx);
+                    }
+                    Poll::Idle => {
+                        self.wasted_polls += 1;
+                        self.park(idx, cx);
+                    }
+                    Poll::Finished => {
+                        progressed_any = true;
+                        let slot = &mut self.slots[idx];
+                        slot.finished = true;
+                        slot.engine = None;
+                        self.live -= 1;
+                        finished_now += 1;
+                        self.absorb_signals(cx, cursor, Some(&mut round));
+                    }
+                }
+                if over_limit {
+                    let spinners: Vec<String> = self
+                        .round_progressed
+                        .iter()
+                        .map(|&i| {
+                            let s = &self.slots[i];
+                            match &s.engine {
+                                Some(e) => format!("{} {}", s.id, e.name()),
+                                None => format!("{} <finished>", s.id),
+                            }
+                        })
+                        .collect();
+                    panic!(
+                        "engine pool failed to quiesce after {SPIN_LIMIT} polls of one \
+                         engine in a single scheduler call; an engine is spinning \
+                         (always reporting progress); recent progress from: {spinners:?}"
+                    );
+                }
+            }
+            if !progressed_any {
+                // A full round of pure idles — the naive scheduler would
+                // stop here too. Engines left in `ready` keep their slot
+                // for the next call.
+                break;
+            }
+        }
+        finished_now
+    }
+
+    /// Park `idx` according to its declared wake condition.
+    fn park(&mut self, idx: usize, cx: &Cx)
+    where
+        Cx: WakeSource,
+    {
+        let now = cx.now();
+        let wake = self.slots[idx]
+            .engine
+            .as_ref()
+            .expect("live engine")
+            .wake_when(cx);
+        match wake {
+            Wake::Any => {
+                self.slots[idx].parked_any = true;
+                self.any_parked.insert(idx);
+            }
+            Wake::On {
+                resources,
+                deadline,
+            } => {
+                match deadline {
+                    Some(d) if d <= now => {
+                        // The deadline is already due: the naive scheduler
+                        // would simply poll again next pass, so stay ready
+                        // (the round loop still terminates — a round of
+                        // pure idles exits regardless of the ready set).
+                        self.ready.insert(idx);
+                        return;
+                    }
+                    Some(d) => {
+                        let epoch = self.slots[idx].park_epoch;
+                        self.timers.push(Reverse((d, epoch, idx)));
+                    }
+                    None => {}
+                }
+                for r in &resources {
+                    self.waiters.entry(r.0).or_default().push(idx);
+                }
+                self.slots[idx].registered = resources;
+            }
+        }
+    }
+
+    /// Drain the context's signals and ready every engine registered on
+    /// them. `cursor`/`round` place woken engines into the in-flight round
+    /// when the sweep has not passed their slot yet (naive-pass ordering);
+    /// outside a round both are `None` and wakes land in `self.ready`.
+    fn absorb_signals(
+        &mut self,
+        cx: &mut Cx,
+        cursor: Option<usize>,
+        mut round: Option<&mut BTreeSet<usize>>,
+    ) where
+        Cx: WakeSource,
+    {
+        let mut sigs = std::mem::take(&mut self.signal_scratch);
+        sigs.clear();
+        cx.drain_signals(&mut sigs);
+        for r in &sigs {
+            let Some(list) = self.waiters.remove(&r.0) else {
+                continue;
+            };
+            for idx in list {
+                if self.slots[idx].finished || self.slots[idx].registered.is_empty() {
+                    continue;
+                }
+                self.wake(idx, cursor, round.as_deref_mut());
+            }
+        }
+        self.signal_scratch = sigs;
+    }
+
+    /// Transition a parked slot to ready: clear its registrations, bump
+    /// its epoch (invalidating any timer), and queue it for polling.
+    fn wake(&mut self, idx: usize, cursor: Option<usize>, round: Option<&mut BTreeSet<usize>>) {
+        self.clear_registrations(idx);
+        let slot = &mut self.slots[idx];
+        slot.park_epoch += 1;
+        if slot.parked_any {
+            slot.parked_any = false;
+            self.any_parked.remove(&idx);
+        }
+        self.wakes += 1;
+        match (cursor, round) {
+            (Some(c), Some(round)) if idx > c => {
+                round.insert(idx);
+            }
+            _ => {
+                self.ready.insert(idx);
+            }
+        }
+    }
+
+    /// Remove `idx` from every waiter list it registered on.
+    fn clear_registrations(&mut self, idx: usize) {
+        let regs = std::mem::take(&mut self.slots[idx].registered);
+        for r in &regs {
+            if let Some(list) = self.waiters.get_mut(&r.0) {
+                list.retain(|&x| x != idx);
+                if list.is_empty() {
+                    self.waiters.remove(&r.0);
+                }
+            }
+        }
     }
 
     /// Names of live engines, for debugging deadlocks.
@@ -159,7 +576,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         self.slots
             .iter()
             .filter(|s| !s.finished)
-            .map(|s| (s.id, s.engine.name()))
+            .map(|s| (s.id, s.engine.as_ref().expect("live engine").name()))
             .collect()
     }
 }
@@ -167,6 +584,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Nanos;
 
     /// Counts down; progresses once per poll until it finishes.
     struct Countdown {
@@ -263,5 +681,295 @@ mod tests {
         let mut pool: RuntimePool<u32> = RuntimePool::new();
         pool.spawn(Box::new(Spin));
         pool.poll_until_quiescent(&mut 0);
+    }
+
+    #[test]
+    fn spin_panic_names_the_offender() {
+        struct Spin;
+        impl Engine<u32> for Spin {
+            fn progress(&mut self, _: &mut u32) -> Poll {
+                Poll::Progressed
+            }
+            fn name(&self) -> String {
+                "spinner-under-test".to_owned()
+            }
+        }
+        let mut pool: RuntimePool<u32> = RuntimePool::new();
+        pool.spawn(Box::new(WaitFor {
+            threshold: u32::MAX,
+        }));
+        pool.spawn(Box::new(Spin));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.poll_until_quiescent(&mut 0);
+        }))
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("spinner-under-test"), "panic was: {msg}");
+        assert!(
+            !msg.contains("engine#0"),
+            "idle waiter must not be blamed: {msg}"
+        );
+    }
+
+    // ---- wake-driven scheduler ---------------------------------------------
+
+    /// Minimal context for wake-driven tests: a clock, a signal buffer and
+    /// a shared scratch counter engines communicate through.
+    #[derive(Default)]
+    struct TestCx {
+        now: Nanos,
+        signals: Vec<ResourceId>,
+        total: u32,
+    }
+
+    impl WakeSource for TestCx {
+        fn now(&self) -> Nanos {
+            self.now
+        }
+        fn drain_signals(&mut self, into: &mut Vec<ResourceId>) {
+            into.append(&mut self.signals);
+        }
+    }
+
+    const RES_A: ResourceId = ResourceId::new(1, 0);
+
+    /// Counts down, signalling RES_A on every step.
+    struct SignallingCountdown {
+        left: u32,
+    }
+
+    impl Engine<TestCx> for SignallingCountdown {
+        fn progress(&mut self, cx: &mut TestCx) -> Poll {
+            if self.left == 0 {
+                return Poll::Finished;
+            }
+            self.left -= 1;
+            cx.total += 1;
+            cx.signals.push(RES_A);
+            Poll::Progressed
+        }
+    }
+
+    /// Finishes once the counter reaches a threshold; parks on a resource.
+    struct ResourceWaiter {
+        threshold: u32,
+        resource: ResourceId,
+        polls: std::rc::Rc<std::cell::Cell<u32>>,
+    }
+
+    impl ResourceWaiter {
+        fn on_a(threshold: u32, polls: std::rc::Rc<std::cell::Cell<u32>>) -> Self {
+            ResourceWaiter {
+                threshold,
+                resource: RES_A,
+                polls,
+            }
+        }
+    }
+
+    impl Engine<TestCx> for ResourceWaiter {
+        fn progress(&mut self, cx: &mut TestCx) -> Poll {
+            self.polls.set(self.polls.get() + 1);
+            if cx.total >= self.threshold {
+                Poll::Finished
+            } else {
+                Poll::Idle
+            }
+        }
+        fn wake_when(&self, _: &TestCx) -> Wake {
+            Wake::on(vec![self.resource])
+        }
+    }
+
+    /// Finishes once the clock reaches a deadline; parks on that deadline.
+    struct DeadlineWaiter {
+        at: Nanos,
+    }
+
+    impl Engine<TestCx> for DeadlineWaiter {
+        fn progress(&mut self, cx: &mut TestCx) -> Poll {
+            if cx.now >= self.at {
+                Poll::Finished
+            } else {
+                Poll::Idle
+            }
+        }
+        fn wake_when(&self, _: &TestCx) -> Wake {
+            Wake::at(self.at)
+        }
+    }
+
+    #[test]
+    fn wake_driven_runs_signalled_waiters() {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        let polls = std::rc::Rc::new(std::cell::Cell::new(0));
+        pool.spawn(Box::new(ResourceWaiter::on_a(3, polls.clone())));
+        pool.spawn(Box::new(SignallingCountdown { left: 3 }));
+        let mut cx = TestCx::default();
+        let finished = pool.poll_ready(&mut cx);
+        assert_eq!(finished, 2);
+        assert_eq!(cx.total, 3);
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn parked_engine_is_not_re_polled_without_its_resource() {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        let polls = std::rc::Rc::new(std::cell::Cell::new(0));
+        pool.spawn(Box::new(ResourceWaiter::on_a(100, polls.clone())));
+        let mut cx = TestCx::default();
+        pool.poll_ready(&mut cx);
+        let after_first = polls.get();
+        assert_eq!(after_first, 1, "polled once then parked");
+        // Scheduler calls without the resource signal must skip it.
+        for _ in 0..10 {
+            pool.poll_ready(&mut cx);
+        }
+        assert_eq!(polls.get(), after_first, "no polls while parked");
+        // Signal arrives: exactly one wake.
+        cx.signals.push(RES_A);
+        pool.poll_ready(&mut cx);
+        assert_eq!(polls.get(), after_first + 1);
+        assert_eq!(pool.wake_count(), 1);
+    }
+
+    #[test]
+    fn deadline_wakes_engine_when_time_reaches_it() {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.spawn(Box::new(DeadlineWaiter {
+            at: Nanos::from_micros(10),
+        }));
+        let mut cx = TestCx::default();
+        assert_eq!(pool.poll_ready(&mut cx), 0);
+        cx.now = Nanos::from_micros(5);
+        assert_eq!(pool.poll_ready(&mut cx), 0, "deadline not due yet");
+        assert_eq!(pool.live(), 1);
+        cx.now = Nanos::from_micros(10);
+        assert_eq!(pool.poll_ready(&mut cx), 1);
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn any_parked_engines_follow_naive_semantics() {
+        // WaitFor-style engine with no wake_when: defaults to Wake::Any and
+        // must still observe progress made by other engines.
+        struct AnyWaiter {
+            threshold: u32,
+        }
+        impl Engine<TestCx> for AnyWaiter {
+            fn progress(&mut self, cx: &mut TestCx) -> Poll {
+                if cx.total >= self.threshold {
+                    Poll::Finished
+                } else {
+                    Poll::Idle
+                }
+            }
+        }
+        struct QuietCountdown {
+            left: u32,
+        }
+        impl Engine<TestCx> for QuietCountdown {
+            fn progress(&mut self, cx: &mut TestCx) -> Poll {
+                if self.left == 0 {
+                    return Poll::Finished;
+                }
+                self.left -= 1;
+                cx.total += 1;
+                // Note: no signal — only Wake::Any engines may observe this.
+                Poll::Progressed
+            }
+        }
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.spawn(Box::new(AnyWaiter { threshold: 4 }));
+        pool.spawn(Box::new(QuietCountdown { left: 4 }));
+        let mut cx = TestCx::default();
+        assert_eq!(pool.poll_ready(&mut cx), 2);
+    }
+
+    #[test]
+    fn wake_driven_skips_idle_engines_that_naive_repolls() {
+        // 1 worker + N parked waiters: the naive scheduler pays N wasted
+        // polls per pass, the wake-driven one only the initial park.
+        let n = 50;
+        let steps = 20;
+        let run = |naive: bool| -> u64 {
+            let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+            pool.set_naive(naive);
+            for _ in 0..n {
+                // Watch a resource nothing ever signals: these engines are
+                // pure idle ballast the wake-driven scheduler must skip.
+                pool.spawn(Box::new(ResourceWaiter {
+                    threshold: u32::MAX,
+                    resource: ResourceId::new(9, 9),
+                    polls: std::rc::Rc::new(std::cell::Cell::new(0)),
+                }));
+            }
+            pool.spawn(Box::new(SignallingCountdown { left: steps }));
+            let mut cx = TestCx::default();
+            pool.poll(&mut cx);
+            pool.wasted_poll_count()
+        };
+        let naive_wasted = run(true);
+        let wake_wasted = run(false);
+        assert!(
+            wake_wasted * 10 <= naive_wasted,
+            "wake-driven wasted {wake_wasted}, naive wasted {naive_wasted}"
+        );
+    }
+
+    #[test]
+    fn live_count_stays_cached_and_correct() {
+        let mut pool: RuntimePool<u32> = RuntimePool::new();
+        assert_eq!(pool.live(), 0);
+        pool.spawn(Box::new(Countdown { left: 2 }));
+        pool.spawn(Box::new(WaitFor { threshold: 10 }));
+        assert_eq!(pool.live(), 2);
+        let mut total = 0;
+        pool.poll_until_quiescent(&mut total);
+        assert_eq!(pool.live(), 1, "countdown finished, waiter parked");
+        total = 10;
+        pool.poll_until_quiescent(&mut total);
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spinning")]
+    fn wake_driven_detects_spinning_engine() {
+        struct Spin;
+        impl Engine<TestCx> for Spin {
+            fn progress(&mut self, _: &mut TestCx) -> Poll {
+                Poll::Progressed
+            }
+        }
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.spawn(Box::new(Spin));
+        pool.poll_ready(&mut TestCx::default());
+    }
+
+    #[test]
+    fn schedulers_agree_on_interleaved_workload() {
+        // A chain of resource waiters released one by one by a countdown:
+        // both schedulers must finish everything with the same final state.
+        let run = |naive: bool| -> u32 {
+            let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+            pool.set_naive(naive);
+            for t in [2, 5, 1, 4, 3] {
+                pool.spawn(Box::new(ResourceWaiter::on_a(
+                    t,
+                    std::rc::Rc::new(std::cell::Cell::new(0)),
+                )));
+            }
+            pool.spawn(Box::new(SignallingCountdown { left: 5 }));
+            let mut cx = TestCx::default();
+            pool.poll(&mut cx);
+            assert_eq!(pool.live(), 0, "naive={naive}");
+            cx.total
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -21,7 +21,11 @@
 //! * [`rng`] — seedable xoshiro256++ [`Rng`] plus the distributions used by
 //!   the workload generators (uniform, exponential, shuffles).
 //! * [`engine`] — the [`Engine`] trait, [`Poll`] status and [`RuntimePool`]
-//!   cooperative scheduler.
+//!   cooperative scheduler (wake-driven by default, with the naive
+//!   round-robin poller kept as a differential-testing oracle).
+//! * [`waker`] — [`Wake`] conditions, [`ResourceId`]s and the
+//!   [`WakeSource`] contract contexts implement so parked engines can be
+//!   woken by exactly the events they wait on.
 //! * [`timeline`] — time-series recording for the timeline figures (7, 10).
 //! * [`stats`] — means, percentiles and confidence intervals for reporting.
 
@@ -32,6 +36,7 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 pub mod units;
+pub mod waker;
 
 pub use engine::{Engine, EngineId, Poll, RuntimePool};
 pub use event::EventQueue;
@@ -40,3 +45,4 @@ pub use stats::Summary;
 pub use time::Nanos;
 pub use timeline::TimeSeries;
 pub use units::{Bandwidth, Bytes};
+pub use waker::{ResourceId, Wake, WakeSet, WakeSource};

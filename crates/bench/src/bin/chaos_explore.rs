@@ -1,0 +1,201 @@
+//! Seeded chaos exploration gate: run a battery of `Explorer` episodes
+//! over the two-tenant testbed, judge every episode with the
+//! completed-xor-failed and quiescence oracles, then deterministically
+//! replay every recorded decision trace and fail if any replay digest
+//! diverges from its recording.
+//!
+//! One line per episode:
+//! `episode=<i> seed=<016x> decisions=<n> actions=<n> verdict=<v> digest=<016x>`
+//! — the whole output is seed-pinned and virtual-time deterministic, so
+//! it doubles as a cross-process determinism probe for the driver path.
+//!
+//! Exit status is non-zero on any oracle violation, hang, or replay
+//! divergence. Also writes `results/BENCH_chaos_explore.json` for the
+//! bench-regression gate.
+//!
+//! Run: `cargo run --release -p mccs-bench --bin chaos_explore`
+
+use mccs_bench::report::{json_rows, print_table, write_bench_json};
+use mccs_collectives::op::all_reduce_sum;
+use mccs_core::{episode_seed, Cluster, ClusterConfig, Explorer, ExplorerConfig, Verdict};
+use mccs_ipc::CommunicatorId;
+use mccs_shim::{AppProgram, ScriptStep, ScriptedProgram};
+use mccs_sim::{Bytes, Nanos};
+use mccs_topology::{presets, GpuId};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn rank_program(
+    name: &str,
+    comm: CommunicatorId,
+    rank: usize,
+    world: &[GpuId],
+    size: Bytes,
+    iters: usize,
+) -> ScriptedProgram {
+    ScriptedProgram::new(
+        format!("{name}/r{rank}"),
+        vec![
+            ScriptStep::Alloc { size, slot: 0 },
+            ScriptStep::Alloc { size, slot: 1 },
+            ScriptStep::CommInit {
+                comm,
+                world: world.to_vec(),
+                rank,
+            },
+            ScriptStep::Collective {
+                comm,
+                op: all_reduce_sum(),
+                size,
+                send_slot: 0,
+                recv_slot: 1,
+            },
+            ScriptStep::Repeat {
+                from_step: 3,
+                times: iters - 1,
+            },
+        ],
+    )
+}
+
+/// The fault-digest battery's workload: two four-rank AllReduce tenants
+/// interleaved across every testbed host.
+fn two_tenant_cluster(seed: u64, size: Bytes, iters: usize) -> Cluster {
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(seed));
+    let tenants = [
+        (
+            "ta",
+            CommunicatorId(1),
+            [GpuId(0), GpuId(2), GpuId(4), GpuId(6)],
+        ),
+        (
+            "tb",
+            CommunicatorId(2),
+            [GpuId(1), GpuId(3), GpuId(5), GpuId(7)],
+        ),
+    ];
+    for (name, comm, gpus) in tenants {
+        let ranks = gpus
+            .iter()
+            .enumerate()
+            .map(|(rank, &gpu)| {
+                let prog = rank_program(name, comm, rank, &gpus, size, iters);
+                (gpu, Box::new(prog) as Box<dyn AppProgram>)
+            })
+            .collect();
+        cluster.add_app(name, ranks);
+    }
+    cluster
+}
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Ok { completed, failed } => format!("ok({completed}c/{failed}f)"),
+        Verdict::Hang { .. } => "hang".to_owned(),
+        Verdict::Violation { .. } => "violation".to_owned(),
+    }
+}
+
+fn main() -> ExitCode {
+    let cfg = ExplorerConfig {
+        seed: 0x4d43_4353, // "MCCS"
+        episodes: 8,
+        inject_prob: 0.02,
+        max_actions: 3,
+        horizon: Nanos::from_millis(40),
+        deadline: Nanos::from_secs(60),
+    };
+    let mut explorer = Explorer::new(cfg, || two_tenant_cluster(33, Bytes::mib(8), 3));
+    let reports = explorer.run();
+
+    let mut failed = false;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (i, r) in reports.iter().enumerate() {
+        println!(
+            "episode={i} seed={:016x} decisions={} actions={} verdict={} digest={:016x}",
+            r.seed,
+            r.decisions_seen,
+            r.trace.len(),
+            verdict_label(&r.verdict),
+            r.digest,
+        );
+        if !r.verdict.is_ok() {
+            failed = true;
+            println!("  FAIL oracle: {:?}", r.verdict);
+            println!("  trace: {:?}", r.trace);
+        }
+        let replay = explorer.replay(r.seed, &r.trace);
+        if replay.digest != r.digest || replay.verdict != r.verdict {
+            failed = true;
+            println!(
+                "  FAIL replay diverged: digest {:016x} -> {:016x}, verdict {} -> {}",
+                r.digest,
+                replay.digest,
+                verdict_label(&r.verdict),
+                verdict_label(&replay.verdict),
+            );
+            println!("  trace: {:?}", r.trace);
+        }
+        let (completed, failures) = match r.verdict {
+            Verdict::Ok { completed, failed } => (completed, failed),
+            _ => (0, 0),
+        };
+        rows.push(vec![
+            format!("{i}"),
+            format!("{:016x}", r.seed),
+            format!("{}", r.decisions_seen),
+            format!("{}", r.trace.len()),
+            verdict_label(&r.verdict),
+            format!("{completed}"),
+            format!("{failures}"),
+            format!("{:016x}", r.digest),
+            format!("{}", (replay.digest == r.digest) as u8),
+        ]);
+    }
+    assert_eq!(
+        reports.len(),
+        cfg.episodes as usize,
+        "explorer must run every configured episode"
+    );
+    assert!(
+        reports.iter().any(|r| !r.trace.is_empty()),
+        "exploration battery never injected a single fault — retune inject_prob"
+    );
+    // Derived seeds must all be distinct (episode streams unrelated).
+    for i in 0..cfg.episodes {
+        for j in (i + 1)..cfg.episodes {
+            assert_ne!(episode_seed(cfg.seed, i), episode_seed(cfg.seed, j));
+        }
+    }
+
+    let headers = [
+        "episode",
+        "seed",
+        "decisions",
+        "actions",
+        "verdict",
+        "completed",
+        "failed",
+        "digest",
+        "replay_ok",
+    ];
+    println!();
+    print_table(&headers, &rows);
+    write_bench_json(
+        "chaos_explore",
+        &format!(
+            "\"episodes\":{},\"total_actions\":{},\"rows\":{}",
+            reports.len(),
+            reports.iter().map(|r| r.trace.len()).sum::<usize>(),
+            json_rows(&headers, &rows)
+        ),
+    );
+
+    if failed {
+        eprintln!("\nchaos exploration gate failed");
+        ExitCode::FAILURE
+    } else {
+        println!("\nall episodes passed both oracles and replayed byte-identically");
+        ExitCode::SUCCESS
+    }
+}

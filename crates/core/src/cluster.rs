@@ -11,7 +11,7 @@ use crate::transport::TransportEngine;
 use crate::world::{Endpoint, World};
 use mccs_device::DeviceConfig;
 use mccs_ipc::{AppId, IpcConfig, LatencyQueue};
-use mccs_netsim::FaultPlan;
+use mccs_netsim::{FaultEvent, FaultPlan};
 use mccs_shim::AppProgram;
 use mccs_sim::{Nanos, RuntimePool};
 use mccs_topology::{GpuId, Topology};
@@ -50,6 +50,18 @@ impl Default for ClusterConfig {
 
 /// "MCCS" in ASCII — the default master seed.
 const MCCS_DEFAULT_SEED: u64 = 0x4d43_4353;
+
+/// The cluster failed to quiesce by the deadline — the structured form of
+/// the hang detector, returned by
+/// [`Cluster::try_run_until_quiescent`] so explorers can treat a hang as
+/// a verdict instead of a panic.
+#[derive(Clone, Debug)]
+pub struct ClusterHang {
+    /// The next scheduled event past the deadline.
+    pub next_event: Nanos,
+    /// Names of the engines still live at the deadline.
+    pub live_engines: Vec<String>,
+}
 
 /// A full simulated deployment: topology + service + tenants.
 pub struct Cluster {
@@ -197,6 +209,60 @@ impl Cluster {
         self.sync_scheduler_stats();
     }
 
+    /// One scheduler round at the current instant (no time advance).
+    pub fn poll_once(&mut self) {
+        self.pool.poll(&mut self.world);
+        self.sync_scheduler_stats();
+    }
+
+    /// One event step: poll every engine at the current instant, then
+    /// advance the clock to the next scheduled event (firing any fault
+    /// scripted there). Returns the new clock, or `None` when nothing is
+    /// scheduled — the system has quiesced. The instant *between* two
+    /// `step` calls is the chaos driver's and explorer's decision point:
+    /// the world has arrived at a time but no engine has run there yet.
+    pub fn step(&mut self) -> Option<Nanos> {
+        self.pool.poll(&mut self.world);
+        let next = self.world.next_time();
+        if let Some(t) = next {
+            self.world.advance_to(t);
+        }
+        self.sync_scheduler_stats();
+        next
+    }
+
+    /// Run until the *brink* of `t`: every event strictly before `t` is
+    /// processed, the clock lands exactly on `t`, but no engine has been
+    /// polled at `t` yet. A fault injected now is observed by the first
+    /// poll at `t` — exactly what a pre-scripted plan entry at `t`
+    /// produces, which is what makes driver/script digests byte-equal.
+    pub fn run_until_brink(&mut self, t: Nanos) {
+        assert!(
+            t >= self.world.clock,
+            "cannot run to the brink of the past: {t} < {}",
+            self.world.clock
+        );
+        loop {
+            self.pool.poll(&mut self.world);
+            match self.world.next_time() {
+                Some(next) if next < t => self.world.advance_to(next),
+                _ => break,
+            }
+        }
+        if self.world.clock < t {
+            self.world.advance_to(t);
+        }
+        self.sync_scheduler_stats();
+    }
+
+    /// Inject a fault at the current virtual instant through the plan
+    /// machinery (appending to the installed plan, or installing a fresh
+    /// one). The fault is applied immediately; engines observe it on the
+    /// next poll at this instant.
+    pub fn inject_fault(&mut self, ev: FaultEvent) {
+        self.world.inject_fault(ev);
+    }
+
     /// Run until nothing can ever happen again (all programs finished or
     /// blocked forever). Returns the final virtual time.
     ///
@@ -204,21 +270,35 @@ impl Cluster {
     /// Panics if the system is still active at `deadline` — the universal
     /// hang detector for tests.
     pub fn run_until_quiescent(&mut self, deadline: Nanos) -> Nanos {
+        match self.try_run_until_quiescent(deadline) {
+            Ok(t) => t,
+            Err(hang) => panic!(
+                "cluster still active at deadline {deadline}: next event at {}; \
+                 live engines: {:?}",
+                hang.next_event, hang.live_engines
+            ),
+        }
+    }
+
+    /// [`run_until_quiescent`](Self::run_until_quiescent) that reports a
+    /// hang as data instead of panicking — the explorer's hang detector.
+    pub fn try_run_until_quiescent(&mut self, deadline: Nanos) -> Result<Nanos, ClusterHang> {
         loop {
             self.pool.poll(&mut self.world);
             match self.world.next_time() {
                 Some(next) => {
-                    assert!(
-                        next <= deadline,
-                        "cluster still active at deadline {deadline}: next event at {next}; \
-                         live engines: {:?}",
-                        self.pool.live_names()
-                    );
+                    if next > deadline {
+                        self.sync_scheduler_stats();
+                        return Err(ClusterHang {
+                            next_event: next,
+                            live_engines: self.live_engine_names(),
+                        });
+                    }
                     self.world.advance_to(next);
                 }
                 None => {
                     self.sync_scheduler_stats();
-                    return self.world.clock;
+                    return Ok(self.world.clock);
                 }
             }
         }

@@ -119,6 +119,46 @@ pub enum FailureEvent {
         /// When it was rejected.
         at: Nanos,
     },
+    /// The recovery engine issued a *restorative* reconfiguration after a
+    /// repair: the communicator's detour pins / dropped rings were rolled
+    /// back toward the policy's healthy-fabric choice.
+    FailbackIssued {
+        /// The communicator being restored.
+        comm: CommunicatorId,
+        /// The target epoch of the restorative configuration.
+        epoch: u64,
+        /// When it was issued.
+        at: Nanos,
+    },
+}
+
+impl FailureEvent {
+    /// Whether publishing this event should raise the health-channel wake
+    /// edge. Topology transitions and stall reports demand subscriber
+    /// action (the recovery engine reroutes; crashed-host engines park on
+    /// the channel waiting for their `HostUp`). The service's own action
+    /// reports — retries, rebalances, issued recoveries/fail-backs,
+    /// rejections — are informational: every engine that cares is the one
+    /// that just recorded them, so waking subscribers for them is a
+    /// guaranteed wasted poll (the recovery engine re-readied by its own
+    /// `RecoveryIssued`). They still reach subscribers on the next
+    /// genuine wake — the channel cursor, not the edge, carries the data.
+    pub fn wakes_subscribers(&self) -> bool {
+        match self {
+            FailureEvent::LinkDown { .. }
+            | FailureEvent::LinkUp { .. }
+            | FailureEvent::HostDown { .. }
+            | FailureEvent::HostUp { .. }
+            | FailureEvent::LinkDegraded { .. }
+            | FailureEvent::CollectiveStalled { .. } => true,
+            FailureEvent::FlowRebalanced { .. }
+            | FailureEvent::FlowRetried { .. }
+            | FailureEvent::FlowExhausted { .. }
+            | FailureEvent::RecoveryIssued { .. }
+            | FailureEvent::ReconfigRejected { .. }
+            | FailureEvent::FailbackIssued { .. } => false,
+        }
+    }
 }
 
 /// Monotonic recovery counters the management API exposes.
@@ -144,6 +184,9 @@ pub struct HealthCounters {
     pub gossip_resends: u64,
     /// Reconfiguration requests rejected instead of applied.
     pub reconfig_rejects: u64,
+    /// Restorative reconfigurations issued after a repair returned the
+    /// fabric to health (detour pins rolled back).
+    pub failbacks: u64,
 }
 
 /// Engine-scheduler efficiency counters, synced from the runtime pool
@@ -345,7 +388,7 @@ impl HealthRegistry {
     fn push(&mut self, event: FailureEvent) {
         self.channel.publish(event);
         self.events.push(event);
-        self.signal = true;
+        self.signal |= event.wakes_subscribers();
     }
 
     /// Consume the edge flag raised by any publication since the last

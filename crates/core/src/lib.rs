@@ -34,9 +34,11 @@
 //!   modeled as a configurable pause ([`config::ServiceConfig`]).
 
 pub mod app;
+pub mod chaos;
 pub mod cluster;
 pub mod config;
 pub mod error;
+pub mod explore;
 pub mod frontend;
 pub mod health;
 pub mod messages;
@@ -48,9 +50,13 @@ pub mod tracing;
 pub mod transport;
 pub mod world;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use chaos::ChaosDriver;
+pub use cluster::{Cluster, ClusterConfig, ClusterHang};
 pub use config::{CollectiveConfig, DegradationPolicy, RouteMap, ServiceConfig};
 pub use error::ServiceError;
+pub use explore::{
+    episode_seed, ChaosAction, Decision, EpisodeReport, Explorer, ExplorerConfig, Verdict,
+};
 pub use health::{
     FailureEvent, HealthCounters, HealthDelivery, HealthRegistry, HealthSnapshot,
     HealthSubscription,

@@ -136,6 +136,14 @@ pub struct RecoveryEngine {
     issued: Issued,
     /// Recovery attempts per stalled collective.
     attempts: HashMap<(CommunicatorId, u64), u32>,
+    /// Communicators this engine steered off the healthy-fabric choice —
+    /// the fail-back candidates when a repair lands. Engine-local so a
+    /// repair never reconfigures a communicator that was never detoured.
+    detoured: BTreeSet<CommunicatorId>,
+    /// Pre-detour channel rings per detoured communicator, captured at
+    /// the first corrective issue: fail-back replans from these so rings
+    /// dropped during an outage come back once routes exist again.
+    baseline: HashMap<CommunicatorId, Vec<RingOrder>>,
 }
 
 /// Minimum bottleneck route weight across `comm`'s current inter-host
@@ -188,6 +196,8 @@ impl RecoveryEngine {
             sub: HealthSubscription::from_start(),
             issued: HashMap::new(),
             attempts: HashMap::new(),
+            detoured: BTreeSet::new(),
+            baseline: HashMap::new(),
         }
     }
 
@@ -263,8 +273,104 @@ impl RecoveryEngine {
             );
         }
         self.issued.insert(comm, (target, w.clock));
+        // Remember what "healthy" looked like so a later repair can
+        // restore it; only the first detour snapshots the baseline.
+        self.baseline
+            .entry(comm)
+            .or_insert_with(|| current.channel_rings.clone());
+        self.detoured.insert(comm);
         w.health.counters.recoveries += 1;
         w.health.record(FailureEvent::RecoveryIssued {
+            comm,
+            epoch: target,
+            at: w.clock,
+        });
+    }
+
+    /// After a repair, roll a previously-detoured communicator back
+    /// toward the policy's healthy-fabric choice. The proposal is
+    /// recomputed from the baseline rings captured before the first
+    /// detour (so channels dropped during the outage return), and is
+    /// issued only when it differs from the current configuration — a
+    /// detour that already matches the healthy plan retires for free.
+    fn try_failback(&mut self, w: &mut World, comm: CommunicatorId) {
+        let ranks: Vec<_> = w
+            .comms
+            .iter()
+            .filter(|((c, _), _)| *c == comm)
+            .map(|(_, r)| r)
+            .collect();
+        let Some(first) = ranks.first() else {
+            // The communicator is gone; forget its detour state.
+            drop(ranks);
+            self.detoured.remove(&comm);
+            self.baseline.remove(&comm);
+            return;
+        };
+        let world_gpus = first.world_gpus.clone();
+        if ranks.len() != world_gpus.len() {
+            return;
+        }
+        let epoch = first.config.epoch;
+        let uniform = ranks.iter().all(|r| {
+            matches!(r.reconfig, crate::proxy::ReconfigState::Normal) && r.config.epoch == epoch
+        });
+        let current = first.config.clone();
+        drop(ranks);
+        if !uniform {
+            return;
+        }
+        let baseline_rings = self
+            .baseline
+            .get(&comm)
+            .cloned()
+            .unwrap_or_else(|| current.channel_rings.clone());
+        let from = CollectiveConfig {
+            epoch,
+            channel_rings: baseline_rings,
+            routes: current.routes.clone(),
+        };
+        let policy = w.recovery_policy.take();
+        let proposal = match &policy {
+            Some(p) => p.plan(w, comm, &from, &world_gpus),
+            None => DetourPolicy.plan(w, comm, &from, &world_gpus),
+        };
+        w.recovery_policy = policy;
+        let Some((rings, routes)) = proposal else {
+            return;
+        };
+        if rings == current.channel_rings && routes == current.routes {
+            // Already on the healthy-fabric choice — detour retired.
+            self.detoured.remove(&comm);
+            self.baseline.remove(&comm);
+            return;
+        }
+        let target = epoch + 1;
+        if let Some(&(t, at)) = self.issued.get(&comm) {
+            if t >= target && w.clock < at + w.svc.liveness_timeout {
+                return;
+            }
+        }
+        let config = CollectiveConfig {
+            epoch: target,
+            channel_rings: rings,
+            routes,
+        };
+        for &gpu in &world_gpus {
+            w.send_control(
+                gpu,
+                crate::messages::ProxyMsg::Reconfigure {
+                    comm,
+                    config: config.clone(),
+                },
+            );
+        }
+        self.issued.insert(comm, (target, w.clock));
+        // Stays in `detoured`: the next repair-quiet pass retires it once
+        // the applied config matches the healthy plan (partial repairs
+        // may take several steps back to baseline).
+        w.health.counters.failbacks += 1;
+        w.health.record(FailureEvent::FailbackIssued {
             comm,
             epoch: target,
             at: w.clock,
@@ -279,11 +385,23 @@ impl RecoveryEngine {
     /// same set after their attempt accounting.
     fn handle_batch(&mut self, w: &mut World, events: &[(u64, FailureEvent)], resync: bool) {
         let mut topo_changed = resync;
+        // A repair is a topology change too: it makes *better* routes
+        // exist, so previously-detoured communicators get a fail-back
+        // pass. On resync we cannot tell what was missed, so assume one.
+        let mut repaired = resync;
         let mut to_recover: BTreeSet<CommunicatorId> = BTreeSet::new();
         for &(_, ev) in events {
             match ev {
-                FailureEvent::LinkDown { .. } | FailureEvent::LinkDegraded { .. } => {
+                FailureEvent::LinkDown { .. } => {
                     topo_changed = true;
+                }
+                FailureEvent::LinkDegraded { milli, .. } => {
+                    topo_changed = true;
+                    // milli == 1000 is a brownout clearing — a repair.
+                    repaired |= milli == 1000;
+                }
+                FailureEvent::LinkUp { .. } | FailureEvent::HostUp { .. } => {
+                    repaired = true;
                 }
                 FailureEvent::CollectiveStalled { comm, seq, .. } => {
                     let a = self.attempts.entry((comm, seq)).or_insert(0);
@@ -295,14 +413,13 @@ impl RecoveryEngine {
                     }
                 }
                 // Informational events need no corrective action here.
-                FailureEvent::LinkUp { .. }
-                | FailureEvent::HostDown { .. }
-                | FailureEvent::HostUp { .. }
+                FailureEvent::HostDown { .. }
                 | FailureEvent::FlowRetried { .. }
                 | FailureEvent::FlowRebalanced { .. }
                 | FailureEvent::FlowExhausted { .. }
                 | FailureEvent::RecoveryIssued { .. }
-                | FailureEvent::ReconfigRejected { .. } => {}
+                | FailureEvent::ReconfigRejected { .. }
+                | FailureEvent::FailbackIssued { .. } => {}
             }
         }
         if topo_changed {
@@ -319,6 +436,14 @@ impl RecoveryEngine {
         }
         for comm in to_recover {
             self.try_recover(w, comm);
+        }
+        if repaired {
+            // Corrective work first, restorative second: a communicator
+            // that is still broken was just re-issued above and the
+            // rate limiter keeps fail-back from double-sending.
+            for comm in self.detoured.clone() {
+                self.try_failback(w, comm);
+            }
         }
     }
 }
@@ -341,6 +466,13 @@ impl Engine<World> for RecoveryEngine {
                     return Poll::Idle;
                 }
                 self.handle_batch(w, &events, false);
+                if !events.iter().any(|(_, e)| e.wakes_subscribers()) {
+                    // Purely-informational batch (e.g. our own
+                    // `RecoveryIssued` read back under a polling
+                    // scheduler): `handle_batch` was a no-op by
+                    // construction, so report it honestly as idle.
+                    return Poll::Idle;
+                }
             }
             HealthDelivery::Resync(_) => {
                 // Events were lost to channel overflow: conservatively

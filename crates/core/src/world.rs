@@ -283,6 +283,16 @@ pub struct World {
     /// The installed fault schedule. `None` (production runs) keeps every
     /// fault code path inert: no timers, no events, no trace changes.
     pub fault_plan: Option<FaultPlan>,
+    /// Past-dated plan events clamped to "now" by mid-run installs
+    /// (install-semantics observability; see [`Self::install_fault_plan`]).
+    pub clamped_fault_events: u64,
+    /// While set, control-plane sends are buffered instead of delivered
+    /// (the chaos driver's `hold_control`). Only ever true with a fault
+    /// plan installed, so fault-free runs pay a single branch.
+    control_held: bool,
+    /// Buffered control messages with their already-drawn latencies, in
+    /// send order.
+    held_control: Vec<(GpuId, Nanos, ProxyMsg)>,
     /// Link/host status, failure events and recovery counters.
     pub health: HealthRegistry,
     /// Controller policy the recovery engine consults for corrective
@@ -428,6 +438,19 @@ impl TenantLog {
             .copied()
             .collect()
     }
+
+    /// Every finished record, in completion order (the chaos explorer's
+    /// oracle input).
+    pub fn records(&self) -> &[TenantRecord] {
+        &self.records
+    }
+
+    /// Collectives issued at the shim but not yet finished. Must be zero
+    /// at clean quiescence — a nonzero value there means a completion was
+    /// lost, which the explorer reports as an oracle violation.
+    pub fn unfinished(&self) -> usize {
+        self.pending_issue.len() + self.issued.len()
+    }
 }
 
 impl World {
@@ -465,6 +488,9 @@ impl World {
             token_targets: HashMap::new(),
             next_token: 1,
             fault_plan: None,
+            clamped_fault_events: 0,
+            control_held: false,
+            held_control: Vec::new(),
             health: HealthRegistry::new(),
             recovery_policy: None,
             control_seq: 0,
@@ -684,9 +710,81 @@ impl World {
 
     /// Install (or replace) the scripted fault plan, waking the engines
     /// parked on its absence.
-    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+    ///
+    /// Mid-run installs have defined semantics: events scripted strictly
+    /// before the current clock are clamped to "now" (counted in
+    /// [`clamped_fault_events`](Self::clamped_fault_events)) instead of
+    /// bursting as a fictitious history, and anything due at the current
+    /// instant fires immediately — before the next engine poll — exactly
+    /// where a plan installed at time zero would have fired it.
+    pub fn install_fault_plan(&mut self, mut plan: FaultPlan) {
+        self.clamped_fault_events += plan.clamp_before(self.clock) as u64;
         self.fault_plan = Some(plan);
         self.signal(resources::fault_plan_installed());
+        let due_now = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.next_time())
+            .is_some_and(|t| t <= self.clock);
+        if due_now {
+            // `next_time()` only reports strictly-future instants, so an
+            // event at exactly `clock` would otherwise never surface.
+            self.advance_to(self.clock);
+        }
+    }
+
+    /// Inject one fault at the current virtual instant, live — the chaos
+    /// driver's primitive. The event is appended to the installed plan
+    /// (installing an empty one on demand) and fired through the same
+    /// `pop_due`/`apply_fault` path as a pre-scripted event at this
+    /// instant, so a driver-issued sequence is byte-identical to the
+    /// equivalent script.
+    pub fn inject_fault(&mut self, ev: FaultEvent) {
+        let now = self.clock;
+        self.fault_plan
+            .get_or_insert_with(FaultPlan::new)
+            .push_at(now, ev);
+        self.signal(resources::fault_plan_installed());
+        self.advance_to(now);
+    }
+
+    /// Buffer all subsequent control-plane sends until
+    /// [`release_control`](Self::release_control) — the chaos driver's
+    /// primitive for stretching a reconfiguration handshake across other
+    /// faults. Arms the fault machinery (installs an empty plan) if
+    /// nothing is installed yet.
+    pub fn hold_control(&mut self) {
+        if self.fault_plan.is_none() {
+            self.install_fault_plan(FaultPlan::new());
+        }
+        self.control_held = true;
+    }
+
+    /// Deliver every held control message, preserving send order. Each
+    /// message keeps the latency drawn at send time, so a hold-until-`t`
+    /// is observably identical to scripting `delay_control` by
+    /// `t - send_time` on each ordinal.
+    pub fn release_control(&mut self) {
+        self.control_held = false;
+        let now = self.clock;
+        for (gpu, lat, msg) in std::mem::take(&mut self.held_control) {
+            self.proxy_inbox[gpu.index()]
+                .push(now, lat, msg)
+                .unwrap_or_else(|_| panic!("proxy inbox overflow on {gpu}"));
+            self.schedule_wake(now + lat);
+            self.signals
+                .push(resources::proxy_inbox(gpu.index() as u32));
+        }
+    }
+
+    /// Whether control-plane sends are currently being held.
+    pub fn is_control_held(&self) -> bool {
+        self.control_held
+    }
+
+    /// Control messages currently held.
+    pub fn held_control_len(&self) -> usize {
+        self.held_control.len()
     }
 
     /// Enqueue a device-stream op and raise device-activity signals so
@@ -864,6 +962,12 @@ impl World {
                 Some(ControlFault::Delay(by)) => lat += by,
                 None => {}
             }
+        }
+        if self.control_held {
+            // Park the message with its drawn latency; `release_control`
+            // replays it from the release instant.
+            self.held_control.push((gpu, lat, msg));
+            return;
         }
         let now = self.clock;
         self.proxy_inbox[gpu.index()]

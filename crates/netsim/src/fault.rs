@@ -82,10 +82,40 @@ impl FaultPlan {
 
     /// Schedule `event` at absolute virtual time `at`.
     pub fn at(mut self, at: Nanos, event: FaultEvent) -> Self {
+        self.push_at(at, event);
+        self
+    }
+
+    /// Schedule `event` at `at` on a plan that is already installed and
+    /// partially consumed — the live-injection path of the chaos driver.
+    /// `at` must not precede an event that already fired; injecting "at
+    /// now" is always safe.
+    pub fn push_at(&mut self, at: Nanos, event: FaultEvent) {
         // Stable insert keeps same-instant events in authoring order.
         let pos = self.timeline.partition_point(|(t, _)| *t <= at);
+        assert!(
+            pos >= self.cursor,
+            "cannot schedule a fault at {at} before already-fired events"
+        );
         self.timeline.insert(pos, (at, event));
-        self
+    }
+
+    /// Clamp every unfired event scripted strictly before `now` up to
+    /// `now`, preserving authoring order, and return how many were
+    /// clamped. Mid-run installs call this so a past-dated script fires
+    /// once at install time instead of bursting a fictitious history
+    /// (the events still fire — rejecting them would silently drop
+    /// faults a test asked for — but their observed times are honest).
+    pub fn clamp_before(&mut self, now: Nanos) -> usize {
+        let mut clamped = 0;
+        for (t, _) in self.timeline[self.cursor..].iter_mut() {
+            if *t >= now {
+                break;
+            }
+            *t = now;
+            clamped += 1;
+        }
+        clamped
     }
 
     /// Schedule a correlated multi-link degrade at `at`: every link in
@@ -112,9 +142,18 @@ impl FaultPlan {
         self
     }
 
-    /// Whether anything is left to inject (timeline or control directives).
+    /// Whether the scripted timeline is exhausted. Control directives are
+    /// *conditional* — they fire only if the matching ordinal is ever
+    /// sent — so they do not keep a plan "non-empty" forever; inspect
+    /// them via [`pending_control`](Self::pending_control).
     pub fn is_empty(&self) -> bool {
-        self.cursor >= self.timeline.len() && self.control.is_empty()
+        self.cursor >= self.timeline.len()
+    }
+
+    /// Unfired control directives (ordinals that were never sent, or not
+    /// sent yet).
+    pub fn pending_control(&self) -> usize {
+        self.control.len()
     }
 
     /// Time of the next unconsumed scripted event.
@@ -181,6 +220,10 @@ mod tests {
         let mut plan = FaultPlan::new()
             .drop_control(2)
             .delay_control(5, Nanos::from_micros(100));
+        // Conditional directives never block timeline emptiness: a plan
+        // whose ordinals are never sent must still read as drained.
+        assert!(plan.is_empty());
+        assert_eq!(plan.pending_control(), 2);
         assert_eq!(plan.control_fault(0), None);
         assert_eq!(plan.control_fault(2), Some(ControlFault::Drop));
         assert_eq!(plan.control_fault(2), None, "directives are one-shot");
@@ -188,7 +231,53 @@ mod tests {
             plan.control_fault(5),
             Some(ControlFault::Delay(Nanos::from_micros(100)))
         );
+        assert_eq!(plan.pending_control(), 0);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn push_at_inserts_after_consumed_prefix() {
+        let mut plan = FaultPlan::new()
+            .at(Nanos::from_millis(1), FaultEvent::LinkDown(LinkId(1)))
+            .at(Nanos::from_millis(9), FaultEvent::LinkUp(LinkId(1)));
+        assert_eq!(plan.pop_due(Nanos::from_millis(1)).len(), 1);
+        // Live injection at "now" lands between the consumed prefix and
+        // the future script.
+        plan.push_at(Nanos::from_millis(4), FaultEvent::LinkDown(LinkId(2)));
+        assert_eq!(plan.next_time(), Some(Nanos::from_millis(4)));
+        assert_eq!(
+            plan.pop_due(Nanos::from_millis(4)),
+            vec![FaultEvent::LinkDown(LinkId(2))]
+        );
+        assert_eq!(plan.next_time(), Some(Nanos::from_millis(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "before already-fired events")]
+    fn push_at_rejects_rewriting_history() {
+        let mut plan = FaultPlan::new().at(Nanos::from_millis(5), FaultEvent::LinkDown(LinkId(1)));
+        plan.pop_due(Nanos::from_millis(5));
+        plan.push_at(Nanos::from_millis(2), FaultEvent::LinkUp(LinkId(1)));
+    }
+
+    #[test]
+    fn clamp_before_raises_past_events_in_order() {
+        let mut plan = FaultPlan::new()
+            .at(Nanos::from_millis(1), FaultEvent::LinkDown(LinkId(1)))
+            .at(Nanos::from_millis(2), FaultEvent::LinkDown(LinkId(2)))
+            .at(Nanos::from_millis(8), FaultEvent::LinkUp(LinkId(1)));
+        assert_eq!(plan.clamp_before(Nanos::from_millis(5)), 2);
+        assert_eq!(plan.next_time(), Some(Nanos::from_millis(5)));
+        // Authoring order survives the clamp; the future event is intact.
+        assert_eq!(
+            plan.pop_due(Nanos::from_millis(5)),
+            vec![
+                FaultEvent::LinkDown(LinkId(1)),
+                FaultEvent::LinkDown(LinkId(2))
+            ]
+        );
+        assert_eq!(plan.next_time(), Some(Nanos::from_millis(8)));
+        assert_eq!(plan.clamp_before(Nanos::from_millis(6)), 0);
     }
 
     #[test]

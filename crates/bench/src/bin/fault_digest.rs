@@ -153,4 +153,26 @@ fn main() {
             .drop_control(19)
             .drop_control(37),
     );
+
+    // 5. Controller crash mid-drain with checkpointed restart: the
+    // spine-0 outage forces a corrective drain at 10ms, the controller
+    // dies 200us later with the Figure 4 barrier still propagating,
+    // restarts at 40ms from its checkpoint (reconciling the drain whose
+    // completion the dead incarnation never observed), and the 120ms
+    // repair fails the pins back to the healthy baseline.
+    let cluster = two_tenant_cluster(95, Bytes::mib(16), 4, DegradationPolicy::default());
+    let domain = spine0_links(&cluster);
+    let mut plan = FaultPlan::new();
+    for &l in &domain {
+        plan = plan.at(Nanos::from_millis(10), FaultEvent::LinkDown(l));
+    }
+    for &l in &domain {
+        plan = plan.at(Nanos::from_millis(120), FaultEvent::LinkUp(l));
+    }
+    run(
+        "controller_crash_mid_drain",
+        cluster,
+        plan.at(Nanos::from_micros(10_200), FaultEvent::CrashController)
+            .at(Nanos::from_millis(40), FaultEvent::RestartController),
+    );
 }

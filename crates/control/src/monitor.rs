@@ -61,6 +61,13 @@ impl HealthMonitor {
     /// [`FailoverPolicy`] reconfiguration per affected communicator.
     pub fn poll(&mut self, cluster: &mut Cluster) -> MonitorReport {
         let mut report = MonitorReport::default();
+        if cluster.world.controller.down {
+            // The controller process is down: the monitor does not run.
+            // The cursor freezes here so events pile into the bounded
+            // channel — a long outage rolls the ring past it and the
+            // first post-restart poll resyncs from a snapshot.
+            return report;
+        }
         let mut topo_changed = false;
         match cluster.mgmt().poll_health(&mut self.sub) {
             HealthDelivery::Events(events) => {

@@ -8,7 +8,7 @@
 
 use mccs_collectives::op::all_reduce_sum;
 use mccs_control::HealthMonitor;
-use mccs_core::{Cluster, ClusterConfig, FailureEvent};
+use mccs_core::{Cluster, ClusterConfig, FailureEvent, ServiceConfig};
 use mccs_ipc::CommunicatorId;
 use mccs_shim::{ScriptStep, ScriptedProgram};
 use mccs_sim::{Bytes, Nanos};
@@ -19,8 +19,12 @@ use std::sync::Arc;
 const COMM: CommunicatorId = CommunicatorId(1);
 const GPUS: [GpuId; 4] = [GpuId(0), GpuId(2), GpuId(4), GpuId(6)];
 
-fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
-    let mut cluster = Cluster::new(Arc::new(presets::testbed()), ClusterConfig::with_seed(seed));
+fn cluster_with_svc(seed: u64, size: Bytes, iters: usize, svc: ServiceConfig) -> Cluster {
+    let cfg = ClusterConfig {
+        service: svc,
+        ..ClusterConfig::with_seed(seed)
+    };
+    let mut cluster = Cluster::new(Arc::new(presets::testbed()), cfg);
     let ranks = GPUS
         .iter()
         .enumerate()
@@ -53,6 +57,10 @@ fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
         .collect();
     cluster.add_app("mon", ranks);
     cluster
+}
+
+fn cluster_with(seed: u64, size: Bytes, iters: usize) -> Cluster {
+    cluster_with_svc(seed, size, iters, ServiceConfig::default())
 }
 
 /// Every switch-to-switch (spine<->leaf) link of the testbed fabric.
@@ -150,4 +158,92 @@ fn monitor_reacts_to_pushed_events_without_polling() {
     let degraded = cluster.mgmt().links_degraded();
     assert_eq!(degraded.len(), fabric.len());
     assert!(degraded.iter().all(|&(_, f)| (f - 0.1).abs() < 1e-9));
+}
+
+/// While the controller process is down the monitor is frozen: polls
+/// return an empty report without moving the channel cursor, so a long
+/// outage rolls the bounded ring past it. The first post-restart poll
+/// cannot replay the gapped stream — it resyncs from a snapshot and
+/// reacts to the coalesced fabric state in one pass.
+///
+/// The crash is applied to the world directly rather than through the
+/// fault plan: installing a plan would un-gate the service-side recovery
+/// engine, and this suite is about the controller acting alone.
+#[test]
+fn monitor_freezes_while_down_and_resyncs_on_restart() {
+    let svc = ServiceConfig {
+        health_channel_capacity: 8,
+        ..ServiceConfig::default()
+    };
+    let mut cluster = cluster_with_svc(29, Bytes::mib(8), 6, svc);
+    cluster.run_until(Nanos::from_millis(3));
+    let mut mon = HealthMonitor::subscribe(&mut cluster);
+    let fabric = fabric_links(&cluster);
+
+    // The controller dies with the cursor at the channel tail.
+    {
+        let now = cluster.world.clock;
+        let c = &mut cluster.world.controller;
+        c.down = true;
+        c.crashed_at = Some(now);
+        c.stats.crashes += 1;
+    }
+
+    // A severe fabric-wide brownout lands during the outage: one event
+    // per spine<->leaf link plus a second report on the first — nine
+    // pushes into a ring of eight, evicting the oldest past the frozen
+    // cursor.
+    for &l in &fabric {
+        degrade(&mut cluster, l, 100);
+    }
+    degrade(&mut cluster, fabric[0], 90);
+    assert_eq!(fabric.len() + 1, 9);
+    cluster.run_until(Nanos::from_millis(6));
+
+    // Polls while down observe nothing and do not advance the cursor.
+    for _ in 0..3 {
+        let rep = mon.poll(&mut cluster);
+        assert!(rep.events.is_empty(), "monitor must freeze while down");
+        assert!(!rep.resynced && rep.lost == 0);
+        assert!(rep.reconfigured.is_empty());
+    }
+    assert_eq!(mon.consumed(), 0);
+
+    // Restart. The first live poll resyncs and reconfigures the starved
+    // communicator off the browned-out routes.
+    {
+        let now = cluster.world.clock;
+        let c = &mut cluster.world.controller;
+        let since = c.crashed_at.take().expect("crash instant recorded");
+        c.stats.downtime_ns += now.0 - since.0;
+        c.stats.restarts += 1;
+        c.down = false;
+        c.incarnation += 1;
+    }
+    let rep = mon.poll(&mut cluster);
+    assert!(rep.resynced, "nine events in a ring of eight must resync");
+    assert!(rep.lost >= 1, "the eviction must be reported, not hidden");
+    assert!(rep.events.is_empty(), "a resync carries no event stream");
+    assert_eq!(rep.reconfigured, vec![COMM]);
+    assert_eq!(mon.consumed(), 0, "resyncs deliver state, not events");
+
+    let stats = cluster.mgmt().controller_stats();
+    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.restarts, 1);
+    assert!(stats.downtime_ns > 0, "the outage spanned virtual time");
+
+    // The coalesced post-restart reaction still drives the Figure 4
+    // barrier to completion, with the service engine never having acted.
+    cluster.run_until_quiescent(Nanos::from_secs(60));
+    let info = cluster.mgmt().communicator(COMM).expect("comm persists");
+    assert!(info.epoch >= 1, "post-restart recovery must bump the epoch");
+    for r in cluster.world.trace.records() {
+        assert!(
+            r.completed_at.is_some() && r.failed_at.is_none(),
+            "collective lost across the controller outage: {r:?}"
+        );
+    }
+    let counters = cluster.mgmt().health_counters();
+    assert_eq!(counters.recoveries, 0, "service engine must stay inert");
+    assert_eq!(counters.collectives_failed, 0);
 }

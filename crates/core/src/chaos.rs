@@ -206,6 +206,25 @@ impl<'c> ChaosDriver<'c> {
         self.inject(FaultEvent::RestartHost(host));
     }
 
+    /// Crash the controller now: the recovery engine and health monitor
+    /// freeze, and health events accumulate in the bounded channel until
+    /// a restart. Idempotent while already down.
+    pub fn crash_controller(&mut self) {
+        self.inject(FaultEvent::CrashController);
+    }
+
+    /// Restart a crashed controller: working state is rebuilt from the
+    /// last checkpoint and the recovery engine runs its reconciliation
+    /// pass. Idempotent while already up.
+    pub fn restart_controller(&mut self) {
+        self.inject(FaultEvent::RestartController);
+    }
+
+    /// Whether the controller is currently down.
+    pub fn is_controller_down(&self) -> bool {
+        self.cluster.world.controller.down
+    }
+
     /// Cut `rack` off from the rest of the fabric: every switch-to-switch
     /// link touching the rack's leaf goes down. Returns the links cut
     /// (already-down links are skipped), so the test can repair them.
@@ -236,9 +255,10 @@ impl<'c> ChaosDriver<'c> {
     }
 
     /// Repair everything: bring every down link up, restart every
-    /// crashed host, clear every brownout, and release held control
-    /// traffic. The world returns to a healthy fabric (detour pins
-    /// remain until the recovery engine fails them back).
+    /// crashed host, clear every brownout, restart a crashed controller,
+    /// and release held control traffic. The world returns to a healthy
+    /// fabric (detour pins remain until the recovery engine fails them
+    /// back).
     pub fn repair_all(&mut self) {
         let w = &self.cluster.world;
         let down: Vec<LinkId> = w
@@ -264,6 +284,9 @@ impl<'c> ChaosDriver<'c> {
         }
         for h in crashed {
             self.restart_host(h);
+        }
+        if self.cluster.world.controller.down {
+            self.restart_controller();
         }
         if self.cluster.world.is_control_held() {
             self.release_control();

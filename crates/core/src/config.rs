@@ -145,6 +145,17 @@ pub struct ServiceConfig {
     /// How transports and the recovery engine treat partially-degraded
     /// routes (brownouts), as opposed to the binary up/down handling.
     pub degradation: DegradationPolicy,
+    /// Minimum interval between controller state checkpoints. Checkpoints
+    /// are taken opportunistically when the recovery engine runs (its
+    /// state only changes when it runs, so nothing is lost by not waking
+    /// for them) and only while a fault plan is installed — a plan-free
+    /// world does no checkpoint work at all. A smaller interval means a
+    /// fresher checkpoint at crash time and less reconciliation on
+    /// restart.
+    pub controller_checkpoint_interval: Nanos,
+    /// Capacity of the bounded health push channel; subscribers that fall
+    /// further behind than this resync from a snapshot.
+    pub health_channel_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -160,6 +171,8 @@ impl Default for ServiceConfig {
             gossip_retry: Nanos::from_micros(300),
             recovery_max_attempts: 3,
             degradation: DegradationPolicy::default(),
+            controller_checkpoint_interval: Nanos::from_millis(5),
+            health_channel_capacity: crate::health::DEFAULT_HEALTH_CHANNEL_CAPACITY,
         }
     }
 }

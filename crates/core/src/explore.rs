@@ -12,24 +12,29 @@
 //! [`observable_digest`](crate::Cluster::observable_digest)), so any
 //! interleaving the search finds is a permanent regression test.
 //!
-//! Every episode is judged by two oracles:
+//! Every episode is judged by three oracles:
 //! - **completed-xor-failed**: each `(communicator, seq)` must finish the
 //!   same way on every rank, and nothing issued may be left unfinished
 //!   at quiescence;
 //! - **quiescence**: the run must go quiet before the configured
 //!   deadline, else it is reported as a [`Verdict::Hang`] with the live
-//!   engines named.
+//!   engines named;
+//! - **post-restart pin convergence**: when the fabric ends healthy with
+//!   the controller up, every communicator the recovery engine ever
+//!   steered must sit on the policy's healthy-fabric plan — a controller
+//!   crash must not strand a detour.
 //!
 //! Faults that would make the oracles unsatisfiable by construction are
-//! paired with *obligations*: a crashed host is always restarted a few
-//! decision points later, a control hold is always released. (A
-//! permanently dead link needs no obligation — the service's clean
-//! failure path is exactly what is under test.) If an episode quiesces
-//! with obligations outstanding, they are force-applied and the run
-//! continues.
+//! paired with *obligations*: a crashed host (or controller) is always
+//! restarted a few decision points later, a control hold is always
+//! released. (A permanently dead link needs no obligation — the
+//! service's clean failure path is exactly what is under test.) If an
+//! episode quiesces with obligations outstanding, they are force-applied
+//! and the run continues.
 
 use crate::chaos::ChaosDriver;
 use crate::cluster::Cluster;
+use crate::recovery::RecoveryPolicy;
 use mccs_ipc::CommunicatorId;
 use mccs_sim::{Nanos, Rng};
 use mccs_topology::{graph, HostId, LinkId, RackId};
@@ -62,6 +67,12 @@ pub enum ChaosAction {
     HoldControl,
     /// Release parked control-ring traffic.
     ReleaseControl,
+    /// Crash the controller (always paired with a `RestartController`
+    /// obligation — a dead controller can never recover stalled work, so
+    /// quiescence would be unsatisfiable).
+    CrashController,
+    /// Restart the crashed controller (checkpoint restore + reconcile).
+    RestartController,
 }
 
 impl ChaosAction {
@@ -81,6 +92,8 @@ impl ChaosAction {
             }
             ChaosAction::HoldControl => driver.hold_control(),
             ChaosAction::ReleaseControl => driver.release_control(),
+            ChaosAction::CrashController => driver.crash_controller(),
+            ChaosAction::RestartController => driver.restart_controller(),
         }
     }
 }
@@ -375,6 +388,9 @@ fn sample(
     if !driver.is_control_held() {
         menu.push(5); // HoldControl
     }
+    if !driver.is_controller_down() {
+        menu.push(6); // CrashController
+    }
     if menu.is_empty() {
         return None;
     }
@@ -402,6 +418,10 @@ fn sample(
         5 => Some((
             ChaosAction::HoldControl,
             Some((index + rng.range(3, 30), ChaosAction::ReleaseControl)),
+        )),
+        6 => Some((
+            ChaosAction::CrashController,
+            Some((index + rng.range(5, 60), ChaosAction::RestartController)),
         )),
         _ => unreachable!(),
     }
@@ -441,5 +461,71 @@ fn oracle(cluster: &Cluster) -> Verdict {
             failed += 1;
         }
     }
+    if let Some(detail) = pin_divergence(cluster) {
+        return Verdict::Violation { detail };
+    }
     Verdict::Ok { completed, failed }
+}
+
+/// The post-restart convergence oracle: with the controller up and the
+/// fabric fully healthy at quiescence, every communicator the recovery
+/// engine ever steered (a `RecoveryIssued` or `FailbackIssued` in the
+/// event log) must sit on a fixed point of the recovery policy — the
+/// plan re-derived from its current configuration changes nothing. This
+/// is what "the restarted controller converged" means observably: after
+/// `repair_all` + restart, pins equal the healthy-fabric plan. Returns a
+/// violation description, or `None` when converged (or the precondition
+/// doesn't hold — a permanently broken fabric legitimately keeps its
+/// detours).
+fn pin_divergence(cluster: &Cluster) -> Option<String> {
+    let w = &cluster.world;
+    let healthy = !w.controller.down
+        && w.health.links_down().next().is_none()
+        && w.health.hosts_down().next().is_none()
+        && w.health.links_degraded().next().is_none();
+    if !healthy {
+        return None;
+    }
+    let mut steered: Vec<CommunicatorId> = w
+        .health
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            crate::health::FailureEvent::RecoveryIssued { comm, .. }
+            | crate::health::FailureEvent::FailbackIssued { comm, .. } => Some(comm),
+            _ => None,
+        })
+        .collect();
+    steered.sort_unstable();
+    steered.dedup();
+    for comm in steered {
+        let ranks: Vec<_> = w
+            .comms
+            .iter()
+            .filter(|((c, _), _)| *c == comm)
+            .map(|(_, r)| r)
+            .collect();
+        let Some(first) = ranks.first() else {
+            continue; // destroyed — nothing left to converge
+        };
+        if ranks.len() != first.world_gpus.len() {
+            continue;
+        }
+        let current = &first.config;
+        let plan = match &w.recovery_policy {
+            Some(p) => p.plan(w, comm, current, &first.world_gpus),
+            None => crate::recovery::DetourPolicy.plan(w, comm, current, &first.world_gpus),
+        };
+        let Some((rings, routes)) = plan else {
+            continue;
+        };
+        if rings != current.channel_rings || routes != current.routes {
+            return Some(format!(
+                "{comm:?} pins diverge from the healthy-fabric plan at quiescence \
+                 (epoch {}): recovery state was lost across a controller restart",
+                current.epoch
+            ));
+        }
+    }
+    None
 }

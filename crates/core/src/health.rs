@@ -18,7 +18,7 @@
 
 use mccs_ipc::CommunicatorId;
 use mccs_sim::Nanos;
-use mccs_topology::{HostId, LinkId};
+use mccs_topology::{GpuId, HostId, LinkId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One observed failure or recovery action, timestamped in virtual time.
@@ -93,6 +93,22 @@ pub enum FailureEvent {
         /// When retries ran out.
         at: Nanos,
     },
+    /// A rank finished draining and applied a new configuration epoch —
+    /// the per-rank completion notification of the Figure 4 protocol.
+    /// The controller retires a drain obligation once every rank of the
+    /// communicator has reported (and runs its fail-back retirement
+    /// check when the drain was restorative). Only recorded under a
+    /// fault plan, like the rest of the liveness machinery.
+    ReconfigApplied {
+        /// The communicator.
+        comm: CommunicatorId,
+        /// The reporting rank's GPU.
+        gpu: GpuId,
+        /// The epoch now in effect on this rank.
+        epoch: u64,
+        /// When the drain completed.
+        at: Nanos,
+    },
     /// A proxy's liveness timer fired on an in-flight collective.
     CollectiveStalled {
         /// The communicator.
@@ -150,6 +166,7 @@ impl FailureEvent {
             | FailureEvent::HostDown { .. }
             | FailureEvent::HostUp { .. }
             | FailureEvent::LinkDegraded { .. }
+            | FailureEvent::ReconfigApplied { .. }
             | FailureEvent::CollectiveStalled { .. } => true,
             FailureEvent::FlowRebalanced { .. }
             | FailureEvent::FlowRetried { .. }
@@ -274,6 +291,13 @@ impl HealthSubscription {
         HealthSubscription { next_seq: 0 }
     }
 
+    /// A cursor at an explicit sequence number — used to resume a
+    /// checkpointed subscription after a controller restart. If the ring
+    /// has already rolled past `seq`, the next poll resyncs.
+    pub fn at(seq: u64) -> Self {
+        HealthSubscription { next_seq: seq }
+    }
+
     /// The next sequence number this subscription expects.
     pub fn next_seq(&self) -> u64 {
         self.next_seq
@@ -334,6 +358,15 @@ impl HealthRegistry {
     /// A fresh, all-healthy registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A fresh registry whose push channel retains at most `capacity`
+    /// events (older ones roll off into a resync snapshot).
+    pub fn with_channel_capacity(capacity: usize) -> Self {
+        HealthRegistry {
+            channel: HealthChannel::with_capacity(capacity),
+            ..Self::default()
+        }
     }
 
     /// Record a link going down.

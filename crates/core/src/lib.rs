@@ -65,4 +65,4 @@ pub use mgmt::CommInfo;
 pub use qos::TrafficWindows;
 pub use recovery::{comm_min_route_weight, DetourPolicy, RecoveryEngine, RecoveryPolicy};
 pub use tracing::{TraceCollector, TraceRecord};
-pub use world::World;
+pub use world::{Controller, ControllerState, ControllerStats, DrainObligation, World};

@@ -52,6 +52,11 @@ pub enum ProxyMsg {
     Reconfigure {
         /// The communicator.
         comm: CommunicatorId,
+        /// The controller incarnation that issued this request. Ranks
+        /// remember the highest incarnation they have heard from and
+        /// fence (drop) requests from older ones — a dead controller's
+        /// late-arriving commands must not race its successor's.
+        incarnation: u64,
         /// The new configuration (its `epoch` must be current + 1).
         config: CollectiveConfig,
     },

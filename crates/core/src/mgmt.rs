@@ -104,11 +104,13 @@ impl<'a> Management<'a> {
             channel_rings: rings,
             routes,
         };
+        let incarnation = self.world.controller.incarnation;
         for &gpu in &info.world {
             self.world.send_control(
                 gpu,
                 ProxyMsg::Reconfigure {
                     comm,
+                    incarnation,
                     config: config.clone(),
                 },
             );
@@ -252,6 +254,28 @@ impl<'a> Management<'a> {
     /// determinism digest the oracle-equivalence gate compares.
     pub fn scheduler_stats(&self) -> crate::health::SchedulerStats {
         self.world.health.scheduler
+    }
+
+    /// Controller availability counters: crashes, restarts, cumulative
+    /// downtime, checkpoints taken, reconciliation passes run, and stale
+    /// commands ranks fenced. Like [`scheduler_stats`](Self::scheduler_stats)
+    /// these are deliberately outside [`HealthCounters`] and the
+    /// determinism digest — a crash whose restart reconciles to a no-op
+    /// must hash identically to the crash-free run.
+    pub fn controller_stats(&self) -> crate::world::ControllerStats {
+        self.world.controller.stats
+    }
+
+    /// Whether the controller is currently down (crashed and not yet
+    /// restarted).
+    pub fn controller_down(&self) -> bool {
+        self.world.controller.down
+    }
+
+    /// The controller's current incarnation number (bumped on every
+    /// restart; reconfiguration commands carry it for fencing).
+    pub fn controller_incarnation(&self) -> u64 {
+        self.world.controller.incarnation
     }
 
     /// The full failure-event log, in occurrence order. (Compatibility

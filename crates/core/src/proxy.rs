@@ -133,6 +133,11 @@ pub struct CommRank {
     /// whose final gossip hop was lost would otherwise resend an
     /// incomplete view forever past ranks that merely forward it.
     pub last_barrier: Option<(u64, BTreeMap<usize, Option<u64>>)>,
+    /// Highest controller incarnation this rank has heard a
+    /// reconfiguration from. Requests from older incarnations — a dead
+    /// controller's commands still in flight when it crashed — are
+    /// fenced (dropped without entering the barrier).
+    pub controller_incarnation: u64,
 }
 
 impl CommRank {
@@ -219,6 +224,7 @@ impl ProxyEngine {
                         pending_gossip: Vec::new(),
                         barrier_since: None,
                         last_barrier: None,
+                        controller_incarnation: 0,
                     },
                 );
                 assert!(
@@ -263,7 +269,11 @@ impl ProxyEngine {
                     );
                 }
             }
-            ProxyMsg::Reconfigure { comm, config } => self.handle_reconfigure(w, comm, config),
+            ProxyMsg::Reconfigure {
+                comm,
+                incarnation,
+                config,
+            } => self.handle_reconfigure(w, comm, incarnation, config),
             ProxyMsg::BarrierGossip {
                 comm,
                 epoch,
@@ -323,6 +333,7 @@ impl ProxyEngine {
         &mut self,
         w: &mut World,
         comm: CommunicatorId,
+        incarnation: u64,
         config: CollectiveConfig,
     ) {
         let key = (comm, self.gpu);
@@ -334,6 +345,22 @@ impl ProxyEngine {
                 .record(FailureEvent::ReconfigRejected { comm, at: w.clock });
             return;
         };
+        if incarnation < rank.controller_incarnation {
+            // A dead controller incarnation's command arriving late —
+            // fence it. Tallied only in the digest-excluded controller
+            // stats: fencing exists so a crash leaves no observable mark.
+            w.controller.stats.stale_fenced += 1;
+            return;
+        }
+        if incarnation > rank.controller_incarnation {
+            // First word from a newer incarnation: raise the fence even
+            // if this particular request ends up rejected below.
+            w.comms
+                .get_mut(&key)
+                .expect("rank just looked up")
+                .controller_incarnation = incarnation;
+        }
+        let rank = w.comms.get(&key).expect("rank just looked up");
         match &rank.reconfig {
             ReconfigState::Normal if config.epoch == rank.config.epoch + 1 => {}
             ReconfigState::Barrier { new_config, .. }
@@ -710,6 +737,17 @@ impl ProxyEngine {
             if drained {
                 rank.config = new_config.clone();
                 rank.reconfig = ReconfigState::Normal;
+                // Report drain completion to the controller (plan-gated,
+                // like the rest of the liveness machinery): the last
+                // rank's report lets it retire the drain obligation.
+                if w.fault_plan.is_some() {
+                    w.health.record(FailureEvent::ReconfigApplied {
+                        comm,
+                        gpu: self.gpu,
+                        epoch: rank.config.epoch,
+                        at: w.clock,
+                    });
+                }
                 // Tear down / re-establish peer connections. (The shared
                 // schedule cache needs no flush here: entries are keyed by
                 // ring shape, so the new config keys new entries and the

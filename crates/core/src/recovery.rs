@@ -17,13 +17,28 @@
 //!
 //! The engine is inert without a fault plan installed: it polls `Idle`
 //! immediately, adding zero overhead to fault-free runs.
+//!
+//! ## Crash tolerance
+//!
+//! The engine is the compute half of a crashable controller whose durable
+//! state lives in the world ([`crate::world::ControllerState`]): in-flight drain
+//! obligations, the detoured set, fail-back baselines, and the health
+//! cursor. That state is checkpointed opportunistically (at most every
+//! [`controller_checkpoint_interval`](crate::config::ServiceConfig)).
+//! While the controller is down the engine freezes — the cursor stops,
+//! events pile into the bounded channel, and a long outage exercises the
+//! overflow→snapshot resync for real. The first poll after a restart runs
+//! a reconciliation pass: re-drive unobserved drains (deduped by
+//! `(comm, epoch)` so a completed drain is retired without sending a
+//! byte), re-mark pinned communicators as fail-back candidates, and
+//! resume (or resync) the health cursor from the checkpoint.
 
 use crate::config::{CollectiveConfig, RouteMap};
 use crate::health::{FailureEvent, HealthDelivery, HealthSubscription};
-use crate::world::{resources, World};
+use crate::world::{resources, DrainObligation, World};
 use mccs_collectives::{op::all_reduce_sum, CollectiveSchedule, EdgeTask, RingOrder};
 use mccs_ipc::CommunicatorId;
-use mccs_sim::{Bytes, Engine, Nanos, Poll, Wake};
+use mccs_sim::{Bytes, Engine, Poll, Wake};
 use mccs_topology::{GpuId, NicId, RouteId};
 use std::collections::{BTreeSet, HashMap};
 
@@ -121,29 +136,30 @@ impl RecoveryPolicy for DetourPolicy {
     }
 }
 
-/// Per-communicator reconfiguration the engine most recently issued:
-/// `(target epoch, when)` — used to rate-limit duplicate corrective Reqs
-/// while one is still propagating.
-type Issued = HashMap<CommunicatorId, (u64, Nanos)>;
-
 /// The failure-monitoring engine (one per cluster). Subscribes to the
 /// health push channel, issues corrective reconfigurations (coalescing a
 /// batch of concurrent failures into one drain per communicator), and
 /// aborts collectives whose recovery attempts are exhausted.
+///
+/// Durable working state (issued obligations, detours, baselines) lives
+/// in [`World::controller`], not here: the engine is the crashable
+/// process, the world-resident [`crate::world::ControllerState`] is what checkpoints
+/// preserve across its death. Only the stall-attempt counters stay
+/// engine-local — losing them on a crash merely lets a stuck collective
+/// earn a fresh round of attempts from the recurring liveness timers.
 pub struct RecoveryEngine {
     /// Cursor into the world's health push channel.
     sub: HealthSubscription,
-    issued: Issued,
-    /// Recovery attempts per stalled collective.
+    /// Recovery attempts per stalled collective. Deliberately volatile:
+    /// wiped by a controller restart.
     attempts: HashMap<(CommunicatorId, u64), u32>,
-    /// Communicators this engine steered off the healthy-fabric choice —
-    /// the fail-back candidates when a repair lands. Engine-local so a
-    /// repair never reconfigures a communicator that was never detoured.
-    detoured: BTreeSet<CommunicatorId>,
-    /// Pre-detour channel rings per detoured communicator, captured at
-    /// the first corrective issue: fail-back replans from these so rings
-    /// dropped during an outage come back once routes exist again.
-    baseline: HashMap<CommunicatorId, Vec<RingOrder>>,
+    /// Communicators whose fail-back evaluation was deferred because a
+    /// repair edge arrived while their drain was still in flight (ranks
+    /// non-uniform, no new barrier possible). The retirement sweep runs
+    /// the check when the drain completes. Volatile like `attempts`: a
+    /// restarted controller's first poll re-observes the repair (replay
+    /// or resync) and re-defers.
+    deferred_failback: BTreeSet<CommunicatorId>,
 }
 
 /// Minimum bottleneck route weight across `comm`'s current inter-host
@@ -194,11 +210,30 @@ impl RecoveryEngine {
     pub fn new() -> Self {
         RecoveryEngine {
             sub: HealthSubscription::from_start(),
-            issued: HashMap::new(),
             attempts: HashMap::new(),
-            detoured: BTreeSet::new(),
-            baseline: HashMap::new(),
+            deferred_failback: BTreeSet::new(),
         }
+    }
+
+    /// Whether every rank of `comm` sits in `Normal` at or past `target`
+    /// — the observable definition of "this drain completed". False for
+    /// an unknown or partially-registered communicator.
+    fn drain_complete(w: &World, comm: CommunicatorId, target: u64) -> bool {
+        let mut world_size = None;
+        let mut seen = 0usize;
+        for ((c, _), r) in w.comms.iter() {
+            if *c != comm {
+                continue;
+            }
+            seen += 1;
+            world_size = Some(r.world_gpus.len());
+            if !(matches!(r.reconfig, crate::proxy::ReconfigState::Normal)
+                && r.config.epoch >= target)
+            {
+                return false;
+            }
+        }
+        world_size.is_some_and(|n| seen == n)
     }
 
     /// Whether `comm`'s current configuration routes over a link the
@@ -242,8 +277,8 @@ impl RecoveryEngine {
         // Rate-limit: a corrective Req for this epoch may still be in
         // flight (control latency); duplicates are idempotent at the
         // proxies but cost messages.
-        if let Some(&(t, at)) = self.issued.get(&comm) {
-            if t >= target && w.clock < at + w.svc.liveness_timeout {
+        if let Some(ob) = w.controller.live.issued.get(&comm) {
+            if ob.config.epoch >= target && w.clock < ob.issued_at + w.svc.liveness_timeout {
                 return;
             }
         }
@@ -263,22 +298,33 @@ impl RecoveryEngine {
             channel_rings: rings,
             routes,
         };
+        let incarnation = w.controller.incarnation;
         for &gpu in &world_gpus {
             w.send_control(
                 gpu,
                 crate::messages::ProxyMsg::Reconfigure {
                     comm,
+                    incarnation,
                     config: config.clone(),
                 },
             );
         }
-        self.issued.insert(comm, (target, w.clock));
+        w.controller.live.issued.insert(
+            comm,
+            DrainObligation {
+                config,
+                issued_at: w.clock,
+                restorative: false,
+            },
+        );
         // Remember what "healthy" looked like so a later repair can
         // restore it; only the first detour snapshots the baseline.
-        self.baseline
+        w.controller
+            .live
+            .baselines
             .entry(comm)
             .or_insert_with(|| current.channel_rings.clone());
-        self.detoured.insert(comm);
+        w.controller.live.detoured.insert(comm);
         w.health.counters.recoveries += 1;
         w.health.record(FailureEvent::RecoveryIssued {
             comm,
@@ -303,8 +349,9 @@ impl RecoveryEngine {
         let Some(first) = ranks.first() else {
             // The communicator is gone; forget its detour state.
             drop(ranks);
-            self.detoured.remove(&comm);
-            self.baseline.remove(&comm);
+            w.controller.live.detoured.remove(&comm);
+            w.controller.live.baselines.remove(&comm);
+            w.controller.live.issued.remove(&comm);
             return;
         };
         let world_gpus = first.world_gpus.clone();
@@ -320,8 +367,10 @@ impl RecoveryEngine {
         if !uniform {
             return;
         }
-        let baseline_rings = self
-            .baseline
+        let baseline_rings = w
+            .controller
+            .live
+            .baselines
             .get(&comm)
             .cloned()
             .unwrap_or_else(|| current.channel_rings.clone());
@@ -341,13 +390,13 @@ impl RecoveryEngine {
         };
         if rings == current.channel_rings && routes == current.routes {
             // Already on the healthy-fabric choice — detour retired.
-            self.detoured.remove(&comm);
-            self.baseline.remove(&comm);
+            w.controller.live.detoured.remove(&comm);
+            w.controller.live.baselines.remove(&comm);
             return;
         }
         let target = epoch + 1;
-        if let Some(&(t, at)) = self.issued.get(&comm) {
-            if t >= target && w.clock < at + w.svc.liveness_timeout {
+        if let Some(ob) = w.controller.live.issued.get(&comm) {
+            if ob.config.epoch >= target && w.clock < ob.issued_at + w.svc.liveness_timeout {
                 return;
             }
         }
@@ -356,16 +405,25 @@ impl RecoveryEngine {
             channel_rings: rings,
             routes,
         };
+        let incarnation = w.controller.incarnation;
         for &gpu in &world_gpus {
             w.send_control(
                 gpu,
                 crate::messages::ProxyMsg::Reconfigure {
                     comm,
+                    incarnation,
                     config: config.clone(),
                 },
             );
         }
-        self.issued.insert(comm, (target, w.clock));
+        w.controller.live.issued.insert(
+            comm,
+            DrainObligation {
+                config,
+                issued_at: w.clock,
+                restorative: true,
+            },
+        );
         // Stays in `detoured`: the next repair-quiet pass retires it once
         // the applied config matches the healthy plan (partial repairs
         // may take several steps back to baseline).
@@ -384,6 +442,7 @@ impl RecoveryEngine {
     /// into a single recovery — and stall reports are folded into the
     /// same set after their attempt accounting.
     fn handle_batch(&mut self, w: &mut World, events: &[(u64, FailureEvent)], resync: bool) {
+        let retired = self.sweep_controller_state(w);
         let mut topo_changed = resync;
         // A repair is a topology change too: it makes *better* routes
         // exist, so previously-detoured communicators get a fail-back
@@ -404,6 +463,18 @@ impl RecoveryEngine {
                     repaired = true;
                 }
                 FailureEvent::CollectiveStalled { comm, seq, .. } => {
+                    // A stall report can outlive its collective — channel
+                    // latency, or a restarted controller replaying the
+                    // stream from its checkpointed cursor. Acting on one
+                    // would issue a spurious corrective drain, so consult
+                    // current progress first.
+                    let finished = w
+                        .progress
+                        .get(&(comm, seq))
+                        .is_some_and(|p| p.completed_at.is_some() || p.failed);
+                    if finished {
+                        continue;
+                    }
                     let a = self.attempts.entry((comm, seq)).or_insert(0);
                     if *a >= w.svc.recovery_max_attempts {
                         w.abort_collective(comm, seq);
@@ -412,8 +483,10 @@ impl RecoveryEngine {
                         to_recover.insert(comm);
                     }
                 }
-                // Informational events need no corrective action here.
-                FailureEvent::HostDown { .. }
+                // Drain completions were already consumed by the sweep
+                // above; informational events need no corrective action.
+                FailureEvent::ReconfigApplied { .. }
+                | FailureEvent::HostDown { .. }
                 | FailureEvent::FlowRetried { .. }
                 | FailureEvent::FlowRebalanced { .. }
                 | FailureEvent::FlowExhausted { .. }
@@ -437,14 +510,185 @@ impl RecoveryEngine {
         for comm in to_recover {
             self.try_recover(w, comm);
         }
+        // Corrective work first, restorative second: a communicator that
+        // is still broken was just re-issued above and the rate limiter
+        // keeps fail-back from double-sending. A repair edge re-evaluates
+        // every detour; a completed drain owed a check gets its
+        // retirement pass (silent when the config already matches the
+        // healthy plan, another step toward baseline after a partial
+        // repair).
+        let mut failback_pass: BTreeSet<CommunicatorId> = retired.into_iter().collect();
         if repaired {
-            // Corrective work first, restorative second: a communicator
-            // that is still broken was just re-issued above and the
-            // rate limiter keeps fail-back from double-sending.
-            for comm in self.detoured.clone() {
-                self.try_failback(w, comm);
+            failback_pass.extend(w.controller.live.detoured.iter().copied());
+            // A detoured communicator mid-drain cannot enter a new
+            // barrier now; its fail-back evaluation runs when the drain
+            // retires (the repair edge itself is consumed this batch).
+            self.deferred_failback
+                .extend(w.controller.live.issued.keys().copied());
+        }
+        for comm in failback_pass {
+            self.try_failback(w, comm);
+        }
+    }
+
+    /// Drop controller state for communicators that no longer exist and
+    /// retire drain obligations whose completion has been observed (the
+    /// ranks' `ReconfigApplied` reports wake this pass). This is the fix
+    /// for unbounded detour-baseline growth: a destroyed communicator
+    /// used to pin its remembered pre-failure rings (and attempt
+    /// counters) forever. Returns the communicators owing a fail-back
+    /// check: every completed *restorative* drain, plus any completed
+    /// drain whose fail-back evaluation a repair edge deferred while it
+    /// was in flight.
+    fn sweep_controller_state(&mut self, w: &mut World) -> Vec<CommunicatorId> {
+        let completed: Vec<(CommunicatorId, bool)> = w
+            .controller
+            .live
+            .issued
+            .iter()
+            .filter(|&(&c, ob)| Self::drain_complete(w, c, ob.config.epoch))
+            .map(|(&c, ob)| (c, ob.restorative))
+            .collect();
+        let mut needs_check = Vec::new();
+        for (c, restorative) in completed {
+            w.controller.live.issued.remove(&c);
+            let deferred = self.deferred_failback.remove(&c);
+            if restorative || deferred {
+                needs_check.push(c);
             }
         }
+        let existing: BTreeSet<CommunicatorId> = w.comms.keys().map(|(c, _)| *c).collect();
+        let live = &mut w.controller.live;
+        live.issued.retain(|c, _| existing.contains(c));
+        live.detoured.retain(|c| existing.contains(c));
+        live.baselines.retain(|c, _| existing.contains(c));
+        self.attempts.retain(|(c, _), _| existing.contains(c));
+        self.deferred_failback.retain(|c| existing.contains(c));
+        needs_check.retain(|c| existing.contains(c));
+        needs_check
+    }
+
+    /// Take a checkpoint of the controller's working state if the
+    /// configured interval has elapsed. Opportunistic — called from polls
+    /// the engine receives anyway, never waking for it: the state only
+    /// changes when the engine runs, so an idle gap has nothing new to
+    /// save, and quiescence detection stays untouched.
+    fn maybe_checkpoint(&mut self, w: &mut World) {
+        let due = match w.controller.last_checkpoint_at {
+            None => true,
+            Some(t) => w.clock >= t + w.svc.controller_checkpoint_interval,
+        };
+        if !due {
+            return;
+        }
+        let mut snap = w.controller.live.clone();
+        snap.channel_seq = self.sub.next_seq();
+        w.controller.checkpoint = Some(snap);
+        w.controller.last_checkpoint_at = Some(w.clock);
+        w.controller.stats.checkpoints += 1;
+    }
+
+    /// Post-restart reconciliation: rebuild a coherent controller from
+    /// the checkpoint the restart restored, in a fixed order — (1) wipe
+    /// the volatile stall-attempt memory, (2) resume the health cursor at
+    /// the checkpointed sequence (a long outage overflowed the ring and
+    /// the next poll resyncs instead), (3) re-drive every drain whose
+    /// completion was never observed, (4) conservatively re-mark
+    /// route-pinned communicators as fail-back candidates so detours the
+    /// dead incarnation issued after the checkpoint still retire once the
+    /// fabric heals.
+    fn reconcile(&mut self, w: &mut World) {
+        w.controller.pending_restart = false;
+        self.attempts.clear();
+        self.sub = HealthSubscription::at(w.controller.live.channel_seq);
+        let issued: Vec<(CommunicatorId, DrainObligation)> = w
+            .controller
+            .live
+            .issued
+            .iter()
+            .map(|(&c, ob)| (c, ob.clone()))
+            .collect();
+        for (comm, ob) in issued {
+            self.redrive(w, comm, &ob);
+        }
+        // Pinned routes are the recovery path's signature (default
+        // configurations are ECMP): treat every pinned communicator as
+        // possibly-detoured. A repair edge replans it from its baseline
+        // and the mark retires for free when it already matches the
+        // healthy plan — the false positives cost nothing observable.
+        let pinned: Vec<(CommunicatorId, Vec<RingOrder>)> = {
+            let mut seen = BTreeSet::new();
+            w.comms
+                .iter()
+                .filter(|((c, _), r)| !r.config.routes.is_empty() && seen.insert(*c))
+                .map(|((c, _), r)| (*c, r.config.channel_rings.clone()))
+                .collect()
+        };
+        for (comm, rings) in pinned {
+            w.controller.live.detoured.insert(comm);
+            w.controller.live.baselines.entry(comm).or_insert(rings);
+        }
+        w.controller.stats.reconciliations += 1;
+    }
+
+    /// Re-drive one checkpointed drain obligation after a restart,
+    /// deduped by `(comm, epoch)`: when the drain visibly completed
+    /// before the crash the obligation is retired **without sending
+    /// anything** — control sends draw RNG jitter, so even a duplicate
+    /// the ranks would drop must not leave the controller. This is what
+    /// makes re-driving an already-converged drain observably a no-op.
+    /// Otherwise the *same* checkpointed config is resent under the new
+    /// incarnation: ranks that applied it drop the duplicate epoch, ranks
+    /// that missed it enter the barrier.
+    fn redrive(&mut self, w: &mut World, comm: CommunicatorId, ob: &DrainObligation) {
+        let ranks: Vec<_> = w
+            .comms
+            .iter()
+            .filter(|((c, _), _)| *c == comm)
+            .map(|(_, r)| r)
+            .collect();
+        let Some(first) = ranks.first() else {
+            // Destroyed while we were dead; nothing left to drain.
+            w.controller.live.issued.remove(&comm);
+            return;
+        };
+        let world_gpus = first.world_gpus.clone();
+        if ranks.len() != world_gpus.len() {
+            // Mid-teardown; the sweep retires the obligation when the
+            // last rank goes.
+            return;
+        }
+        drop(ranks);
+        if Self::drain_complete(w, comm, ob.config.epoch) {
+            w.controller.live.issued.remove(&comm);
+            if ob.restorative {
+                // The fail-back finished while we were dead; run the
+                // retirement check its completion report would have
+                // triggered (silent when already on the healthy plan).
+                self.try_failback(w, comm);
+            }
+            return;
+        }
+        let incarnation = w.controller.incarnation;
+        for &gpu in &world_gpus {
+            w.send_control(
+                gpu,
+                crate::messages::ProxyMsg::Reconfigure {
+                    comm,
+                    incarnation,
+                    config: ob.config.clone(),
+                },
+            );
+        }
+        w.controller.live.issued.insert(
+            comm,
+            DrainObligation {
+                config: ob.config.clone(),
+                issued_at: w.clock,
+                restorative: ob.restorative,
+            },
+        );
+        w.controller.live.detoured.insert(comm);
     }
 }
 
@@ -460,18 +704,36 @@ impl Engine<World> for RecoveryEngine {
         if w.fault_plan.is_none() {
             return Poll::Idle;
         }
-        match w.health.poll(&mut self.sub) {
-            HealthDelivery::Events(events) => {
-                if events.is_empty() {
-                    return Poll::Idle;
+        if w.controller.down {
+            // The controller process is dead: the cursor freezes (events
+            // pile into the bounded channel for the restart to drain or
+            // resync over) and no recovery runs.
+            return Poll::Idle;
+        }
+        let reconciled = if w.controller.pending_restart {
+            self.reconcile(w);
+            true
+        } else {
+            false
+        };
+        let outcome = match w.health.poll(&mut self.sub) {
+            HealthDelivery::Events(events) if events.is_empty() => {
+                if reconciled {
+                    Poll::Progressed
+                } else {
+                    Poll::Idle
                 }
+            }
+            HealthDelivery::Events(events) => {
                 self.handle_batch(w, &events, false);
-                if !events.iter().any(|(_, e)| e.wakes_subscribers()) {
+                if !reconciled && !events.iter().any(|(_, e)| e.wakes_subscribers()) {
                     // Purely-informational batch (e.g. our own
                     // `RecoveryIssued` read back under a polling
                     // scheduler): `handle_batch` was a no-op by
                     // construction, so report it honestly as idle.
-                    return Poll::Idle;
+                    Poll::Idle
+                } else {
+                    Poll::Progressed
                 }
             }
             HealthDelivery::Resync(_) => {
@@ -480,18 +742,30 @@ impl Engine<World> for RecoveryEngine {
                 // Missed stall reports re-arrive from the proxies'
                 // recurring liveness timers.
                 self.handle_batch(w, &[], true);
+                Poll::Progressed
             }
-        }
-        Poll::Progressed
+        };
+        // Checkpoint *after* the batch so obligations issued this poll
+        // are already durable — the freshest state a restart can restore.
+        self.maybe_checkpoint(w);
+        outcome
     }
 
     fn wake_when(&self, w: &World) -> Wake {
         if w.fault_plan.is_none() {
             // Inert until a plan arrives; `install_fault_plan` signals.
             Wake::on(vec![resources::fault_plan_installed()])
+        } else if w.controller.down {
+            // Parked until the restart signal.
+            Wake::on(vec![resources::controller_status()])
         } else {
-            // Driven purely by health-channel pushes.
-            Wake::on(vec![resources::health_channel()])
+            // Driven by health-channel pushes; controller status is
+            // watched too so a same-instant crash+restart pair still
+            // triggers the reconciliation poll.
+            Wake::on(vec![
+                resources::health_channel(),
+                resources::controller_status(),
+            ])
         }
     }
 

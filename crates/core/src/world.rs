@@ -5,13 +5,13 @@
 //! registry, collective progress, and traces. Engines receive
 //! `&mut World` when polled and communicate exclusively through it.
 
-use crate::config::ServiceConfig;
+use crate::config::{CollectiveConfig, ServiceConfig};
 use crate::health::HealthRegistry;
 use crate::messages::{ProxyMsg, TransportMsg};
 use crate::proxy::CommRank;
 use crate::recovery::RecoveryPolicy;
 use crate::tracing::TraceCollector;
-use mccs_collectives::{CollectiveSchedule, ScheduleKey};
+use mccs_collectives::{CollectiveSchedule, RingOrder, ScheduleKey};
 use mccs_device::{
     DeviceConfig, DeviceFabric, DeviceNotification, DevicePtr, EventId, MemHandle, StreamId,
 };
@@ -20,7 +20,7 @@ use mccs_netsim::{ControlFault, FaultEvent, FaultPlan, FlowCompletion, FlowId, N
 use mccs_shim::ShimPort;
 use mccs_sim::{EventQueue, Nanos, ResourceId, Rng, WakeSource};
 use mccs_topology::{GpuId, LinkId, NicId, Topology};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// The world's wake-resource keying: every queue, channel, and event
@@ -89,6 +89,12 @@ pub mod resources {
     /// space freed for a back-pressured rank to resume pushing.
     pub const fn endpoint_cmd_space(endpoint: u32) -> ResourceId {
         ResourceId::new(10, endpoint)
+    }
+
+    /// The controller crashed or restarted (the recovery engine parks on
+    /// this while the controller is down).
+    pub const fn controller_status() -> ResourceId {
+        ResourceId::new(11, 0)
     }
 }
 
@@ -235,6 +241,91 @@ impl WorldScheduleCache {
     }
 }
 
+/// A corrective reconfiguration the controller has issued but whose
+/// completion (every rank back in `Normal` at the target epoch) it has
+/// not yet observed. Carried in checkpoints so a restarted controller can
+/// re-drive the drain.
+#[derive(Clone, Debug)]
+pub struct DrainObligation {
+    /// The exact configuration that was sent (target epoch inside) — a
+    /// re-drive resends *this*, never a replanned variant, so ranks that
+    /// already applied it see a duplicate epoch and drop it.
+    pub config: CollectiveConfig,
+    /// When it was (re-)issued, for the liveness rate limit.
+    pub issued_at: Nanos,
+    /// Whether this drain rolls the communicator back toward its healthy
+    /// baseline (a fail-back) rather than away from a failure. Completion
+    /// of a restorative drain triggers the fail-back retirement check.
+    pub restorative: bool,
+}
+
+/// The controller's durable working state: everything the recovery
+/// engine must not forget across a crash. Checkpointed periodically;
+/// restart restores the last checkpoint and reconciles the gap.
+#[derive(Clone, Debug, Default)]
+pub struct ControllerState {
+    /// In-flight Fig-4 drain obligations per communicator.
+    pub issued: HashMap<CommunicatorId, DrainObligation>,
+    /// Communicators currently steered off their healthy-fabric plan.
+    pub detoured: BTreeSet<CommunicatorId>,
+    /// Pre-detour channel rings per communicator — the fail-back
+    /// baselines a repair edge restores.
+    pub baselines: HashMap<CommunicatorId, Vec<RingOrder>>,
+    /// Health-channel cursor at checkpoint time; the restarted engine
+    /// resumes (or resyncs) from here.
+    pub channel_seq: u64,
+}
+
+/// Controller availability counters. Deliberately outside
+/// [`crate::health::HealthCounters`]: a crash + restart that reconciles
+/// to a no-op must leave the observable digest identical to the
+/// crash-free run, so none of this is hashed (the `scheduler_stats`
+/// precedent).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Controller crashes applied.
+    pub crashes: u64,
+    /// Controller restarts applied.
+    pub restarts: u64,
+    /// Cumulative nanoseconds the controller has been down.
+    pub downtime_ns: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Post-restart reconciliation passes run.
+    pub reconciliations: u64,
+    /// Reconfiguration commands ranks fenced as coming from a dead
+    /// controller incarnation.
+    pub stale_fenced: u64,
+}
+
+/// The crashable controller process, as the world sees it: liveness, the
+/// incarnation fence, live working state, and the last checkpoint.
+#[derive(Debug, Default)]
+pub struct Controller {
+    /// Whether the controller is currently down (recovery engine and
+    /// health monitor frozen).
+    pub down: bool,
+    /// When the current outage began; `Some` exactly while `down`.
+    pub crashed_at: Option<Nanos>,
+    /// Bumped on every restart. Every reconfiguration command carries the
+    /// issuing incarnation so ranks can fence commands a dead incarnation
+    /// left in flight.
+    pub incarnation: u64,
+    /// Set by a restart; consumed by the recovery engine's first
+    /// post-restart poll, which runs the reconciliation pass.
+    pub pending_restart: bool,
+    /// Live working state (the recovery engine reads and writes this;
+    /// world-resident so management and tests can inspect it).
+    pub live: ControllerState,
+    /// The last checkpoint; a restart restores `live` from it (or from
+    /// empty state if none was ever taken).
+    pub checkpoint: Option<ControllerState>,
+    /// When the last checkpoint was taken.
+    pub last_checkpoint_at: Option<Nanos>,
+    /// Availability counters (digest-excluded).
+    pub stats: ControllerStats,
+}
+
 /// Everything the engines share.
 pub struct World {
     /// The provider's private topology.
@@ -295,6 +386,9 @@ pub struct World {
     held_control: Vec<(GpuId, Nanos, ProxyMsg)>,
     /// Link/host status, failure events and recovery counters.
     pub health: HealthRegistry,
+    /// The crashable controller process: liveness, incarnation fence,
+    /// live recovery state, and the last checkpoint.
+    pub controller: Controller,
     /// Controller policy the recovery engine consults for corrective
     /// configurations; `None` falls back to the built-in detour policy.
     pub recovery_policy: Option<Box<dyn RecoveryPolicy>>,
@@ -465,6 +559,7 @@ impl World {
         let gpu_count = topo.gpus().len();
         let nic_count = topo.nics().len();
         let cap = ipc.queue_capacity;
+        let health = HealthRegistry::with_channel_capacity(svc.health_channel_capacity);
         World {
             net: Network::new(Arc::clone(&topo)),
             devices: DeviceFabric::new(gpu_count, device_cfg),
@@ -491,7 +586,8 @@ impl World {
             clamped_fault_events: 0,
             control_held: false,
             held_control: Vec::new(),
-            health: HealthRegistry::new(),
+            health,
+            controller: Controller::default(),
             recovery_policy: None,
             control_seq: 0,
             trace: TraceCollector::new(),
@@ -677,6 +773,36 @@ impl World {
             }
             FaultEvent::RestartHost(host) => {
                 self.health.host_up(host, now);
+            }
+            // Controller liveness deliberately bypasses the health
+            // registry: crash/restart must stay invisible to the
+            // observable digest so a run whose restart reconciles to a
+            // no-op hashes identically to the crash-free run.
+            FaultEvent::CrashController => {
+                if !self.controller.down {
+                    self.controller.down = true;
+                    self.controller.crashed_at = Some(now);
+                    self.controller.stats.crashes += 1;
+                    self.signals.push(resources::controller_status());
+                }
+            }
+            FaultEvent::RestartController => {
+                if self.controller.down {
+                    let since = self
+                        .controller
+                        .crashed_at
+                        .take()
+                        .expect("down controller records its crash instant");
+                    self.controller.stats.downtime_ns += now.0 - since.0;
+                    self.controller.stats.restarts += 1;
+                    self.controller.down = false;
+                    self.controller.incarnation += 1;
+                    // The in-memory working state died with the process;
+                    // rebuild from the last checkpoint (empty if none).
+                    self.controller.live = self.controller.checkpoint.clone().unwrap_or_default();
+                    self.controller.pending_restart = true;
+                    self.signals.push(resources::controller_status());
+                }
             }
         }
     }

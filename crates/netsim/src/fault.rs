@@ -46,6 +46,13 @@ pub enum FaultEvent {
     CrashHost(HostId),
     /// Warm-restart a crashed host: engines resume with state intact.
     RestartHost(HostId),
+    /// Crash the central controller process: health monitoring and
+    /// recovery stop running, and health events accumulate in the bounded
+    /// push channel until a restart. The data plane keeps moving.
+    CrashController,
+    /// Restart the crashed controller: it rebuilds its working state from
+    /// the last checkpoint and reconciles against the live fabric.
+    RestartController,
 }
 
 /// What to do to one control-ring message, identified by send ordinal.

@@ -71,6 +71,13 @@ pub enum ScriptStep {
         /// Receive slot.
         recv_slot: usize,
     },
+    /// Tear down this rank of a communicator and wait for the service to
+    /// acknowledge. The proxy refuses while collectives are in flight, so
+    /// scripts place this after the communicator has drained.
+    CommDestroy {
+        /// Cluster-wide id (must be initialized by this rank).
+        comm: CommunicatorId,
+    },
     /// Enqueue a compute kernel on the app stream and wait for it.
     Compute(Nanos),
     /// Busy-wait (virtual) until the given absolute time.
@@ -212,6 +219,21 @@ impl AppProgram for ScriptedProgram {
                         // buffers are undefined but the program moves on.
                         if api.collective_failed(req).is_some() {
                             self.failed_collectives += 1;
+                            self.pending = None;
+                            self.pc += 1;
+                            progressed = true;
+                            continue;
+                        }
+                        return AppStatus::Blocked;
+                    }
+                },
+                ScriptStep::CommDestroy { comm } => match self.pending {
+                    None => {
+                        self.pending = Some(api.comm_destroy(comm));
+                        api.pump();
+                    }
+                    Some(req) => {
+                        if api.destroy_done(req) {
                             self.pending = None;
                             self.pc += 1;
                             progressed = true;

@@ -326,6 +326,18 @@ impl Cluster {
         self.pool.is_naive()
     }
 
+    /// Put the network simulator in (or out of) full-oracle mode: map-backed
+    /// flow storage, no rack-partitioned solving, from-scratch rate
+    /// recomputation. One switch for differential runs — every fast path
+    /// the netsim grew (arenas, hierarchical solve, dirty-link
+    /// incrementality) is disabled together so a digest mismatch can be
+    /// attributed to *some* fast path before bisecting further.
+    pub fn set_netsim_oracle(&mut self, oracle: bool) {
+        self.world.net.set_map_storage(oracle);
+        self.world.net.set_hierarchical(!oracle);
+        self.world.net.set_incremental(!oracle);
+    }
+
     /// Scheduler efficiency counters (polls, wasted polls, wakes),
     /// synced from the pool after the last run loop.
     pub fn scheduler_stats(&self) -> crate::health::SchedulerStats {

@@ -39,6 +39,7 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod explore;
+pub mod flat;
 pub mod frontend;
 pub mod health;
 pub mod messages;

@@ -203,7 +203,7 @@ impl ProxyEngine {
                 comm_event,
             } => {
                 let config = CollectiveConfig::default_for(&w.topo, &world);
-                let prior = w.comms.insert(
+                let prior = w.comm_insert(
                     (comm, self.gpu),
                     CommRank {
                         app,
@@ -256,7 +256,7 @@ impl ProxyEngine {
                         ))
                         .completion(req),
                     );
-                } else if w.comms.remove(&key).is_some() {
+                } else if w.comm_remove(key).is_some() {
                     // The schedule cache needs no cleanup: entries are
                     // keyed by ring shape, not communicator, and other
                     // communicators with the same shape may still use them.
@@ -397,7 +397,7 @@ impl ProxyEngine {
         seed: BTreeMap<usize, Option<u64>>,
     ) {
         let key = (comm, self.gpu);
-        let mut rank = w.comms.remove(&key).expect("caller verified");
+        let mut rank = w.comm_remove(key).expect("caller verified");
         let epoch = config.epoch;
         let mut entries = seed;
         entries.insert(rank.rank, rank.last_launched);
@@ -439,7 +439,7 @@ impl ProxyEngine {
         // whole ring (`n - 1` hops), so held messages need no separate
         // re-forwarding.
         let next_gpu = rank.next_rank_gpu();
-        w.comms.insert(key, rank);
+        w.comm_insert(key, rank);
         if n > 1 {
             w.send_control(
                 next_gpu,
@@ -632,7 +632,7 @@ impl ProxyEngine {
     /// whether progress was made.
     fn step_comm(&mut self, w: &mut World, comm: CommunicatorId) -> bool {
         let key = (comm, self.gpu);
-        let Some(mut rank) = w.comms.remove(&key) else {
+        let Some(mut rank) = w.comm_remove(key) else {
             return false;
         };
         let mut progressed = false;
@@ -814,7 +814,7 @@ impl ProxyEngine {
             }
         }
 
-        w.comms.insert(key, rank);
+        w.comm_insert(key, rank);
 
         // 5. Implicit request from held gossip (plan-gated): once back in
         // `Normal`, gossip held for exactly the next epoch means the
@@ -961,13 +961,9 @@ impl Engine<World> for ProxyEngine {
             self.handle_msg(w, msg);
             progressed = true;
         }
-        // Advance every communicator with a rank on this GPU.
-        let keys: Vec<CommunicatorId> = w
-            .comms
-            .keys()
-            .filter(|(_, g)| *g == self.gpu)
-            .map(|(c, _)| *c)
-            .collect();
+        // Advance every communicator with a rank on this GPU (the per-GPU
+        // index spares the cluster-wide scan).
+        let keys: Vec<CommunicatorId> = w.comms_on_gpu(self.gpu).to_vec();
         for comm in keys {
             progressed |= self.step_comm(w, comm);
         }
@@ -993,13 +989,11 @@ impl Engine<World> for ProxyEngine {
             ws.watch(resources::fault_plan_installed());
         }
         let mut hosts_comms = false;
-        for ((comm, gpu), rank) in w.comms.iter() {
-            if *gpu != self.gpu {
-                continue;
-            }
+        for &comm in w.comms_on_gpu(self.gpu) {
+            let rank = &w.comms[&(comm, self.gpu)];
             hosts_comms = true;
             // Token completions, failures, and aborts for this comm.
-            ws.watch(resources::progress(*comm));
+            ws.watch(resources::progress(comm));
             // Reconnect gate after an applied reconfiguration.
             if w.clock < rank.resume_at {
                 ws.deadline(rank.resume_at);

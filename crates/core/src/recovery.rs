@@ -34,13 +34,14 @@
 //! resume (or resync) the health cursor from the checkpoint.
 
 use crate::config::{CollectiveConfig, RouteMap};
+use crate::flat::FlatMap;
 use crate::health::{FailureEvent, HealthDelivery, HealthSubscription};
 use crate::world::{resources, DrainObligation, World};
 use mccs_collectives::{op::all_reduce_sum, CollectiveSchedule, EdgeTask, RingOrder};
 use mccs_ipc::CommunicatorId;
 use mccs_sim::{Bytes, Engine, Poll, Wake};
 use mccs_topology::{GpuId, NicId, RouteId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// A controller policy that proposes a corrective strategy for a
 /// communicator after a failure. Returning `None` means no healthy
@@ -150,9 +151,10 @@ impl RecoveryPolicy for DetourPolicy {
 pub struct RecoveryEngine {
     /// Cursor into the world's health push channel.
     sub: HealthSubscription,
-    /// Recovery attempts per stalled collective. Deliberately volatile:
-    /// wiped by a controller restart.
-    attempts: HashMap<(CommunicatorId, u64), u32>,
+    /// Recovery attempts per stalled collective, in a dense sorted-vec
+    /// table (the live set is tiny; see [`crate::flat`]). Deliberately
+    /// volatile: wiped by a controller restart.
+    attempts: FlatMap<(CommunicatorId, u64), u32>,
     /// Communicators whose fail-back evaluation was deferred because a
     /// repair edge arrived while their drain was still in flight (ranks
     /// non-uniform, no new barrier possible). The retirement sweep runs
@@ -210,7 +212,7 @@ impl RecoveryEngine {
     pub fn new() -> Self {
         RecoveryEngine {
             sub: HealthSubscription::from_start(),
-            attempts: HashMap::new(),
+            attempts: FlatMap::new(),
             deferred_failback: BTreeSet::new(),
         }
     }
@@ -475,7 +477,7 @@ impl RecoveryEngine {
                     if finished {
                         continue;
                     }
-                    let a = self.attempts.entry((comm, seq)).or_insert(0);
+                    let a = self.attempts.get_or_insert((comm, seq), 0);
                     if *a >= w.svc.recovery_max_attempts {
                         w.abort_collective(comm, seq);
                     } else {

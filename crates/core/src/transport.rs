@@ -22,6 +22,7 @@
 //! a plan none of this machinery runs: no timers, no per-flow checks,
 //! byte-identical traces.
 
+use crate::flat::FlatMap;
 use crate::health::FailureEvent;
 use crate::messages::TransportMsg;
 use crate::qos::TrafficWindows;
@@ -75,8 +76,9 @@ pub struct TransportEngine {
     nic: NicId,
     /// Ordered so sweeps visit flows in `FlowId` order — iteration order
     /// is observable through retry/rebalance event ordering, and digests
-    /// must match across processes.
-    active: BTreeMap<FlowId, ActiveFlow>,
+    /// must match across processes. Flat-sorted: per-NIC tables are small
+    /// but there are O(NICs) of them, swept every poll.
+    active: FlatMap<FlowId, ActiveFlow>,
     windows: BTreeMap<AppId, TrafficWindows>,
     pending: VecDeque<PendingSend>,
     /// Last wake-up boundary scheduled, to avoid duplicate events.
@@ -92,7 +94,7 @@ impl TransportEngine {
     pub fn new(nic: NicId) -> Self {
         TransportEngine {
             nic,
-            active: BTreeMap::new(),
+            active: FlatMap::new(),
             windows: BTreeMap::new(),
             pending: VecDeque::new(),
             scheduled_wake: None,
@@ -315,7 +317,7 @@ impl TransportEngine {
                     // tear it down, so the retry avoids it.
                     let failing_route = w.net.flow_route(id).map(|r| r.id);
                     w.net.cancel_flow(now, id);
-                    w.flow_owner_nic.remove(&id);
+                    w.flow_owner_nic.remove(id);
                     self.schedule_retry(
                         w,
                         RetryEntry {

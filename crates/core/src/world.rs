@@ -20,7 +20,7 @@ use mccs_netsim::{ControlFault, FaultEvent, FaultPlan, FlowCompletion, FlowId, N
 use mccs_shim::ShimPort;
 use mccs_sim::{EventQueue, Nanos, ResourceId, Rng, WakeSource};
 use mccs_topology::{GpuId, LinkId, NicId, Topology};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// The world's wake-resource keying: every queue, channel, and event
@@ -112,6 +112,60 @@ pub enum FlowOwner {
     Transport(usize),
     /// An external engine (the NCCL-like baseline library, scale studies).
     External(u32),
+}
+
+/// Dense `flow id → owner` table. Flow ids are allocated sequentially by
+/// the network and each is inserted exactly once, so instead of hashing,
+/// the table is a sliding window (`VecDeque`) over the live id range:
+/// `base` trails the oldest live flow, completed prefixes are reclaimed on
+/// removal, and memory is bounded by the live-flow *span*, not by the
+/// total flow count of the run.
+#[derive(Default, Debug)]
+pub struct FlowOwners {
+    base: u64,
+    slots: VecDeque<Option<FlowOwner>>,
+    len: usize,
+}
+
+impl FlowOwners {
+    /// Register a flow's owner. Ids arrive in increasing order (they are
+    /// handed out by `Network::start_flow`), never below `base`.
+    pub fn insert(&mut self, id: FlowId, owner: FlowOwner) {
+        if self.slots.is_empty() {
+            self.base = id.0;
+        }
+        let idx = (id.0 - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].replace(owner).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Deregister a flow (on completion, kill or cancel).
+    pub fn remove(&mut self, id: FlowId) -> Option<FlowOwner> {
+        let idx = usize::try_from(id.0.checked_sub(self.base)?).ok()?;
+        let out = self.slots.get_mut(idx)?.take();
+        if out.is_some() {
+            self.len -= 1;
+        }
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        out
+    }
+
+    /// Number of registered flows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no flow is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// One tenant rank's IPC attachment point.
@@ -355,15 +409,22 @@ pub struct World {
     /// Per-NIC killed-flow notifications (fault-injected aborts), as
     /// `(flow, token)`; the transport retries these immediately.
     pub transport_flow_failures: Vec<Vec<(FlowId, u64)>>,
-    /// Which NIC's transport owns each in-flight network flow.
-    pub flow_owner_nic: HashMap<FlowId, FlowOwner>,
+    /// Which NIC's transport owns each in-flight network flow (dense,
+    /// id-windowed — see [`FlowOwners`]).
+    pub flow_owner_nic: FlowOwners,
     /// Completed flows owned by external (library-mode) engines, keyed by
     /// their owner handle.
     pub external_flow_events: HashMap<u32, Vec<FlowCompletion>>,
     next_external_owner: u32,
     /// Communicator state, keyed `(comm, gpu)` — owned by proxy engines,
-    /// world-resident so the management API can inspect it.
+    /// world-resident so the management API can inspect it. Mutate through
+    /// [`World::comm_insert`] / [`World::comm_remove`] so the per-GPU
+    /// index stays in sync.
     pub comms: BTreeMap<(CommunicatorId, GpuId), CommRank>,
+    /// `gpu → sorted communicator ids with a rank on that GPU` — the
+    /// proxy-poll index. Without it every proxy scans the cluster-wide
+    /// `comms` map per poll, which is O(GPUs²) per step at scale.
+    comms_by_gpu: Vec<Vec<CommunicatorId>>,
     /// Cluster-wide collective progress, keyed `(comm, seq)`.
     pub progress: HashMap<(CommunicatorId, u64), CollectiveProgress>,
     /// World-level schedule cache, shared across communicators and ranks.
@@ -574,10 +635,11 @@ impl World {
             transport_inbox: (0..nic_count).map(|_| LatencyQueue::new(cap)).collect(),
             transport_flow_events: vec![Vec::new(); nic_count],
             transport_flow_failures: vec![Vec::new(); nic_count],
-            flow_owner_nic: HashMap::new(),
+            flow_owner_nic: FlowOwners::default(),
             external_flow_events: HashMap::new(),
             next_external_owner: 0,
             comms: BTreeMap::new(),
+            comms_by_gpu: vec![Vec::new(); gpu_count],
             progress: HashMap::new(),
             schedule_cache: WorldScheduleCache::default(),
             token_targets: HashMap::new(),
@@ -602,6 +664,43 @@ impl World {
     /// and discards.
     pub fn signal(&mut self, r: ResourceId) {
         self.signals.push(r);
+    }
+
+    // ---- communicator index ---------------------------------------------
+
+    /// Install (or replace) a communicator rank, keeping the per-GPU
+    /// index in sync. Returns the prior rank, like `BTreeMap::insert`.
+    pub fn comm_insert(
+        &mut self,
+        key: (CommunicatorId, GpuId),
+        rank: CommRank,
+    ) -> Option<CommRank> {
+        let prior = self.comms.insert(key, rank);
+        if prior.is_none() {
+            let list = &mut self.comms_by_gpu[key.1.index()];
+            if let Err(pos) = list.binary_search(&key.0) {
+                list.insert(pos, key.0);
+            }
+        }
+        prior
+    }
+
+    /// Remove a communicator rank, keeping the per-GPU index in sync.
+    pub fn comm_remove(&mut self, key: (CommunicatorId, GpuId)) -> Option<CommRank> {
+        let out = self.comms.remove(&key);
+        if out.is_some() {
+            let list = &mut self.comms_by_gpu[key.1.index()];
+            if let Ok(pos) = list.binary_search(&key.0) {
+                list.remove(pos);
+            }
+        }
+        out
+    }
+
+    /// Communicators with a rank on `gpu`, in ascending id order — the
+    /// same order a filtered scan of `comms` would visit them.
+    pub fn comms_on_gpu(&self, gpu: GpuId) -> &[CommunicatorId] {
+        &self.comms_by_gpu[gpu.index()]
     }
 
     /// Current virtual time.
@@ -713,7 +812,7 @@ impl World {
         for c in self.net.advance_to(t) {
             match self
                 .flow_owner_nic
-                .remove(&c.id)
+                .remove(c.id)
                 .expect("completed flow has no registered owner")
             {
                 FlowOwner::Transport(nic) => {
@@ -822,7 +921,7 @@ impl World {
         for (id, token) in victims {
             match self
                 .flow_owner_nic
-                .remove(&id)
+                .remove(id)
                 .expect("killed flow has no registered owner")
             {
                 FlowOwner::Transport(nic) => {

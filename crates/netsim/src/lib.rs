@@ -24,6 +24,7 @@
 //! * [`network`] — the virtual-time flow lifecycle engine.
 //! * [`fault`] — deterministic fault schedules (link/host/control faults).
 
+pub(crate) mod arena;
 pub mod fault;
 pub mod flow;
 pub mod maxmin;

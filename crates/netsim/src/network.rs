@@ -25,6 +25,7 @@
 //! the same stored predictions linearly, which keeps the two modes
 //! byte-identical by construction.
 
+use crate::arena::FlowStore;
 use crate::flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
 use crate::maxmin::{
     allocate_with_priority, allocate_with_priority_into, FlowDemand, SolverScratch,
@@ -138,7 +139,9 @@ impl FlowState {
 /// The flow-level network simulator.
 pub struct Network {
     topo: Arc<Topology>,
-    flows: BTreeMap<FlowId, FlowState>,
+    /// Arena-indexed flow state (dense slots, generation tags); the
+    /// `BTreeMap` oracle representation stays switchable for CI.
+    flows: FlowStore<FlowState>,
     next_id: u64,
     /// Time up to which every flow's progress has been accrued.
     clock: Nanos,
@@ -147,9 +150,13 @@ pub struct Network {
     /// Capacity fraction lost on links shared by multiple tenants
     /// (uncoordinated congestion control; 0.0 = ideal fluid sharing).
     cross_tenant_penalty: f64,
-    /// Link index -> active (unpaused) flows crossing it. Paused flows
-    /// hold no bandwidth and are kept out of the index entirely.
-    link_flows: HashMap<usize, BTreeSet<FlowId>>,
+    /// Link index -> active (unpaused) flows crossing it, sorted by id.
+    /// Dense over link indices; paused flows hold no bandwidth and are
+    /// kept out of the index entirely.
+    link_flows: Vec<Vec<FlowId>>,
+    /// Active (unpaused) flow count — kept in step with `link_flows` so
+    /// the solve paths never scan the whole arena just to count.
+    active_count: usize,
     /// Links whose flow set (or effective capacity) changed since the last
     /// rate solve. The next solve covers exactly the connected components
     /// these links belong to.
@@ -157,6 +164,15 @@ pub struct Network {
     /// When false, every solve is from scratch over all active flows (the
     /// oracle path for tests and benchmarks).
     incremental: bool,
+    /// Rack-partitioned solve index: per-link rack buckets, per-bucket
+    /// active flow lists, and the bucket coupling graph maintained by
+    /// multi-rack flows (see [`Self::affected_flows_rack`]).
+    racks: RackIndex,
+    /// When true (the default), incremental re-solves find their flow set
+    /// through the rack-bucket closure instead of the per-link BFS. The
+    /// global BFS stays available via [`Self::set_hierarchical`] as the
+    /// oracle CI compares against.
+    hierarchical: bool,
     /// Min-heap of `(predicted finish, flow, generation)` — the
     /// completion index of the incremental path. Entries are invalidated
     /// lazily: a pushed entry goes stale when its flow leaves or its
@@ -188,6 +204,121 @@ struct NetSolver {
     remap: HashMap<u64, RemapEntry>,
     remap_hits: u64,
     remap_misses: u64,
+    /// Hits confirmed by the O(membership) arena-stamp compare alone,
+    /// skipping the exact per-link verification. Subset of `remap_hits`.
+    remap_fast_hits: u64,
+}
+
+/// The rack-partitioned solve index. Built once from the topology; the
+/// per-bucket membership mirrors `link_flows` exactly (active flows only).
+///
+/// Soundness: every link belongs to exactly one bucket and a flow is
+/// listed in every bucket its route touches, so two flows sharing a link
+/// share a bucket. The transitive closure over `adj` (edges contributed by
+/// multi-bucket flows) is therefore closed under the flow-coupling
+/// relation — a union of true flow×link connected components, which the
+/// water-filling solver treats identically to solving each component
+/// alone.
+struct RackIndex {
+    /// Link index -> bucket (`0` = shared/global, `r + 1` = rack `r`).
+    link_bucket: Vec<u32>,
+    /// Bucket -> active flows with at least one link in it, sorted by id.
+    flows: Vec<Vec<FlowId>>,
+    /// Bucket coupling graph: neighbor bucket -> number of flows joining
+    /// the pair. Edges disappear when their count drops to zero.
+    adj: Vec<BTreeMap<u32, u32>>,
+    /// Flows whose routes touch more distinct buckets than the inline
+    /// bound tracks (never happens on leaf-spine fabrics). They couple
+    /// everything: while any exist, bucket structure is ignored and the
+    /// closure is the full active set — conservative, still sound.
+    global: Vec<FlowId>,
+}
+
+/// Distinct buckets tracked per flow before falling back to the global
+/// list. Leaf-spine routes touch at most two racks (plus bucket 0).
+const MAX_FLOW_BUCKETS: usize = 8;
+
+impl RackIndex {
+    fn new(topo: &Topology) -> Self {
+        let link_bucket = topo.link_rack_buckets();
+        let buckets = link_bucket.iter().copied().max().unwrap_or(0) as usize + 1;
+        RackIndex {
+            link_bucket,
+            flows: vec![Vec::new(); buckets],
+            adj: vec![BTreeMap::new(); buckets],
+            global: Vec::new(),
+        }
+    }
+
+    /// The distinct buckets a route touches, in first-touch order.
+    /// `None` signals inline-bound overflow (handled via `global`).
+    fn route_buckets(&self, links: &[LinkId]) -> Option<([u32; MAX_FLOW_BUCKETS], usize)> {
+        let mut set = [0u32; MAX_FLOW_BUCKETS];
+        let mut n = 0usize;
+        for l in links {
+            let b = self.link_bucket[l.index()];
+            if !set[..n].contains(&b) {
+                if n == MAX_FLOW_BUCKETS {
+                    return None;
+                }
+                set[n] = b;
+                n += 1;
+            }
+        }
+        Some((set, n))
+    }
+
+    /// Register an active flow's coupling (mirror of `index_insert`).
+    fn couple(&mut self, id: FlowId, links: &[LinkId]) {
+        let Some((set, n)) = self.route_buckets(links) else {
+            let pos = self.global.binary_search(&id).unwrap_err();
+            self.global.insert(pos, id);
+            return;
+        };
+        for &b in &set[..n] {
+            let list = &mut self.flows[b as usize];
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (set[i], set[j]);
+                *self.adj[a as usize].entry(b).or_insert(0) += 1;
+                *self.adj[b as usize].entry(a).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Unregister an active flow's coupling (mirror of `index_remove`).
+    fn decouple(&mut self, id: FlowId, links: &[LinkId]) {
+        let Some((set, n)) = self.route_buckets(links) else {
+            if let Ok(pos) = self.global.binary_search(&id) {
+                self.global.remove(pos);
+            }
+            return;
+        };
+        for &b in &set[..n] {
+            let list = &mut self.flows[b as usize];
+            if let Ok(pos) = list.binary_search(&id) {
+                list.remove(pos);
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (set[i], set[j]);
+                for (x, y) in [(a, b), (b, a)] {
+                    let m = &mut self.adj[x as usize];
+                    if let Some(c) = m.get_mut(&y) {
+                        *c -= 1;
+                        if *c == 0 {
+                            m.remove(&y);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// One component's cached compact-link remap, keyed **structurally** (by
@@ -199,6 +330,14 @@ struct NetSolver {
 /// re-read from the current fault state, so an entry can serve
 /// indefinitely while an identically-shaped component recurs.
 struct RemapEntry {
+    /// Per-flow arena stamps (`generation << 32 | slot`) captured when the
+    /// entry was last verified. A slot's generation bumps whenever it is
+    /// freed or its flow is re-pinned, so stamp equality over the whole
+    /// membership proves the component is literally the same flows with
+    /// unchanged routes — the exact link verification below can be
+    /// skipped. Empty under the map-backed oracle storage (no slots),
+    /// which always takes the slow verification path.
+    stamps: Vec<u64>,
     /// Per-flow structural signatures, in membership order (quick reject).
     sigs: Vec<u64>,
     /// `links[offsets[i]..offsets[i+1]]` are flow i's compact link
@@ -237,18 +376,32 @@ impl Network {
     /// from-scratch oracle solver (CI's oracle-equivalence job runs whole
     /// test suites that way without touching call sites). Explicit
     /// [`set_incremental`](Network::set_incremental) calls still win.
+    /// Further oracle toggles: `MCCS_NETSIM_MAP_STORE` defaults flow
+    /// storage to the map-backed representation, `MCCS_NETSIM_GLOBAL_SOLVE`
+    /// defaults the incremental path to the global per-link BFS instead of
+    /// the rack-bucket closure.
     pub fn new(topo: Arc<Topology>) -> Self {
         let capacities = topo.links().iter().map(|l| l.bandwidth).collect();
+        let racks = RackIndex::new(&topo);
+        let link_count = topo.links().len();
+        let flows = if std::env::var_os("MCCS_NETSIM_MAP_STORE").is_some() {
+            FlowStore::map_backed()
+        } else {
+            FlowStore::default()
+        };
         Network {
             topo,
-            flows: BTreeMap::new(),
+            flows,
             next_id: 0,
             clock: Nanos::ZERO,
             capacities,
             cross_tenant_penalty: DEFAULT_CROSS_TENANT_PENALTY,
-            link_flows: HashMap::new(),
+            link_flows: vec![Vec::new(); link_count],
+            active_count: 0,
             dirty_links: BTreeSet::new(),
             incremental: std::env::var_os("MCCS_NETSIM_ORACLE").is_none(),
+            racks,
+            hierarchical: std::env::var_os("MCCS_NETSIM_GLOBAL_SOLVE").is_none(),
             completions: RefCell::new(BinaryHeap::new()),
             link_faults: None,
             solver: NetSolver::default(),
@@ -260,7 +413,11 @@ impl Network {
         assert!((0.0..1.0).contains(&penalty), "penalty must be in [0,1)");
         self.cross_tenant_penalty = penalty;
         // The effective capacity of every busy link may have changed.
-        self.dirty_links.extend(self.link_flows.keys().copied());
+        for (idx, flows) in self.link_flows.iter().enumerate() {
+            if !flows.is_empty() {
+                self.dirty_links.insert(idx);
+            }
+        }
         self.recompute_rates();
     }
 
@@ -275,13 +432,39 @@ impl Network {
             // (no entries were pushed while the oracle path ran).
             let heap = self.completions.get_mut();
             heap.clear();
-            for (&id, f) in &self.flows {
+            self.flows.for_each_ordered(|id, f| {
                 if let (true, Some(t)) = (f.active(), f.predicted) {
                     heap.push(Reverse((t, id, f.gen)));
                 }
-            }
+            });
         }
         self.incremental = enabled;
+    }
+
+    /// Toggle the rack-partitioned incremental solve (on by default).
+    /// With it off, incremental re-solves fall back to the global
+    /// per-link BFS — the oracle the bucket closure is compared against.
+    /// The rack index is maintained either way, so this is free to flip
+    /// mid-run.
+    pub fn set_hierarchical(&mut self, enabled: bool) {
+        self.hierarchical = enabled;
+    }
+
+    /// Whether the rack-partitioned incremental solve is in use.
+    pub fn hierarchical(&self) -> bool {
+        self.hierarchical
+    }
+
+    /// Switch flow storage between the dense arena (default, `false`) and
+    /// the map-backed oracle representation (`true`). Every observable is
+    /// byte-identical between the two; CI flips this and checks digests.
+    pub fn set_map_storage(&mut self, map: bool) {
+        self.flows.set_map_backed(map);
+    }
+
+    /// Whether the map-backed oracle storage is in use.
+    pub fn map_storage(&self) -> bool {
+        self.flows.is_map_backed()
     }
 
     /// The topology this network runs on.
@@ -341,9 +524,9 @@ impl Network {
     /// reconfiguration teardown). No completion record is produced.
     pub fn cancel_flow(&mut self, now: Nanos, id: FlowId) {
         self.catch_up(now);
-        assert!(self.flows.contains_key(&id), "cancel of unknown {id:?}");
+        assert!(self.flows.contains(id), "cancel of unknown {id:?}");
         self.index_remove(id);
-        self.flows.remove(&id);
+        self.flows.remove(id);
         self.recompute_rates();
     }
 
@@ -353,14 +536,14 @@ impl Network {
         self.catch_up(now);
         let was = self
             .flows
-            .get(&id)
+            .get(id)
             .unwrap_or_else(|| panic!("pause of unknown {id:?}"))
             .paused;
         if was != paused {
             if paused {
                 self.index_remove(id);
                 let clock = self.clock;
-                let f = self.flows.get_mut(&id).expect("checked above");
+                let f = self.flows.get_mut(id).expect("checked above");
                 // Freeze progress at the pause instant; the prediction is
                 // void until resume re-solves a rate.
                 f.accrue_to(clock);
@@ -372,7 +555,7 @@ impl Network {
                 }
             } else {
                 let clock = self.clock;
-                let f = self.flows.get_mut(&id).expect("checked above");
+                let f = self.flows.get_mut(id).expect("checked above");
                 // No progress while paused: restart the anchor here.
                 f.accrued_at = clock;
                 f.paused = false;
@@ -388,16 +571,18 @@ impl Network {
         let (src, dst) = {
             let f = self
                 .flows
-                .get(&id)
+                .get(id)
                 .unwrap_or_else(|| panic!("repin of unknown {id:?}"));
             (f.spec.src, f.spec.dst)
         };
         let new_route = self.topo.pinned_route(src, dst, route);
         self.index_remove(id);
-        let f = self.flows.get_mut(&id).expect("checked above");
+        let f = self.flows.get_mut(id).expect("checked above");
         f.route_sig = flow_sig(&new_route, f.spec.tenant, f.spec.guaranteed);
         f.route = new_route;
         f.spec.routing = RouteChoice::Pinned(route);
+        // Structural edit: stamp-keyed caches must stop trusting this slot.
+        self.flows.bump_generation(id);
         self.index_insert(id);
         self.recompute_rates();
     }
@@ -509,14 +694,12 @@ impl Network {
             let idx = l.index();
             let mut others = 0usize;
             let mut mixed = false;
-            if let Some(set) = self.link_flows.get(&idx) {
-                for &f in set {
-                    if Some(f) == exclude {
-                        continue;
-                    }
-                    others += 1;
-                    mixed |= self.flows[&f].spec.tenant != tenant;
+            for &f in &self.link_flows[idx] {
+                if Some(f) == exclude {
+                    continue;
                 }
+                others += 1;
+                mixed |= self.flow(f).spec.tenant != tenant;
             }
             let mut cap = self.effective_capacity(idx).as_bps();
             if mixed {
@@ -550,15 +733,15 @@ impl Network {
         pred: impl Fn(&FlowState) -> bool,
     ) -> Vec<(FlowId, u64)> {
         self.catch_up(now);
-        let victims: Vec<(FlowId, u64)> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| pred(f))
-            .map(|(&id, f)| (id, f.spec.tag))
-            .collect();
+        let mut victims: Vec<(FlowId, u64)> = Vec::new();
+        self.flows.for_each_ordered(|id, f| {
+            if pred(f) {
+                victims.push((id, f.spec.tag));
+            }
+        });
         for &(id, _) in &victims {
             self.index_remove(id);
-            self.flows.remove(&id);
+            self.flows.remove(id);
         }
         if !victims.is_empty() {
             self.recompute_rates();
@@ -616,22 +799,23 @@ impl Network {
     /// modes agree byte-for-byte.
     pub fn next_completion_time(&self) -> Option<Nanos> {
         if !self.incremental {
-            return self
-                .flows
-                .values()
-                .filter(|f| f.active())
-                .filter_map(|f| f.predicted)
-                .min();
+            let mut min: Option<Nanos> = None;
+            self.flows.for_each_ordered(|_, f| {
+                if let (true, Some(t)) = (f.active(), f.predicted) {
+                    min = Some(min.map_or(t, |m| m.min(t)));
+                }
+            });
+            return min;
         }
         let mut heap = self.completions.borrow_mut();
         while let Some(&Reverse((t, id, gen))) = heap.peek() {
             if self
                 .flows
-                .get(&id)
+                .get(id)
                 .is_some_and(|f| f.active() && f.gen == gen)
             {
                 debug_assert_eq!(
-                    self.flows[&id].predicted,
+                    self.flow(id).predicted,
                     Some(t),
                     "generation-current heap entry disagrees with its flow"
                 );
@@ -647,7 +831,7 @@ impl Network {
     /// Current allocated rate of a flow.
     pub fn flow_rate(&self, id: FlowId) -> Bandwidth {
         self.flows
-            .get(&id)
+            .get(id)
             .map(|f| f.rate)
             .unwrap_or(Bandwidth::ZERO)
     }
@@ -655,29 +839,28 @@ impl Network {
     /// Bytes a flow has moved so far.
     pub fn flow_progress(&self, id: FlowId) -> Bytes {
         self.flows
-            .get(&id)
+            .get(id)
             .map(|f| Bytes::new(f.progress_at(self.clock) as u64))
             .unwrap_or(Bytes::ZERO)
     }
 
     /// The route a flow currently uses.
     pub fn flow_route(&self, id: FlowId) -> Option<&Route> {
-        self.flows.get(&id).map(|f| &f.route)
+        self.flows.get(id).map(|f| &f.route)
     }
 
     /// Whether a flow is still present.
     pub fn contains(&self, id: FlowId) -> bool {
-        self.flows.contains_key(&id)
+        self.flows.contains(id)
     }
 
-    /// Aggregate allocated rate over a link right now.
+    /// Aggregate allocated rate over a link right now. Summation order is
+    /// the canonical id order (identical across storage representations).
     pub fn link_load(&self, link: LinkId) -> Bandwidth {
-        let total: f64 = self
-            .flows
-            .values()
-            .filter(|f| f.active() && f.route.links.contains(&link))
-            .map(|f| f.rate.as_bps())
-            .sum();
+        let mut total = 0.0f64;
+        for &id in &self.link_flows[link.index()] {
+            total += self.flow(id).rate.as_bps();
+        }
         Bandwidth::bps(total)
     }
 
@@ -687,6 +870,12 @@ impl Network {
     }
 
     // ---- internals --------------------------------------------------------
+
+    /// A known-live flow (panics on dangling ids — internal indices only
+    /// ever hold live ones).
+    fn flow(&self, id: FlowId) -> &FlowState {
+        self.flows.get(id).expect("indexed flow is live")
+    }
 
     /// Move the clock forward. Per-flow byte counters accrue lazily from
     /// each flow's own `accrued_at` anchor, so advancing time is O(1) —
@@ -714,24 +903,26 @@ impl Network {
                     break;
                 }
                 heap.pop();
-                if flows.get(&id).is_some_and(|f| f.active() && f.gen == gen) {
+                if flows.get(id).is_some_and(|f| f.active() && f.gen == gen) {
                     due.push(id);
                 }
             }
             due
         } else {
-            self.flows
-                .iter()
-                .filter(|(_, f)| f.active() && f.predicted.is_some_and(|t| t <= clock))
-                .map(|(&id, _)| id)
-                .collect()
+            let mut due = Vec::new();
+            self.flows.for_each_ordered(|id, f| {
+                if f.active() && f.predicted.is_some_and(|t| t <= clock) {
+                    due.push(id);
+                }
+            });
+            due
         };
         // Heap order is (time, id); the oracle scans in id order. Completions
         // in one reap batch share `finished_at`, so id order is canonical.
         done.sort_unstable();
         for id in done {
             self.index_remove(id);
-            let f = self.flows.remove(&id).expect("listed above");
+            let f = self.flows.remove(id).expect("listed above");
             out.push(FlowCompletion {
                 id,
                 tag: f.spec.tag,
@@ -746,42 +937,41 @@ impl Network {
     /// No-op for paused flows: they hold no bandwidth, so their links (and
     /// sharers) are unaffected until they resume.
     fn index_insert(&mut self, id: FlowId) {
-        if !self.flows[&id].active() {
+        let f = self.flow(id);
+        if !f.active() {
             return;
         }
-        let links: Vec<usize> = self.flows[&id]
-            .route
-            .links
-            .iter()
-            .map(|l| l.index())
-            .collect();
-        for idx in links {
-            self.link_flows.entry(idx).or_default().insert(id);
+        let links = Arc::clone(&f.route.links);
+        for l in links.iter() {
+            let idx = l.index();
+            let list = &mut self.link_flows[idx];
+            if let Err(pos) = list.binary_search(&id) {
+                list.insert(pos, id);
+            }
             self.dirty_links.insert(idx);
         }
+        self.active_count += 1;
+        self.racks.couple(id, &links);
     }
 
     /// Remove a flow from the link index, marking its links dirty.
     /// No-op for paused flows, which were never indexed.
     fn index_remove(&mut self, id: FlowId) {
-        if !self.flows[&id].active() {
+        let f = self.flow(id);
+        if !f.active() {
             return;
         }
-        let links: Vec<usize> = self.flows[&id]
-            .route
-            .links
-            .iter()
-            .map(|l| l.index())
-            .collect();
-        for idx in links {
-            if let Some(set) = self.link_flows.get_mut(&idx) {
-                set.remove(&id);
-                if set.is_empty() {
-                    self.link_flows.remove(&idx);
-                }
+        let links = Arc::clone(&f.route.links);
+        for l in links.iter() {
+            let idx = l.index();
+            let list = &mut self.link_flows[idx];
+            if let Ok(pos) = list.binary_search(&id) {
+                list.remove(pos);
             }
             self.dirty_links.insert(idx);
         }
+        self.active_count -= 1;
+        self.racks.decouple(id, &links);
     }
 
     /// The flows sharing a link — transitively — with any dirty link: the
@@ -789,22 +979,20 @@ impl Network {
     /// touched. Components are closed, so flows outside keep valid rates.
     /// Consumes the dirty set.
     fn affected_flows(&mut self) -> Vec<FlowId> {
-        let active_total = self.flows.values().filter(|f| f.active()).count();
+        let active_total = self.active_count;
         let mut frontier: Vec<usize> = std::mem::take(&mut self.dirty_links).into_iter().collect();
         let mut seen_links: HashSet<usize> = frontier.iter().copied().collect();
         let mut seen_flows: BTreeSet<FlowId> = BTreeSet::new();
         'bfs: while let Some(link) = frontier.pop() {
-            let Some(flows) = self.link_flows.get(&link) else {
-                continue;
-            };
-            for &id in flows {
+            for i in 0..self.link_flows[link].len() {
+                let id = self.link_flows[link][i];
                 if seen_flows.insert(id) {
                     // Every active flow is already in the component: no
                     // link left to expand can reveal a new one.
                     if seen_flows.len() == active_total {
                         break 'bfs;
                     }
-                    for l in self.flows[&id].route.links.iter() {
+                    for l in self.flow(id).route.links.iter() {
                         let idx = l.index();
                         if seen_links.insert(idx) {
                             frontier.push(idx);
@@ -816,20 +1004,78 @@ impl Network {
         seen_flows.into_iter().collect()
     }
 
+    /// Hierarchical variant of [`Self::affected_flows`]: dirty links map
+    /// to rack buckets, a fixed-point pass over the bucket coupling graph
+    /// (edges = cross-rack flows stitching racks at their spine hops)
+    /// closes the set, and the result is the union of the closed buckets'
+    /// flow lists. A rack-local churn event thus re-solves its rack
+    /// component plus whatever spine coupling exists — not a per-link BFS
+    /// over the whole touched traffic. The closure is a coarsening of the
+    /// true flow×link components (see [`RackIndex`]), so the solve set is
+    /// still a union of components and rates match the global path.
+    fn affected_flows_rack(&mut self) -> Vec<FlowId> {
+        let dirty = std::mem::take(&mut self.dirty_links);
+        if dirty.is_empty() {
+            return Vec::new();
+        }
+        let mut seen = vec![false; self.racks.flows.len()];
+        let mut frontier: Vec<u32> = Vec::new();
+        for idx in dirty {
+            let b = self.racks.link_bucket[idx];
+            if !seen[b as usize] {
+                seen[b as usize] = true;
+                frontier.push(b);
+            }
+        }
+        if !self.racks.global.is_empty() {
+            // A bucket-overflow flow couples every bucket it touches and
+            // we stopped tracking which: collapse to the full active set.
+            let mut all = Vec::with_capacity(self.active_count);
+            self.flows.for_each_ordered(|id, f| {
+                if f.active() {
+                    all.push(id);
+                }
+            });
+            return all;
+        }
+        let mut closure: Vec<u32> = Vec::new();
+        while let Some(b) = frontier.pop() {
+            closure.push(b);
+            for &n in self.racks.adj[b as usize].keys() {
+                if !seen[n as usize] {
+                    seen[n as usize] = true;
+                    frontier.push(n);
+                }
+            }
+        }
+        let mut seen_flows: BTreeSet<FlowId> = BTreeSet::new();
+        for b in closure {
+            seen_flows.extend(self.racks.flows[b as usize].iter().copied());
+            if seen_flows.len() == self.active_count {
+                break;
+            }
+        }
+        seen_flows.into_iter().collect()
+    }
+
     fn recompute_rates(&mut self) {
         if self.incremental {
-            let affected = self.affected_flows();
+            let affected = if self.hierarchical {
+                self.affected_flows_rack()
+            } else {
+                self.affected_flows()
+            };
             if !affected.is_empty() {
                 self.solve_for(&affected);
             }
         } else {
             self.dirty_links.clear();
-            let all: Vec<FlowId> = self
-                .flows
-                .iter()
-                .filter(|(_, f)| f.active())
-                .map(|(&id, _)| id)
-                .collect();
+            let mut all = Vec::with_capacity(self.active_count);
+            self.flows.for_each_ordered(|id, f| {
+                if f.active() {
+                    all.push(id);
+                }
+            });
             self.solve_for(&all);
         }
     }
@@ -868,7 +1114,7 @@ impl Network {
     fn set_rate_and_predict(&mut self, id: FlowId, rate: Bandwidth) {
         let clock = self.clock;
         let indexed = self.incremental;
-        let f = self.flows.get_mut(&id).expect("listed above");
+        let f = self.flows.get_mut(id).expect("listed above");
         f.accrue_to(clock);
         f.rate = rate;
         let p = f.predict();
@@ -892,7 +1138,7 @@ impl Network {
     fn component_key(&self, ids: &[FlowId]) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &id in ids {
-            h ^= self.flows[&id].route_sig;
+            h ^= self.flow(id).route_sig;
             h = h.wrapping_mul(0x0100_0000_01b3);
         }
         h
@@ -916,27 +1162,52 @@ impl Network {
             });
         }
         let key = self.component_key(ids);
-        let hit = s.remap.get(&key).is_some_and(|e| {
-            e.sigs.len() == n
-                && ids.iter().enumerate().all(|(i, id)| {
-                    let f = &self.flows[id];
-                    let (lo, hi) = (e.offsets[i] as usize, e.offsets[i + 1] as usize);
-                    f.route_sig == e.sigs[i]
-                        && f.spec.tenant == e.tenants[i]
-                        && f.spec.guaranteed == e.guaranteed[i]
-                        && f.route.links.len() == hi - lo
-                        && f.route
-                            .links
-                            .iter()
-                            .zip(&e.real_links_flat[lo..hi])
-                            .all(|(l, &rl)| l.index() == rl as usize)
-                })
+        // Fast path: if every member's arena stamp matches the entry, the
+        // component is provably the same flows with unrepinned routes (a
+        // recycled slot carries a fresh generation, a re-pin bumps it), so
+        // the exact per-link verification below is redundant. Stamps are
+        // empty under map-backed oracle storage, which always deep-checks.
+        let fast_hit = s.remap.get(&key).is_some_and(|e| {
+            !e.stamps.is_empty()
+                && e.stamps.len() == n
+                && ids
+                    .iter()
+                    .zip(&e.stamps)
+                    .all(|(&id, &st)| self.flows.stamp(id) == Some(st))
         });
+        let hit = fast_hit
+            || s.remap.get(&key).is_some_and(|e| {
+                e.sigs.len() == n
+                    && ids.iter().enumerate().all(|(i, &id)| {
+                        let f = self.flow(id);
+                        let (lo, hi) = (e.offsets[i] as usize, e.offsets[i + 1] as usize);
+                        f.route_sig == e.sigs[i]
+                            && f.spec.tenant == e.tenants[i]
+                            && f.spec.guaranteed == e.guaranteed[i]
+                            && f.route.links.len() == hi - lo
+                            && f.route
+                                .links
+                                .iter()
+                                .zip(&e.real_links_flat[lo..hi])
+                                .all(|(l, &rl)| l.index() == rl as usize)
+                    })
+            });
         if hit {
             s.remap_hits += 1;
+            if fast_hit {
+                s.remap_fast_hits += 1;
+            } else if !self.flows.is_map_backed() {
+                // Deep-verified hit with stale (or missing) stamps — e.g.
+                // an identically-shaped component whose flows were
+                // recycled. Refresh so steady state takes the fast path.
+                let stamps: Option<Vec<u64>> = ids.iter().map(|&id| self.flows.stamp(id)).collect();
+                if let Some(stamps) = stamps {
+                    s.remap.get_mut(&key).expect("checked above").stamps = stamps;
+                }
+            }
             let e = &s.remap[&key];
             for (i, &id) in ids.iter().enumerate() {
-                let f = &self.flows[&id];
+                let f = self.flow(id);
                 let d = &mut s.demands[i];
                 d.links.clear();
                 d.links.extend(
@@ -976,7 +1247,7 @@ impl Network {
         offsets.push(0);
         s.caps.clear();
         for (i, &id) in ids.iter().enumerate() {
-            let f = &self.flows[&id];
+            let f = self.flow(id);
             debug_assert!(f.active(), "solving for a paused flow");
             let tenant = f.spec.tenant;
             let counts_for_sharing = !f.spec.guaranteed;
@@ -1019,9 +1290,15 @@ impl Network {
         if s.remap.len() >= REMAP_CACHE_LIMIT {
             s.remap.clear();
         }
+        let stamps: Vec<u64> = ids
+            .iter()
+            .map(|&id| self.flows.stamp(id))
+            .collect::<Option<Vec<u64>>>()
+            .unwrap_or_default();
         s.remap.insert(
             key,
             RemapEntry {
+                stamps,
                 sigs,
                 offsets,
                 links: flat_links,
@@ -1039,6 +1316,12 @@ impl Network {
         (self.solver.remap_hits, self.solver.remap_misses)
     }
 
+    /// Hits confirmed by the O(membership) arena-stamp compare alone
+    /// (subset of the hits above) — benchmark/test probe.
+    pub fn remap_fast_hits(&self) -> u64 {
+        self.solver.remap_fast_hits
+    }
+
     /// Build the allocation problem for `ids`. Remaps to the compact set
     /// of links those flows actually cross: the allocator's cost is then
     /// proportional to the traffic touched by a change, not to the whole
@@ -1051,7 +1334,7 @@ impl Network {
         let mut link_tenants: Vec<(u32, bool)> = Vec::new();
         let mut demands = Vec::new();
         for &id in ids {
-            let f = &self.flows[&id];
+            let f = self.flow(id);
             debug_assert!(f.active(), "solving for a paused flow");
             let tenant = f.spec.tenant;
             // Guaranteed (background) flows model aggregate external
@@ -1517,6 +1800,109 @@ mod tests {
         assert!((net.flow_rate(f).as_gbps() - 25.0).abs() < 1e-6);
     }
 
+    /// Satellite regression: arena slots recycled by a host crash →
+    /// restart → re-allocate cycle must not let the remap cache serve
+    /// stale per-slot data. The replacement flows land on the dead flows'
+    /// slots with fresh generation tags, so the stamp fast path rejects
+    /// and the deep verification re-keys the entries.
+    #[test]
+    fn remap_survives_slot_recycling_after_crash() {
+        let mut net = testbed_net();
+        net.set_incremental(true);
+        net.set_map_storage(false);
+        let mut oracle = testbed_net();
+        oracle.set_incremental(false);
+        oracle.set_map_storage(true);
+        let drive = |net: &mut Network| -> Vec<FlowId> {
+            let mut live = Vec::new();
+            // Two cross-rack flows from host 0 plus one bystander.
+            live.push(net.start_flow(
+                Nanos::ZERO,
+                FlowSpec::ecmp(nic(0), nic(4), Bytes::gib(1), 3).with_tenant(0),
+            ));
+            live.push(net.start_flow(
+                Nanos::ZERO,
+                FlowSpec::ecmp(nic(1), nic(5), Bytes::gib(1), 4).with_tenant(0),
+            ));
+            live.push(net.start_flow(
+                Nanos::ZERO,
+                FlowSpec::ecmp(nic(2), nic(6), Bytes::gib(1), 5).with_tenant(1),
+            ));
+            // Host 0 crashes: both its NICs' flows die, freeing slots 0/1.
+            for n in [0u32, 1] {
+                net.kill_flows_touching_nic(Nanos::from_millis(1), nic(n));
+            }
+            live.retain(|&id| net.contains(id));
+            // Restart re-allocates onto the recycled slots with different
+            // routes and tenants than the slots' previous occupants.
+            live.push(net.start_flow(
+                Nanos::from_millis(2),
+                FlowSpec::ecmp(nic(0), nic(2), Bytes::gib(1), 6).with_tenant(2),
+            ));
+            live.push(net.start_flow(
+                Nanos::from_millis(2),
+                FlowSpec::ecmp(nic(1), nic(3), Bytes::gib(1), 7).with_tenant(2),
+            ));
+            live
+        };
+        let live = drive(&mut net);
+        let live_o = drive(&mut oracle);
+        assert_eq!(live, live_o, "sequential ids are storage-independent");
+        for &id in &live {
+            let (r, ro) = (net.flow_rate(id).as_bps(), oracle.flow_rate(id).as_bps());
+            assert!(
+                (r - ro).abs() <= ro.abs() * 1e-9 + 1e-3,
+                "stale remap data for {id:?}: arena {r} vs oracle {ro}"
+            );
+        }
+        // Degrade a recycled flow's first link: the re-solve must read
+        // fresh capacity through whatever cache entry now covers the slot.
+        let last = *live.last().expect("flows live");
+        let link = net.flow_route(last).expect("present").links[0];
+        net.set_link_degrade(Nanos::from_millis(3), link, 0.5);
+        oracle.set_link_degrade(Nanos::from_millis(3), link, 0.5);
+        let (r, ro) = (
+            net.flow_rate(last).as_bps(),
+            oracle.flow_rate(last).as_bps(),
+        );
+        assert!(
+            (r - ro).abs() <= ro.abs() * 1e-9 + 1e-3,
+            "post-degrade divergence on a recycled slot: {r} vs {ro}"
+        );
+    }
+
+    /// Re-solves of a stable component (same live flows, unchanged
+    /// routes) are confirmed by the O(membership) stamp compare alone.
+    #[test]
+    fn stamp_fast_path_hits_on_stable_components() {
+        let mut net = testbed_net();
+        net.set_incremental(true);
+        net.set_map_storage(false);
+        let a = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(0), nic(2), Bytes::gib(1), 0),
+        );
+        let _b = net.start_flow(
+            Nanos::ZERO,
+            FlowSpec::ecmp(nic(1), nic(2), Bytes::gib(1), 1),
+        );
+        assert_eq!(net.remap_fast_hits(), 0);
+        let link = net.flow_route(a).expect("present").links[0];
+        // Capacity changes re-solve the identical membership: stamps match.
+        net.set_link_degrade(Nanos::ZERO, link, 0.5);
+        net.set_link_degrade(Nanos::ZERO, link, 0.25);
+        assert!(
+            net.remap_fast_hits() >= 2,
+            "stable component should fast-hit, got {}",
+            net.remap_fast_hits()
+        );
+        let (hits, _) = net.remap_cache_stats();
+        assert!(net.remap_fast_hits() <= hits, "fast hits are a subset");
+        // The fast path must still read fresh capacities: a's uplink is
+        // now 50 * 0.25 = 12.5 Gbps and that is its bottleneck.
+        assert!((net.flow_rate(a).as_gbps() - 12.5).abs() < 1e-6);
+    }
+
     #[test]
     fn zero_byte_flow_completes_immediately() {
         let mut net = testbed_net();
@@ -1652,16 +2038,132 @@ mod tests {
                     }
                     // 2. The incremental rates are a valid max-min
                     // allocation in their own right.
-                    let ids: Vec<FlowId> = inc
-                        .flows
-                        .iter()
-                        .filter(|(_, f)| f.active())
-                        .map(|(&i, _)| i)
-                        .collect();
+                    let mut ids: Vec<FlowId> = Vec::new();
+                    inc.flows.for_each_ordered(|i, f| {
+                        if f.active() {
+                            ids.push(i);
+                        }
+                    });
                     let (demands, caps) = inc.build_problem(&ids);
                     let rates: Vec<Bandwidth> =
                         ids.iter().map(|&i| inc.flow_rate(i)).collect();
                     crate::maxmin::check_invariants_with_priority(&demands, &caps, &rates);
+                }
+            }
+
+            /// Storage representation (arena vs map) and solver scope
+            /// (rack-hierarchical vs global dirty-link BFS vs full
+            /// from-scratch) are interchangeable: identical flow ids,
+            /// rates and completion times over random churn, including
+            /// crash-driven slot recycling (`kill_flows_touching_nic`).
+            #[test]
+            fn storage_and_solver_modes_match_under_churn(
+                ops in proptest::collection::vec(
+                    (0u8..8, 0u32..8, 0u32..8, 0u64..64, any::<u64>()), 1..24)
+            ) {
+                // The default fast path: dense arenas + rack-partitioned solve.
+                let mut fast = testbed_net();
+                fast.set_incremental(true);
+                fast.set_map_storage(false);
+                fast.set_hierarchical(true);
+                // Map-backed storage with the global dirty-link BFS.
+                let mut mapg = testbed_net();
+                mapg.set_incremental(true);
+                mapg.set_map_storage(true);
+                mapg.set_hierarchical(false);
+                // The from-scratch oracle.
+                let mut full = testbed_net();
+                full.set_incremental(false);
+                let mut now = Nanos::ZERO;
+                let mut live: Vec<(FlowId, u32, u32)> = Vec::new();
+                for &(kind, a, b, c, d) in &ops {
+                    match kind {
+                        0..=3 => {
+                            let (s, t) = (a % 8, b % 8);
+                            if s == t { continue; }
+                            let spec = FlowSpec::ecmp(nic(s), nic(t), Bytes::mib(1 + c % 64), d)
+                                .with_tenant(a % 3);
+                            let mut ids = Vec::new();
+                            for n in [&mut fast, &mut mapg, &mut full] {
+                                ids.push(n.start_flow(now, spec));
+                            }
+                            prop_assert!(ids.windows(2).all(|w| w[0] == w[1]),
+                                "ids diverged across modes: {:?}", ids);
+                            live.push((ids[0], s, t));
+                        }
+                        4 => {
+                            if live.is_empty() { continue; }
+                            let (id, _, _) = live.remove((c as usize) % live.len());
+                            for n in [&mut fast, &mut mapg, &mut full] {
+                                n.cancel_flow(now, id);
+                            }
+                        }
+                        5 => {
+                            // Host crash: everything touching one NIC dies,
+                            // freeing arena slots for the next starts.
+                            let victim = nic(a % 8);
+                            for n in [&mut fast, &mut mapg, &mut full] {
+                                n.kill_flows_touching_nic(now, victim);
+                            }
+                            live.retain(|(id, _, _)| fast.contains(*id));
+                        }
+                        6 => {
+                            now += Nanos::from_micros(1 + c % 2000);
+                            let mut done: Vec<Vec<(FlowId, Nanos)>> = Vec::new();
+                            for n in [&mut fast, &mut mapg, &mut full] {
+                                done.push(
+                                    n.advance_to(now).iter()
+                                        .map(|x| (x.id, x.finished_at)).collect(),
+                                );
+                            }
+                            prop_assert_eq!(
+                                done[0].iter().map(|x| x.0).collect::<Vec<_>>(),
+                                done[1].iter().map(|x| x.0).collect::<Vec<_>>()
+                            );
+                            for (i, &(id, t0)) in done[0].iter().enumerate() {
+                                let t1 = done[1][i].1;
+                                prop_assert!(
+                                    t0.as_nanos().abs_diff(t1.as_nanos()) <= 1,
+                                    "completion diverged for {:?}: {} vs {}", id, t0, t1
+                                );
+                            }
+                            // Oracle completions may reorder within a tick
+                            // relative to the incremental nets only through
+                            // ±1ns rounding; compare as sets.
+                            let k2: BTreeMap<FlowId, Nanos> = done[2].iter().copied().collect();
+                            for &(id, t0) in &done[0] {
+                                let t2 = k2.get(&id).copied();
+                                prop_assert!(t2.is_some(), "oracle missed completion {:?}", id);
+                                prop_assert!(
+                                    t0.as_nanos().abs_diff(t2.unwrap().as_nanos()) <= 1,
+                                    "oracle completion diverged for {:?}", id
+                                );
+                            }
+                            live.retain(|(id, _, _)| fast.contains(*id));
+                        }
+                        _ => {
+                            if live.is_empty() { continue; }
+                            let (id, s, t) = live[(c as usize) % live.len()];
+                            if (s < 4) == (t < 4) { continue; }
+                            let route = RouteId((d % 2) as u32);
+                            for n in [&mut fast, &mut mapg, &mut full] {
+                                n.repin_flow(now, id, route);
+                            }
+                        }
+                    }
+                    for &(id, _, _) in &live {
+                        let r0 = fast.flow_rate(id).as_bps();
+                        let r1 = mapg.flow_rate(id).as_bps();
+                        let r2 = full.flow_rate(id).as_bps();
+                        prop_assert!(
+                            (r0 - r1).abs() <= r1.abs() * 1e-9 + 1e-3,
+                            "rate diverged for {:?}: hier {} vs global {}", id, r0, r1
+                        );
+                        prop_assert!(
+                            (r0 - r2).abs() <= r2.abs() * 1e-9 + 1e-3,
+                            "rate diverged for {:?}: hier {} vs oracle {}", id, r0, r2
+                        );
+                    }
                 }
             }
 

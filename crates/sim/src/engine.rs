@@ -118,6 +118,86 @@ struct Slot<Cx: ?Sized> {
 /// polled once per pass for `pass_limit` passes.
 const SPIN_LIMIT: u32 = 100_000;
 
+/// Per-kind dense waiter tables cover resource indices below this bound;
+/// anything above spills into a map. Resource indices are engine/queue
+/// ordinals in practice, so even a 10k-GPU world stays far under it.
+const DENSE_WAITER_LIMIT: usize = 1 << 20;
+
+/// `resource id → waiting slots`, arena-flattened. A [`ResourceId`] packs a
+/// 32-bit kind with a 32-bit index; the handful of kinds each get a dense
+/// `Vec` of waiter lists indexed by the index half (O(1) signal fan-out, no
+/// hashing on the hot path), with a spill map for pathological indices.
+#[derive(Default)]
+struct WaiterTable {
+    /// `(kind, index → waiter list)` in first-use order; scanned linearly
+    /// (kind cardinality is tiny and fixed by the embedder).
+    kinds: Vec<(u32, Vec<Vec<usize>>)>,
+    /// Fallback for indices ≥ [`DENSE_WAITER_LIMIT`].
+    spill: HashMap<u64, Vec<usize>>,
+}
+
+impl WaiterTable {
+    fn push(&mut self, r: ResourceId, slot: usize) {
+        let index = r.index() as usize;
+        if index >= DENSE_WAITER_LIMIT {
+            self.spill.entry(r.0).or_default().push(slot);
+            return;
+        }
+        let pos = match self.kinds.iter().position(|(k, _)| *k == r.kind()) {
+            Some(p) => p,
+            None => {
+                self.kinds.push((r.kind(), Vec::new()));
+                self.kinds.len() - 1
+            }
+        };
+        let lists = &mut self.kinds[pos].1;
+        if index >= lists.len() {
+            lists.resize_with(index + 1, Vec::new);
+        }
+        lists[index].push(slot);
+    }
+
+    /// Remove and return the whole waiter list of a signalled resource
+    /// (empty if nobody registered).
+    fn take(&mut self, r: ResourceId) -> Vec<usize> {
+        let index = r.index() as usize;
+        if index >= DENSE_WAITER_LIMIT {
+            return self.spill.remove(&r.0).unwrap_or_default();
+        }
+        match self.kinds.iter_mut().find(|(k, _)| *k == r.kind()) {
+            Some((_, lists)) if index < lists.len() => std::mem::take(&mut lists[index]),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Drop one slot from a resource's waiter list (un-registration on
+    /// wake; the list itself stays allocated for reuse).
+    fn remove_slot(&mut self, r: ResourceId, slot: usize) {
+        let index = r.index() as usize;
+        if index >= DENSE_WAITER_LIMIT {
+            if let Some(list) = self.spill.get_mut(&r.0) {
+                list.retain(|&x| x != slot);
+                if list.is_empty() {
+                    self.spill.remove(&r.0);
+                }
+            }
+            return;
+        }
+        if let Some((_, lists)) = self.kinds.iter_mut().find(|(k, _)| *k == r.kind()) {
+            if let Some(list) = lists.get_mut(index) {
+                list.retain(|&x| x != slot);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        for (_, lists) in &mut self.kinds {
+            lists.clear();
+        }
+        self.spill.clear();
+    }
+}
+
 /// A pool of runtimes executing engines cooperatively.
 ///
 /// In the paper each runtime is a kernel thread and engines may share or
@@ -148,8 +228,8 @@ pub struct RuntimePool<Cx: ?Sized> {
     /// Slots parked with [`Wake::Any`]; polled once per round like the
     /// naive scheduler would.
     any_parked: BTreeSet<usize>,
-    /// resource id → slots registered on it.
-    waiters: HashMap<u64, Vec<usize>>,
+    /// resource id → slots registered on it (dense per-kind tables).
+    waiters: WaiterTable,
     /// (deadline, park epoch, slot) min-heap; stale epochs discarded lazily.
     timers: BinaryHeap<Reverse<(crate::Nanos, u64, usize)>>,
     /// Scratch for draining context signals without reallocating.
@@ -182,7 +262,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             call_seq: 0,
             ready: BTreeSet::new(),
             any_parked: BTreeSet::new(),
-            waiters: HashMap::new(),
+            waiters: WaiterTable::default(),
             timers: BinaryHeap::new(),
             signal_scratch: Vec::new(),
             round_progressed: Vec::new(),
@@ -501,7 +581,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                     None => {}
                 }
                 for r in &resources {
-                    self.waiters.entry(r.0).or_default().push(idx);
+                    self.waiters.push(*r, idx);
                 }
                 self.slots[idx].registered = resources;
             }
@@ -524,9 +604,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         sigs.clear();
         cx.drain_signals(&mut sigs);
         for r in &sigs {
-            let Some(list) = self.waiters.remove(&r.0) else {
-                continue;
-            };
+            let list = self.waiters.take(*r);
             for idx in list {
                 if self.slots[idx].finished || self.slots[idx].registered.is_empty() {
                     continue;
@@ -562,12 +640,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     fn clear_registrations(&mut self, idx: usize) {
         let regs = std::mem::take(&mut self.slots[idx].registered);
         for r in &regs {
-            if let Some(list) = self.waiters.get_mut(&r.0) {
-                list.retain(|&x| x != idx);
-                if list.is_empty() {
-                    self.waiters.remove(&r.0);
-                }
-            }
+            self.waiters.remove_slot(*r, idx);
         }
     }
 
@@ -833,6 +906,34 @@ mod tests {
         pool.poll_ready(&mut cx);
         assert_eq!(polls.get(), after_first + 1);
         assert_eq!(pool.wake_count(), 1);
+    }
+
+    #[test]
+    fn spill_indexed_resources_still_wake() {
+        // Resource indices past the dense-table bound take the spill-map
+        // path through WaiterTable; semantics must be identical.
+        let big = ResourceId::new(7, u32::MAX);
+        assert!(big.index() as usize >= DENSE_WAITER_LIMIT);
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        let polls = std::rc::Rc::new(std::cell::Cell::new(0));
+        pool.spawn(Box::new(ResourceWaiter {
+            threshold: 1,
+            resource: big,
+            polls: polls.clone(),
+        }));
+        let mut cx = TestCx::default();
+        pool.poll_ready(&mut cx);
+        assert_eq!(polls.get(), 1, "polled once then parked on spill index");
+        for _ in 0..5 {
+            pool.poll_ready(&mut cx);
+        }
+        assert_eq!(polls.get(), 1, "no wake without the signal");
+        cx.total = 1;
+        cx.signals.push(big);
+        assert_eq!(pool.poll_ready(&mut cx), 1);
+        assert_eq!(polls.get(), 2);
+        assert_eq!(pool.live(), 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use mccs_bench::scale::{plan_jobs, ScaleConfig};
 use mccs_collectives::op::all_reduce_sum;
 use mccs_core::config::RouteMap;
 use mccs_core::{Cluster, ClusterConfig};
-use mccs_sim::{Bandwidth, Bytes, Nanos};
+use mccs_sim::{Bandwidth, Bytes, Nanos, Workers};
 use mccs_topology::presets::{spine_leaf, SpineLeafConfig};
 use mccs_workloads::Placement;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -142,13 +142,14 @@ struct RunStats {
     virtual_s: f64,
 }
 
-fn run(oracle: bool) -> RunStats {
+fn run(oracle: bool, workers: usize) -> RunStats {
     let topo = Arc::new(spine_leaf(&topology()));
     let cfg = workload();
     let planned = plan_jobs(&topo, &cfg);
     assert_eq!(planned.len(), JOBS, "every job must place");
     let mut cluster = Cluster::new(Arc::clone(&topo), ClusterConfig::library_mode(SEED));
     cluster.set_netsim_oracle(oracle);
+    cluster.set_sim_workers(workers);
     let mut apps = Vec::new();
     for job in &planned {
         let phases = vec![
@@ -204,12 +205,34 @@ fn main() {
         world.spines, world.leaves, world.hosts_per_leaf, world.gpus_per_host,
     );
 
-    let fast = run(false);
-    let oracle = run(true);
+    let fast = run(false, 1);
+    let oracle = run(true, 1);
     assert_eq!(
         fast.digest, oracle.digest,
         "arena + hierarchical solve diverged from the map-backed global oracle"
     );
+
+    // Worker-count sweep, itself dispatched on the deterministic worker
+    // pool: three more fast runs at 1, 2 and 8 simulation workers execute
+    // *concurrently* as independent clusters. Each member's digest and
+    // poll count must equal the solo run's byte for byte — the in-process
+    // analogue of CI's MCCS_SIM_WORKERS matrix — and the overlap is where
+    // the wall-clock speedup of the pool shows up (reported, not
+    // asserted: wall clock is machine-dependent). Peak-heap counters are
+    // global, so sweep members don't report memory.
+    const SWEEP: [usize; 3] = [1, 2, 8];
+    let t0 = Instant::now();
+    let sweep = Workers::new(SWEEP.len()).run(SWEEP.len(), |i| run(false, SWEEP[i]));
+    let sweep_wall_s = t0.elapsed().as_secs_f64();
+    let member_sum_s: f64 = sweep.iter().map(|s| s.wall_s).sum();
+    for (s, w) in sweep.iter().zip(SWEEP) {
+        assert_eq!(
+            s.digest, fast.digest,
+            "digest moved at sim_workers={w}: the pool must be observably invisible"
+        );
+        assert_eq!(s.polls, fast.polls, "poll count moved at sim_workers={w}");
+    }
+    let sweep_overlap = member_sum_s / sweep_wall_s;
 
     let polls_per_sec = fast.polls as f64 / fast.wall_s;
     let headers = [
@@ -244,6 +267,11 @@ fn main() {
         oracle.wall_s,
         oracle.wall_s / fast.wall_s
     );
+    println!(
+        "worker sweep {{1,2,8}}: digests equal; {:.2}s concurrent vs {:.2}s summed \
+         ({sweep_overlap:.1}x overlap, target ≥2x, machine-dependent)",
+        sweep_wall_s, member_sum_s,
+    );
 
     // The floors are part of the record: regenerating this figure on a
     // regression fails CI before bench_check even diffs.
@@ -263,6 +291,9 @@ fn main() {
             "\"gpus\":{gpus},\"jobs\":{JOBS},\"iters\":{ITERS},\
              \"fast\":{{\"polls\":{},\"virtual_s\":{:.6},\"peak_heap_mib\":{:.2},\"wall_clock_s\":{:.4}}},\
              \"oracle\":{{\"polls\":{},\"virtual_s\":{:.6},\"peak_heap_mib\":{:.2},\"wall_clock_s\":{:.4}}},\
+             \"worker_sweep\":{{\"members\":[1,2,8],\"digest_equal\":true,\
+             \"wall_clock_member_sum_s\":{member_sum_s:.4},\"wall_clock_sweep_s\":{sweep_wall_s:.4},\
+             \"wall_clock_overlap\":{sweep_overlap:.4}}},\
              \"wall_clock_polls_per_s\":{polls_per_sec:.1},\
              \"wall_clock_speedup_vs_oracle\":{:.4}",
             fast.polls,

@@ -75,14 +75,17 @@ impl Cluster {
     /// Build a cluster over `topo`: one proxy engine per GPU, one
     /// transport engine per NIC, no tenants yet.
     pub fn new(topo: Arc<Topology>, cfg: ClusterConfig) -> Self {
-        let world = World::new(
+        let sim_workers = cfg.service.sim_workers;
+        let mut world = World::new(
             Arc::clone(&topo),
             cfg.device,
             cfg.ipc,
             cfg.service,
             cfg.seed,
         );
+        world.net.set_workers(sim_workers);
         let mut pool: RuntimePool<World> = RuntimePool::new();
+        pool.set_workers(sim_workers);
         if cfg.service_engines {
             for gpu in topo.gpus() {
                 pool.spawn(Box::new(ProxyEngine::new(gpu.id)));
@@ -312,6 +315,8 @@ impl Cluster {
         s.polls = self.pool.poll_count();
         s.wasted_polls = self.pool.wasted_poll_count();
         s.wakes = self.pool.wake_count();
+        s.waves = self.pool.wave_count();
+        s.max_group = self.pool.max_group_size();
     }
 
     /// Toggle the pool between the wake-driven scheduler and the naive
@@ -324,6 +329,21 @@ impl Cluster {
     /// Whether the pool currently runs the naive round-robin oracle.
     pub fn naive_scheduler(&self) -> bool {
         self.pool.is_naive()
+    }
+
+    /// Set the worker count for both parallel simulation paths: the
+    /// wave-partitioned engine scheduler and the netsim per-component
+    /// solves. Digests are bit-identical at every count (the parallel
+    /// executor merges deterministically); only wall-clock and the
+    /// `waves`/`max_group` gauges change.
+    pub fn set_sim_workers(&mut self, workers: usize) {
+        self.pool.set_workers(workers);
+        self.world.net.set_workers(workers);
+    }
+
+    /// The configured simulation worker count.
+    pub fn sim_workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Put the network simulator in (or out of) full-oracle mode: map-backed

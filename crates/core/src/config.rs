@@ -156,6 +156,12 @@ pub struct ServiceConfig {
     /// Capacity of the bounded health push channel; subscribers that fall
     /// further behind than this resync from a snapshot.
     pub health_channel_capacity: usize,
+    /// Worker threads for the parallel simulation paths (wave-partitioned
+    /// engine scheduling and per-component max-min solves). `1` is the
+    /// fully sequential path; any count produces bit-identical digests —
+    /// the pool only changes wall-clock. Defaults to `MCCS_SIM_WORKERS`
+    /// (or 1 when unset).
+    pub sim_workers: usize,
 }
 
 impl Default for ServiceConfig {
@@ -173,6 +179,7 @@ impl Default for ServiceConfig {
             degradation: DegradationPolicy::default(),
             controller_checkpoint_interval: Nanos::from_millis(5),
             health_channel_capacity: crate::health::DEFAULT_HEALTH_CHANNEL_CAPACITY,
+            sim_workers: mccs_sim::par::workers_from_env(),
         }
     }
 }

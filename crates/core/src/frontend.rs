@@ -8,7 +8,7 @@
 use crate::messages::ProxyMsg;
 use crate::world::{resources, World};
 use mccs_ipc::{AppId, ErrorCode, ShimCommand, ShimCompletion};
-use mccs_sim::{Engine, Poll, Wake, WakeSet};
+use mccs_sim::{Engine, Footprint, Poll, Wake, WakeSet};
 use mccs_topology::{GpuId, HostId};
 
 /// The per-(application, host) frontend engine.
@@ -183,6 +183,23 @@ impl Engine<World> for FrontendEngine {
             ws.deadline_opt(w.endpoints[endpoint].cmd.next_visible());
         }
         ws.build()
+    }
+
+    /// A frontend touches the queues of the endpoints it serves (pops
+    /// commands, frees back-pressure space, pushes error completions)
+    /// and the proxy inboxes of those endpoints' GPUs, to which it
+    /// forwards the decoded requests.
+    fn footprint(&self, w: &World) -> Footprint {
+        let mut rs = Vec::with_capacity(self.endpoints.len() * 4);
+        for &endpoint in &self.endpoints {
+            rs.push(resources::endpoint_cmd(endpoint as u32));
+            rs.push(resources::endpoint_cmd_space(endpoint as u32));
+            rs.push(resources::endpoint_comp(endpoint as u32));
+            rs.push(resources::proxy_inbox(
+                w.endpoints[endpoint].gpu.index() as u32
+            ));
+        }
+        Footprint::Resources(rs)
     }
 
     fn name(&self) -> String {

@@ -30,7 +30,7 @@ use mccs_collectives::{CollectiveOp, CollectiveSchedule, EdgeTask, ScheduleKey};
 use mccs_device::{EventId, StreamId, StreamOp};
 use mccs_ipc::{AppId, CollectiveRequest, CommunicatorId, ErrorCode, ShimCompletion};
 use mccs_netsim::RouteChoice;
-use mccs_sim::{Bytes, Engine, Nanos, Poll, Wake, WakeSet};
+use mccs_sim::{Bytes, Engine, Footprint, Nanos, Poll, Wake, WakeSet};
 use mccs_topology::GpuId;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -1021,6 +1021,34 @@ impl Engine<World> for ProxyEngine {
             ws.watch(resources::device_activity(self.gpu.index() as u32));
         }
         ws.build()
+    }
+
+    /// A proxy touches its inbox, its GPU's device streams, its ranks'
+    /// completion queues, the shared progress resource of every
+    /// communicator it hosts (which transitively groups the proxies of
+    /// one communicator — they genuinely exchange barrier gossip), the
+    /// health channel, and the transport inboxes of its host's NICs,
+    /// where launched inter-host edges are sent.
+    fn footprint(&self, w: &World) -> Footprint {
+        let host = w.topo.host_of_gpu(self.gpu);
+        let mut rs = vec![
+            resources::proxy_inbox(self.gpu.index() as u32),
+            resources::device_activity(self.gpu.index() as u32),
+            resources::fault_plan_installed(),
+            resources::health_channel(),
+        ];
+        for &comm in w.comms_on_gpu(self.gpu) {
+            rs.push(resources::progress(comm));
+            rs.push(resources::endpoint_comp(
+                w.comms[&(comm, self.gpu)].endpoint as u32,
+            ));
+        }
+        for nic in w.topo.nics() {
+            if nic.host == host {
+                rs.push(resources::transport_inbox(nic.id.index() as u32));
+            }
+        }
+        Footprint::Resources(rs)
     }
 
     fn name(&self) -> String {

@@ -29,7 +29,7 @@ use crate::qos::TrafficWindows;
 use crate::world::{resources, World};
 use mccs_ipc::{AppId, CommunicatorId};
 use mccs_netsim::{FlowId, FlowSpec, RouteChoice};
-use mccs_sim::{Bandwidth, Bytes, Engine, Nanos, Poll, Wake, WakeSet};
+use mccs_sim::{Bandwidth, Bytes, Engine, Footprint, Nanos, Poll, Wake, WakeSet};
 use mccs_topology::{NicId, RouteId};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -606,6 +606,29 @@ impl Engine<World> for TransportEngine {
             }
         }
         ws.build()
+    }
+
+    /// A transport touches its own inbox and flow-notice resources, the
+    /// health channel, the plan-install latch, and — through token
+    /// completions and failure reports — the progress resources of the
+    /// communicators whose flows it currently carries. The netsim itself
+    /// (flow starts/kills) is world-global state the executor's
+    /// slot-order merge serializes, so it does not appear here.
+    fn footprint(&self, _w: &World) -> Footprint {
+        let idx = self.nic.index() as u32;
+        let mut rs = vec![
+            resources::transport_inbox(idx),
+            resources::transport_flow(idx),
+            resources::fault_plan_installed(),
+            resources::health_channel(),
+        ];
+        let mut comms: Vec<CommunicatorId> = self.active.values().map(|f| f.comm).collect();
+        comms.sort_unstable();
+        comms.dedup();
+        for comm in comms {
+            rs.push(resources::progress(comm));
+        }
+        Footprint::Resources(rs)
     }
 
     fn name(&self) -> String {

@@ -346,6 +346,107 @@ fn doubled_run_digest_is_stable() {
     );
 }
 
+/// Run one scenario on the parallel wave scheduler with a given worker
+/// count; returns the digest and the synced scheduler stats.
+fn run_workers(
+    workers: usize,
+    seed: u64,
+    policy: DegradationPolicy,
+    tenants: &[Tenant],
+    plan: Option<&dyn Fn(&Cluster) -> FaultPlan>,
+) -> (u64, mccs_core::health::SchedulerStats) {
+    let mut cluster = build_cluster(seed, policy, tenants);
+    cluster.set_sim_workers(workers);
+    assert_eq!(cluster.sim_workers(), workers.max(1));
+    if let Some(make) = plan {
+        let plan = make(&cluster);
+        cluster.install_fault_plan(plan);
+    }
+    cluster.run_until_quiescent(Nanos::from_secs(120));
+    (cluster.observable_digest(), cluster.scheduler_stats())
+}
+
+#[test]
+fn worker_counts_digest_equal() {
+    // The ISSUE's core gate: the worker pool is observably invisible.
+    // Digests AND the poll/wasted/wake efficiency counters must be
+    // byte-identical at 1, 2 and 8 workers, on a healthy run, an
+    // idle-heavy run, and a fault scenario exercising recovery.
+    let mut idle = two_tenants(Bytes::mib(8), 3);
+    idle[1].sleep_until = Some(Nanos::from_millis(40));
+    let crash_plan = |c: &Cluster| {
+        let host = c.world.topo.host_of_gpu(GpuId(6));
+        FaultPlan::new()
+            .degrade_group(Nanos::from_millis(4), &spine0_links(c), 500)
+            .at(Nanos::from_millis(6), FaultEvent::CrashHost(host))
+            .at(Nanos::from_millis(9), FaultEvent::RestartHost(host))
+            .drop_control(19)
+    };
+    type Scenario<'a> = (
+        &'a str,
+        u64,
+        Vec<Tenant>,
+        Option<&'a dyn Fn(&Cluster) -> FaultPlan>,
+    );
+    let scenarios: Vec<Scenario> = vec![
+        ("healthy", 7, two_tenants(Bytes::mib(16), 4), None),
+        ("idle_heavy", 42, idle, None),
+        (
+            "crash_churn",
+            21,
+            two_tenants(Bytes::mib(16), 4),
+            Some(&crash_plan),
+        ),
+    ];
+    for (what, seed, tenants, plan) in scenarios {
+        let (base, stats1) = run_workers(1, seed, DegradationPolicy::default(), &tenants, plan);
+        assert_eq!(
+            stats1.waves, 0,
+            "{what}: sequential path must skip wave partitioning"
+        );
+        for workers in [2, 8] {
+            let (digest, stats) =
+                run_workers(workers, seed, DegradationPolicy::default(), &tenants, plan);
+            assert_eq!(
+                base, digest,
+                "{what}: digest moved at sim_workers={workers} (seed {seed})"
+            );
+            assert_eq!(
+                (stats1.polls, stats1.wasted_polls, stats1.wakes),
+                (stats.polls, stats.wasted_polls, stats.wakes),
+                "{what}: efficiency counters moved at sim_workers={workers}"
+            );
+            assert!(
+                stats.waves > 0 && stats.max_group > 0,
+                "{what}: parallel pool must report wave gauges"
+            );
+        }
+    }
+}
+
+#[test]
+fn doubled_run_digest_stable_under_parallel_pool() {
+    // The in-process analogue of CI's parallel-equivalence doubled-run
+    // diff: two identical runs on the 8-worker pool, byte-for-byte.
+    let tenants = two_tenants(Bytes::mib(16), 4);
+    let plan = |c: &Cluster| {
+        let host = c.world.topo.host_of_gpu(GpuId(6));
+        FaultPlan::new()
+            .at(Nanos::from_millis(5), FaultEvent::CrashHost(host))
+            .at(Nanos::from_millis(9), FaultEvent::RestartHost(host))
+            .at(
+                Nanos::from_millis(12),
+                FaultEvent::LinkDown(spine0_links(c)[0]),
+            )
+    };
+    let (first, _) = run_workers(8, 51, DegradationPolicy::default(), &tenants, Some(&plan));
+    let (second, _) = run_workers(8, 51, DegradationPolicy::default(), &tenants, Some(&plan));
+    assert_eq!(
+        first, second,
+        "doubled 8-worker run diverged: the parallel pool leaks nondeterminism"
+    );
+}
+
 #[test]
 fn wake_scheduler_wastes_fewer_polls() {
     // Not a digest property, but the reason the scheduler exists: on an

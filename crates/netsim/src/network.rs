@@ -30,7 +30,7 @@ use crate::flow::{FlowCompletion, FlowId, FlowSpec, RouteChoice};
 use crate::maxmin::{
     allocate_with_priority, allocate_with_priority_into, FlowDemand, SolverScratch,
 };
-use mccs_sim::{Bandwidth, Bytes, Nanos};
+use mccs_sim::{Bandwidth, Bytes, Nanos, Workers};
 use mccs_topology::{LinkId, Route, RouteId, Topology};
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -188,6 +188,10 @@ pub struct Network {
     /// Reusable solver buffers + the per-component remap cache for the
     /// incremental path. Taken out of `self` for the duration of a solve.
     solver: NetSolver,
+    /// Worker pool for multi-component solves: disjoint components are
+    /// independent pure allocation problems, solved concurrently and
+    /// merged in component order (bit-identical at any worker count).
+    workers: Workers,
 }
 
 /// Scratch state for the incremental solve path: the demand/cap/rate
@@ -405,7 +409,21 @@ impl Network {
             completions: RefCell::new(BinaryHeap::new()),
             link_faults: None,
             solver: NetSolver::default(),
+            workers: Workers::new(mccs_sim::par::workers_from_env()),
         }
+    }
+
+    /// Set the worker count for multi-component rate solves. Disjoint
+    /// connected components are independent pure allocation problems, so
+    /// solving them on a pool is bit-identical to solving them in order —
+    /// `1` (the default) keeps everything on the calling thread.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = Workers::new(workers);
+    }
+
+    /// The configured solve worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.count()
     }
 
     /// Override the cross-tenant sharing penalty (0.0 = fluid).
@@ -974,58 +992,70 @@ impl Network {
         self.racks.decouple(id, &links);
     }
 
-    /// The flows sharing a link — transitively — with any dirty link: the
-    /// union of connected components of the flow×link graph that a change
-    /// touched. Components are closed, so flows outside keep valid rates.
-    /// Consumes the dirty set.
-    fn affected_flows(&mut self) -> Vec<FlowId> {
+    /// The flows sharing a link — transitively — with any dirty link,
+    /// grouped by connected component of the flow×link graph. Each group
+    /// is a closed component (flows outside keep valid rates) and the
+    /// groups are disjoint, so they are independent max-min problems —
+    /// solvable in any order or concurrently. Consumes the dirty set.
+    fn affected_components(&mut self) -> Vec<Vec<FlowId>> {
         let active_total = self.active_count;
-        let mut frontier: Vec<usize> = std::mem::take(&mut self.dirty_links).into_iter().collect();
-        let mut seen_links: HashSet<usize> = frontier.iter().copied().collect();
-        let mut seen_flows: BTreeSet<FlowId> = BTreeSet::new();
-        'bfs: while let Some(link) = frontier.pop() {
-            for i in 0..self.link_flows[link].len() {
-                let id = self.link_flows[link][i];
-                if seen_flows.insert(id) {
-                    // Every active flow is already in the component: no
-                    // link left to expand can reveal a new one.
-                    if seen_flows.len() == active_total {
-                        break 'bfs;
-                    }
-                    for l in self.flow(id).route.links.iter() {
-                        let idx = l.index();
-                        if seen_links.insert(idx) {
-                            frontier.push(idx);
+        let dirty: Vec<usize> = std::mem::take(&mut self.dirty_links).into_iter().collect();
+        let mut seen_links: HashSet<usize> = HashSet::new();
+        let mut seen_total = 0usize;
+        let mut comps: Vec<Vec<FlowId>> = Vec::new();
+        'seeds: for seed in dirty {
+            if !seen_links.insert(seed) {
+                continue;
+            }
+            let mut frontier: Vec<usize> = vec![seed];
+            let mut comp: BTreeSet<FlowId> = BTreeSet::new();
+            while let Some(link) = frontier.pop() {
+                for i in 0..self.link_flows[link].len() {
+                    let id = self.link_flows[link][i];
+                    if comp.insert(id) {
+                        seen_total += 1;
+                        // Every active flow is already in some component:
+                        // no link left to expand can reveal a new one, and
+                        // later seeds would only re-walk (partial pieces
+                        // of) this component, so stop entirely. The
+                        // components found so far stay closed — only
+                        // flow-adding expansion is skipped.
+                        if seen_total == active_total {
+                            comps.push(comp.into_iter().collect());
+                            break 'seeds;
+                        }
+                        for l in self.flow(id).route.links.iter() {
+                            let idx = l.index();
+                            if seen_links.insert(idx) {
+                                frontier.push(idx);
+                            }
                         }
                     }
                 }
             }
+            if !comp.is_empty() {
+                comps.push(comp.into_iter().collect());
+            }
         }
-        seen_flows.into_iter().collect()
+        comps
     }
 
-    /// Hierarchical variant of [`Self::affected_flows`]: dirty links map
-    /// to rack buckets, a fixed-point pass over the bucket coupling graph
-    /// (edges = cross-rack flows stitching racks at their spine hops)
-    /// closes the set, and the result is the union of the closed buckets'
-    /// flow lists. A rack-local churn event thus re-solves its rack
-    /// component plus whatever spine coupling exists — not a per-link BFS
-    /// over the whole touched traffic. The closure is a coarsening of the
-    /// true flow×link components (see [`RackIndex`]), so the solve set is
-    /// still a union of components and rates match the global path.
-    fn affected_flows_rack(&mut self) -> Vec<FlowId> {
+    /// Hierarchical variant of [`Self::affected_components`]: dirty links
+    /// map to rack buckets, and each unseen dirty bucket seeds a
+    /// fixed-point closure over the bucket coupling graph (edges =
+    /// cross-rack flows stitching racks at their spine hops); each closed
+    /// bucket set contributes one group — the union of its buckets' flow
+    /// lists. A rack-local churn event thus re-solves its rack component
+    /// plus whatever spine coupling exists — not a per-link BFS over the
+    /// whole touched traffic. Each closure is a coarsening of the true
+    /// flow×link components (see [`RackIndex`]), and distinct closures
+    /// share no flow (a flow spanning two closures would couple them), so
+    /// every group is a union of components and rates match the global
+    /// path.
+    fn affected_components_rack(&mut self) -> Vec<Vec<FlowId>> {
         let dirty = std::mem::take(&mut self.dirty_links);
         if dirty.is_empty() {
             return Vec::new();
-        }
-        let mut seen = vec![false; self.racks.flows.len()];
-        let mut frontier: Vec<u32> = Vec::new();
-        for idx in dirty {
-            let b = self.racks.link_bucket[idx];
-            if !seen[b as usize] {
-                seen[b as usize] = true;
-                frontier.push(b);
-            }
         }
         if !self.racks.global.is_empty() {
             // A bucket-overflow flow couples every bucket it touches and
@@ -1036,37 +1066,59 @@ impl Network {
                     all.push(id);
                 }
             });
-            return all;
+            return vec![all];
         }
-        let mut closure: Vec<u32> = Vec::new();
-        while let Some(b) = frontier.pop() {
-            closure.push(b);
-            for &n in self.racks.adj[b as usize].keys() {
-                if !seen[n as usize] {
-                    seen[n as usize] = true;
-                    frontier.push(n);
+        let mut seen = vec![false; self.racks.flows.len()];
+        let mut seen_total = 0usize;
+        let mut comps: Vec<Vec<FlowId>> = Vec::new();
+        'seeds: for idx in dirty {
+            let b = self.racks.link_bucket[idx];
+            if seen[b as usize] {
+                continue;
+            }
+            seen[b as usize] = true;
+            let mut frontier: Vec<u32> = vec![b];
+            let mut closure: Vec<u32> = Vec::new();
+            while let Some(b) = frontier.pop() {
+                closure.push(b);
+                for &n in self.racks.adj[b as usize].keys() {
+                    if !seen[n as usize] {
+                        seen[n as usize] = true;
+                        frontier.push(n);
+                    }
                 }
             }
-        }
-        let mut seen_flows: BTreeSet<FlowId> = BTreeSet::new();
-        for b in closure {
-            seen_flows.extend(self.racks.flows[b as usize].iter().copied());
-            if seen_flows.len() == self.active_count {
-                break;
+            let mut comp: BTreeSet<FlowId> = BTreeSet::new();
+            for b in closure {
+                for &id in self.racks.flows[b as usize].iter() {
+                    if comp.insert(id) {
+                        seen_total += 1;
+                    }
+                }
+                // Every active flow is in some group already: remaining
+                // buckets (of this closure or later seeds) hold only flows
+                // this group has, by closure disjointness.
+                if seen_total == self.active_count {
+                    comps.push(comp.into_iter().collect());
+                    break 'seeds;
+                }
+            }
+            if !comp.is_empty() {
+                comps.push(comp.into_iter().collect());
             }
         }
-        seen_flows.into_iter().collect()
+        comps
     }
 
     fn recompute_rates(&mut self) {
         if self.incremental {
-            let affected = if self.hierarchical {
-                self.affected_flows_rack()
+            let comps = if self.hierarchical {
+                self.affected_components_rack()
             } else {
-                self.affected_flows()
+                self.affected_components()
             };
-            if !affected.is_empty() {
-                self.solve_for(&affected);
+            if !comps.is_empty() {
+                self.solve_components(&comps);
             }
         } else {
             self.dirty_links.clear();
@@ -1078,6 +1130,49 @@ impl Network {
             });
             self.solve_for(&all);
         }
+    }
+
+    /// Solve each affected group as its own max-min problem. With one
+    /// group or one worker, groups go through the cached sequential path
+    /// one by one. Otherwise the per-group problems are *filled*
+    /// sequentially in group order (the remap cache is consulted and
+    /// updated exactly as a sequential run would), solved concurrently on
+    /// the worker pool — [`allocate_with_priority_into`] is a pure
+    /// function of the demands and caps; scratch-independence is pinned
+    /// by the `scratch_reuse_matches_oracle` proptest — and the rates
+    /// applied in group order. Decomposition, fill order and apply order
+    /// are identical at every worker count, so rates (and therefore
+    /// digests) are bit-identical by construction; the pool only changes
+    /// wall-clock.
+    fn solve_components(&mut self, comps: &[Vec<FlowId>]) {
+        if comps.len() <= 1 || self.workers.count() == 1 || !self.incremental {
+            for ids in comps {
+                self.solve_for(ids);
+            }
+            return;
+        }
+        let mut s = std::mem::take(&mut self.solver);
+        let mut problems: Vec<(Vec<FlowDemand>, Vec<Bandwidth>)> = Vec::with_capacity(comps.len());
+        for ids in comps {
+            self.fill_problem_cached(ids, &mut s);
+            problems.push((s.demands.clone(), s.caps.clone()));
+        }
+        let solved: Vec<Vec<Bandwidth>> = self.workers.run(problems.len(), |i| {
+            let (demands, caps) = &problems[i];
+            let mut scratch = SolverScratch::default();
+            let mut rates = Vec::with_capacity(demands.len());
+            allocate_with_priority_into(demands, caps, &mut scratch, &mut rates);
+            rates
+        });
+        // Groups are disjoint and closed, so applying rates after all
+        // fills is indistinguishable from the interleaved sequential
+        // fill/solve/apply: a fill never reads another group's flows.
+        for (ids, rates) in comps.iter().zip(&solved) {
+            for (&id, &rate) in ids.iter().zip(rates.iter()) {
+                self.set_rate_and_predict(id, rate);
+            }
+        }
+        self.solver = s;
     }
 
     /// Max-min solve restricted to `ids` (which must be a union of
@@ -1910,6 +2005,60 @@ mod tests {
         let done = net.advance_to(Nanos::ZERO);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].finished_at, Nanos::ZERO);
+    }
+
+    /// The worker pool only changes wall-clock: rates and completion
+    /// instants are bit-identical at every worker count, in both the
+    /// per-link-BFS and rack-partitioned decompositions. Exercises
+    /// multi-component churn (disjoint rack-local flows plus cross-rack
+    /// couplers starting, finishing and dying) so waves genuinely carry
+    /// more than one component to the pool.
+    #[test]
+    fn worker_count_is_invisible_in_rates() {
+        let drive = |workers: usize, hierarchical: bool| -> Vec<(u64, u64)> {
+            let mut net = testbed_net();
+            net.set_hierarchical(hierarchical);
+            net.set_workers(workers);
+            assert_eq!(net.workers(), workers.max(1));
+            let mut log: Vec<(u64, u64)> = Vec::new();
+            let mut now = Nanos::ZERO;
+            let mut live: Vec<FlowId> = Vec::new();
+            for step in 0u64..40 {
+                let (s, t) = ((step % 7) as u32, ((step * 3 + 1) % 8) as u32);
+                if s != t {
+                    let spec = FlowSpec::ecmp(nic(s), nic(t), Bytes::mib(1 + step % 16), step)
+                        .with_tenant((step % 3) as u32);
+                    live.push(net.start_flow(now, spec));
+                }
+                if step % 5 == 4 && !live.is_empty() {
+                    let id = live.remove((step as usize * 7) % live.len());
+                    if net.contains(id) {
+                        net.cancel_flow(now, id);
+                    }
+                }
+                now += Nanos::from_micros(200 + (step % 9) * 130);
+                for c in net.advance_to(now) {
+                    log.push((c.id.0, c.finished_at.as_nanos()));
+                }
+                live.retain(|&id| net.contains(id));
+                for &id in &live {
+                    // Exact bit pattern, not approximate equality.
+                    log.push((id.0, net.flow_rate(id).as_bps().to_bits()));
+                }
+            }
+            log
+        };
+        for hierarchical in [false, true] {
+            let seq = drive(1, hierarchical);
+            assert!(!seq.is_empty());
+            for n in [2, 8] {
+                assert_eq!(
+                    seq,
+                    drive(n, hierarchical),
+                    "workers={n} hierarchical={hierarchical}"
+                );
+            }
+        }
     }
 
     mod proptests {

@@ -1,0 +1,314 @@
+//! Conflict-set construction for parallel wave scheduling.
+//!
+//! A scheduler round holds a set of ready engines. Engines that share no
+//! watched resource cannot observe each other's effects within the round,
+//! so their `progress` calls commute: the pool may execute them
+//! concurrently and merge the buffered results in slot order without the
+//! digest moving. This module builds that partition: the ready set, in
+//! slot order, is split into **waves**, each wave a list of **groups**
+//! whose declared [`Footprint`]s are pairwise disjoint. Groups within a
+//! wave are safe to run on separate workers; an engine declaring
+//! [`Footprint::Exclusive`] (the conservative default — it may touch
+//! anything) acts as a barrier: it closes the current wave and runs alone.
+//!
+//! The partition is *advisory by construction*: the runtime pool keeps
+//! executing engine bodies in exact slot order (see
+//! `RuntimePool::poll_ready`), so a wrong footprint can never corrupt a
+//! digest — it only mis-reports achievable parallelism. The proptest
+//! battery in this module pins the structural invariants the executor and
+//! the stats rely on.
+
+use crate::waker::ResourceId;
+use std::collections::HashMap;
+
+/// The resources an engine may touch in one `progress` call — its
+/// conflict footprint, declared by [`crate::Engine::footprint`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Footprint {
+    /// May touch anything (the safe default): conflicts with every other
+    /// engine and always runs alone in its own wave.
+    Exclusive,
+    /// Touches at most these resources: conflicts exactly with engines
+    /// whose footprints intersect it. An empty list conflicts with
+    /// nothing.
+    Resources(Vec<ResourceId>),
+}
+
+/// One wave of a round: groups of engine slots whose footprints are
+/// pairwise disjoint across groups. Groups (and the slots inside them)
+/// are in ascending slot order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Wave {
+    /// Concurrent groups; each group's members run in slot order.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl Wave {
+    /// Total engines in the wave.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the wave holds no engines.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Size of the largest group.
+    pub fn max_group(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Partition `entries` — `(slot, footprint)` in ascending slot order —
+/// into waves of non-conflicting groups.
+///
+/// Greedy and deterministic: slots are taken in order; a slot whose
+/// footprint intersects existing groups joins (and merges) them, a
+/// disjoint slot opens a new group in the current wave, and an
+/// [`Footprint::Exclusive`] slot closes the wave and claims one of its
+/// own. Waves therefore respect slot order globally: every slot in wave
+/// *k* precedes every slot in wave *k+1*.
+pub fn partition(entries: &[(usize, Footprint)]) -> Vec<Wave> {
+    let mut waves: Vec<Wave> = Vec::new();
+    // Current wave state: groups + resource → group index.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut owner: HashMap<ResourceId, usize> = HashMap::new();
+    let flush = |groups: &mut Vec<Vec<usize>>,
+                 owner: &mut HashMap<ResourceId, usize>,
+                 waves: &mut Vec<Wave>| {
+        if !groups.is_empty() {
+            waves.push(Wave {
+                groups: std::mem::take(groups),
+            });
+        }
+        owner.clear();
+    };
+    for (slot, fp) in entries {
+        match fp {
+            Footprint::Exclusive => {
+                flush(&mut groups, &mut owner, &mut waves);
+                waves.push(Wave {
+                    groups: vec![vec![*slot]],
+                });
+            }
+            Footprint::Resources(rs) => {
+                // Groups this slot's footprint touches, ascending.
+                let mut hit: Vec<usize> = rs.iter().filter_map(|r| owner.get(r).copied()).collect();
+                hit.sort_unstable();
+                hit.dedup();
+                let target = match hit.first().copied() {
+                    None => {
+                        groups.push(Vec::new());
+                        groups.len() - 1
+                    }
+                    Some(g) => g,
+                };
+                // Merge every other hit group into the target (descending,
+                // so pending `hit` indices stay valid). Members of both
+                // groups precede `slot` and each group is slot-sorted, so
+                // a sorted merge keeps the invariant.
+                for &g in hit.iter().skip(1).rev() {
+                    let moved = std::mem::take(&mut groups[g]);
+                    let dst = &mut groups[target];
+                    let mut merged = Vec::with_capacity(dst.len() + moved.len());
+                    let (mut a, mut b) = (dst.iter().peekable(), moved.iter().peekable());
+                    while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+                        if x < y {
+                            merged.push(x);
+                            a.next();
+                        } else {
+                            merged.push(y);
+                            b.next();
+                        }
+                    }
+                    merged.extend(a.copied());
+                    merged.extend(b.copied());
+                    *dst = merged;
+                    groups.remove(g);
+                    // Re-point resources owned by the absorbed group and
+                    // account for the index shift from the removal.
+                    for v in owner.values_mut() {
+                        if *v == g {
+                            *v = target;
+                        } else if *v > g {
+                            *v -= 1;
+                        }
+                    }
+                }
+                groups[target].push(*slot);
+                for r in rs {
+                    owner.insert(*r, target);
+                }
+            }
+        }
+    }
+    flush(&mut groups, &mut owner, &mut waves);
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId::new(1, i)
+    }
+
+    fn on(rs: &[u32]) -> Footprint {
+        Footprint::Resources(rs.iter().map(|&i| r(i)).collect())
+    }
+
+    #[test]
+    fn disjoint_footprints_share_a_wave() {
+        let waves = partition(&[(0, on(&[0])), (1, on(&[1])), (2, on(&[2]))]);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].groups, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(waves[0].max_group(), 1);
+    }
+
+    #[test]
+    fn shared_resource_joins_groups() {
+        let waves = partition(&[(0, on(&[0])), (1, on(&[1])), (2, on(&[0, 1]))]);
+        assert_eq!(waves.len(), 1);
+        // Slot 2 bridges both groups: they merge, slot-ordered.
+        assert_eq!(waves[0].groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn exclusive_engine_closes_the_wave() {
+        let waves = partition(&[
+            (0, on(&[0])),
+            (1, Footprint::Exclusive),
+            (2, on(&[0])),
+            (3, on(&[1])),
+        ]);
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0].groups, vec![vec![0]]);
+        assert_eq!(waves[1].groups, vec![vec![1]]);
+        assert_eq!(waves[2].groups, vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_footprint_conflicts_with_nothing() {
+        let waves = partition(&[(0, on(&[])), (1, on(&[])), (2, on(&[5]))]);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].groups.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_no_waves() {
+        assert!(partition(&[]).is_empty());
+    }
+
+    /// Structural invariants shared with the proptest battery: `waves` is
+    /// a valid partition of `entries` with no cross-group resource
+    /// sharing inside a wave and slot order preserved everywhere.
+    pub(crate) fn check_invariants(entries: &[(usize, Footprint)], waves: &[Wave]) {
+        // Every slot appears exactly once, in ascending global order.
+        let flat: Vec<usize> = waves
+            .iter()
+            .flat_map(|w| {
+                let mut slots: Vec<usize> = w.groups.iter().flatten().copied().collect();
+                slots.sort_unstable();
+                slots
+            })
+            .collect();
+        let expect: Vec<usize> = entries.iter().map(|(s, _)| *s).collect();
+        assert_eq!(flat, expect, "waves must partition the input in order");
+        let fp: HashMap<usize, &Footprint> = entries.iter().map(|(s, f)| (*s, f)).collect();
+        for w in waves {
+            for g in &w.groups {
+                assert!(!g.is_empty(), "no empty groups");
+                assert!(g.windows(2).all(|p| p[0] < p[1]), "groups slot-ordered");
+            }
+            // Exclusive ⇒ alone in its wave.
+            let has_exclusive = w
+                .groups
+                .iter()
+                .flatten()
+                .any(|s| matches!(fp[s], Footprint::Exclusive));
+            if has_exclusive {
+                assert_eq!(w.len(), 1, "exclusive engines run alone");
+            }
+            // No two groups in one wave share a watched resource.
+            let mut seen: HashMap<ResourceId, usize> = HashMap::new();
+            for (gi, g) in w.groups.iter().enumerate() {
+                for s in g {
+                    if let Footprint::Resources(rs) = fp[s] {
+                        for r in rs {
+                            if let Some(&prev) = seen.get(r) {
+                                assert_eq!(
+                                    prev, gi,
+                                    "resource {r:?} watched from two groups of one wave"
+                                );
+                            } else {
+                                seen.insert(*r, gi);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_chain_keeps_invariants() {
+        let entries = vec![
+            (0, on(&[0])),
+            (1, on(&[1])),
+            (2, on(&[2])),
+            (3, on(&[1, 2])),
+            (4, on(&[3])),
+            (5, on(&[0, 3])),
+            (6, Footprint::Exclusive),
+            (7, on(&[0])),
+        ];
+        let waves = partition(&entries);
+        check_invariants(&entries, &waves);
+        // 0..=5 collapse into two merged groups then one wave; 6 alone; 7 last.
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0].groups, vec![vec![0, 4, 5], vec![1, 2, 3]]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_resources() -> impl Strategy<Value = Footprint> {
+            proptest::collection::vec(0u32..12, 0..4).prop_map(|rs| {
+                Footprint::Resources(rs.into_iter().map(|i| ResourceId::new(1, i)).collect())
+            })
+        }
+
+        fn arb_footprint() -> impl Strategy<Value = Footprint> {
+            // The vendored stub's union picks arms uniformly; three
+            // resource arms to one exclusive keeps barriers occasional.
+            prop_oneof![
+                Just(Footprint::Exclusive),
+                arb_resources(),
+                arb_resources(),
+                arb_resources(),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn partition_is_valid(fps in proptest::collection::vec(arb_footprint(), 0..40)) {
+                let entries: Vec<(usize, Footprint)> =
+                    fps.into_iter().enumerate().collect();
+                let waves = partition(&entries);
+                check_invariants(&entries, &waves);
+            }
+
+            #[test]
+            fn partition_is_deterministic(
+                fps in proptest::collection::vec(arb_footprint(), 0..30)
+            ) {
+                let entries: Vec<(usize, Footprint)> =
+                    fps.into_iter().enumerate().collect();
+                prop_assert_eq!(partition(&entries), partition(&entries));
+            }
+        }
+    }
+}

@@ -35,6 +35,7 @@
 //! `World` holding the simulated network, devices and IPC queues); this
 //! crate stays agnostic of what engines act upon.
 
+use crate::conflict::{partition, Footprint};
 use crate::waker::{ResourceId, Wake, WakeSource};
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
@@ -86,6 +87,23 @@ pub trait Engine<Cx: ?Sized> {
         Wake::Any
     }
 
+    /// The resources this engine may touch (read *or* write) in one
+    /// `progress` call — its conflict footprint for the parallel wave
+    /// scheduler. The default, [`Footprint::Exclusive`], declares "may
+    /// touch anything" and serializes the engine against every peer, so
+    /// unported engines stay correct; engines that know their working
+    /// set (their own queues, their GPU's fabric slots) declare it so
+    /// the pool can group non-conflicting peers into the same wave.
+    ///
+    /// Footprints gate *grouping only*: the pool still applies engine
+    /// effects in slot order (the deterministic merge), so a too-narrow
+    /// footprint can mis-report achievable parallelism but can never
+    /// change an observable digest.
+    fn footprint(&self, cx: &Cx) -> Footprint {
+        let _ = cx;
+        Footprint::Exclusive
+    }
+
     /// Diagnostic label.
     fn name(&self) -> String {
         "engine".to_owned()
@@ -117,6 +135,8 @@ struct Slot<Cx: ?Sized> {
 /// Matches the naive scheduler's pass limit: there, a spinning engine is
 /// polled once per pass for `pass_limit` passes.
 const SPIN_LIMIT: u32 = 100_000;
+
+use crate::par::workers_from_env;
 
 /// Per-kind dense waiter tables cover resource indices below this bound;
 /// anything above spills into a map. Resource indices are engine/queue
@@ -221,6 +241,14 @@ pub struct RuntimePool<Cx: ?Sized> {
     wasted_polls: u64,
     /// Parked→ready transitions performed by the wake-driven scheduler.
     wakes: u64,
+    /// Worker count for the wave scheduler (1 = today's purely
+    /// sequential sweep; >1 partitions every round into conflict waves
+    /// and merges per-group counters at the wave barrier).
+    workers: usize,
+    /// Conflict waves formed (workers > 1 only).
+    waves: u64,
+    /// Largest conflict group observed in any wave.
+    max_group: u64,
     /// Monotone scheduler-call stamp (lazily resets per-slot spin guards).
     call_seq: u64,
     /// Engines to poll in the next round/call, ordered by slot index.
@@ -237,6 +265,13 @@ pub struct RuntimePool<Cx: ?Sized> {
     /// Slots that returned [`Poll::Progressed`] in the current pass/round
     /// (diagnostics for the spin panic).
     round_progressed: Vec<usize>,
+    /// Wave-scheduler scratch: slot → dense conflict-group ordinal for
+    /// the current round (workers > 1 only).
+    group_of: HashMap<usize, usize>,
+    /// Per-group `[polls, wasted]` tallies for the current round, folded
+    /// into the pool counters at the wave barrier. The final entry is
+    /// the catch-all for engines woken into the round mid-sweep.
+    group_tally: Vec<[u64; 2]>,
 }
 
 impl<Cx: ?Sized> Default for RuntimePool<Cx> {
@@ -259,6 +294,9 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             polls: 0,
             wasted_polls: 0,
             wakes: 0,
+            workers: workers_from_env(),
+            waves: 0,
+            max_group: 0,
             call_seq: 0,
             ready: BTreeSet::new(),
             any_parked: BTreeSet::new(),
@@ -266,6 +304,8 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             timers: BinaryHeap::new(),
             signal_scratch: Vec::new(),
             round_progressed: Vec::new(),
+            group_of: HashMap::new(),
+            group_tally: Vec::new(),
         }
     }
 
@@ -337,6 +377,29 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     /// the oracle never parks, so this stays 0 there).
     pub fn wake_count(&self) -> u64 {
         self.wakes
+    }
+
+    /// Worker count the wave scheduler is configured for.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Set the worker count (overrides the `MCCS_SIM_WORKERS` default).
+    /// 1 selects the purely sequential sweep; values above 1 engage the
+    /// conflict-wave partition with barrier-merged counters. Observable
+    /// behaviour is identical at every setting by construction.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Conflict waves formed by the wave scheduler (0 until `workers > 1`).
+    pub fn wave_count(&self) -> u64 {
+        self.waves
+    }
+
+    /// Largest conflict group observed in any wave.
+    pub fn max_group_size(&self) -> u64 {
+        self.max_group
     }
 
     /// Drive the selected scheduler until the pool is quiescent. Returns
@@ -459,6 +522,17 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             }
             let mut progressed_any = false;
             self.round_progressed.clear();
+            // With workers configured, partition the round into conflict
+            // waves: groups whose declared footprints are pairwise
+            // disjoint, eligible to run on separate workers. Engine
+            // bodies still execute in slot order below — the
+            // deterministic merge that keeps every digest byte-identical
+            // to the sequential sweep — while per-group counters
+            // accumulate apart and fold in at the wave barrier.
+            let wave_stats = self.workers > 1;
+            if wave_stats {
+                self.partition_round(&round, cx);
+            }
             // Sweep in slot order with a monotone cursor, exactly like a
             // naive pass restricted to ready engines. Engines woken during
             // the sweep join this round if their slot is still ahead of
@@ -485,7 +559,24 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                     slot.call_polls += 1;
                 }
                 let over_limit = self.slots[idx].call_polls > SPIN_LIMIT;
-                self.polls += 1;
+                // Counter home: the slot's conflict group when the wave
+                // partition is active (merged at the barrier), the pool
+                // totals directly otherwise. Mid-sweep joiners missing
+                // from the partition tally to the serial catch-all.
+                let tally = if wave_stats {
+                    Some(
+                        self.group_of
+                            .get(&idx)
+                            .copied()
+                            .unwrap_or(self.group_tally.len() - 1),
+                    )
+                } else {
+                    None
+                };
+                match tally {
+                    Some(g) => self.group_tally[g][0] += 1,
+                    None => self.polls += 1,
+                }
                 let poll = self.slots[idx]
                     .engine
                     .as_mut()
@@ -503,7 +594,10 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                         self.ready.insert(idx);
                     }
                     Poll::Idle => {
-                        self.wasted_polls += 1;
+                        match tally {
+                            Some(g) => self.group_tally[g][1] += 1,
+                            None => self.wasted_polls += 1,
+                        }
                         self.park(idx, cx);
                     }
                     Poll::Finished => {
@@ -535,6 +629,11 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                     );
                 }
             }
+            if wave_stats {
+                // The wave barrier: every group has retired, fold the
+                // per-group counters into the pool totals.
+                self.merge_wave_tallies();
+            }
             if !progressed_any {
                 // A full round of pure idles — the naive scheduler would
                 // stop here too. Engines left in `ready` keep their slot
@@ -543,6 +642,49 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             }
         }
         finished_now
+    }
+
+    /// Build the conflict-wave partition of a round snapshot: query each
+    /// ready engine's [`Footprint`], split the round into waves of
+    /// disjoint groups, and record the wave/max-group gauges plus the
+    /// slot→group map the sweep tallies against.
+    fn partition_round(&mut self, round: &BTreeSet<usize>, cx: &Cx) {
+        self.group_of.clear();
+        self.group_tally.clear();
+        let entries: Vec<(usize, Footprint)> = round
+            .iter()
+            .filter(|&&i| !self.slots[i].finished)
+            .map(|&i| {
+                let fp = self.slots[i]
+                    .engine
+                    .as_ref()
+                    .expect("live engine")
+                    .footprint(cx);
+                (i, fp)
+            })
+            .collect();
+        for wave in partition(&entries) {
+            self.waves += 1;
+            self.max_group = self.max_group.max(wave.max_group() as u64);
+            for group in wave.groups {
+                let ordinal = self.group_tally.len();
+                for slot in group {
+                    self.group_of.insert(slot, ordinal);
+                }
+                self.group_tally.push([0, 0]);
+            }
+        }
+        // Serial catch-all for engines woken into the round mid-sweep.
+        self.group_tally.push([0, 0]);
+    }
+
+    /// Fold the round's per-group counters into the pool totals (called
+    /// at the wave barrier, once per round).
+    fn merge_wave_tallies(&mut self) {
+        for [polls, wasted] in self.group_tally.drain(..) {
+            self.polls += polls;
+            self.wasted_polls += wasted;
+        }
     }
 
     /// Park `idx` according to its declared wake condition.
@@ -1048,6 +1190,104 @@ mod tests {
         }
         let mut pool: RuntimePool<TestCx> = RuntimePool::new();
         pool.set_naive(false);
+        pool.spawn(Box::new(Spin));
+        pool.poll_ready(&mut TestCx::default());
+    }
+
+    // ---- wave scheduler (workers > 1) --------------------------------------
+
+    /// Run the interleaved waiter/countdown workload at a worker count
+    /// and return everything observable plus the scheduler counters.
+    fn run_interleaved(workers: usize) -> (u32, u64, u64, u64) {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_workers(workers);
+        for t in [2, 5, 1, 4, 3] {
+            pool.spawn(Box::new(ResourceWaiter::on_a(
+                t,
+                std::rc::Rc::new(std::cell::Cell::new(0)),
+            )));
+        }
+        pool.spawn(Box::new(SignallingCountdown { left: 5 }));
+        let mut cx = TestCx::default();
+        pool.poll(&mut cx);
+        assert_eq!(pool.live(), 0, "workers={workers}");
+        (
+            cx.total,
+            pool.poll_count(),
+            pool.wasted_poll_count(),
+            pool.wake_count(),
+        )
+    }
+
+    #[test]
+    fn worker_count_is_observably_invisible() {
+        // Not just the outcome: the barrier-merged counters must equal
+        // the sequential scheduler's exactly, at every worker count.
+        let seq = run_interleaved(1);
+        for n in [2, 8] {
+            assert_eq!(seq, run_interleaved(n), "workers={n}");
+        }
+    }
+
+    #[test]
+    fn wave_gauges_populate_under_workers() {
+        struct FootedWaiter {
+            resource: ResourceId,
+            threshold: u32,
+        }
+        impl Engine<TestCx> for FootedWaiter {
+            fn progress(&mut self, cx: &mut TestCx) -> Poll {
+                if cx.total >= self.threshold {
+                    Poll::Finished
+                } else {
+                    Poll::Idle
+                }
+            }
+            fn wake_when(&self, _: &TestCx) -> Wake {
+                Wake::on(vec![self.resource])
+            }
+            fn footprint(&self, _: &TestCx) -> crate::conflict::Footprint {
+                crate::conflict::Footprint::Resources(vec![self.resource])
+            }
+        }
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_workers(8);
+        // Four waiters on four distinct resources: one wave, four groups.
+        for i in 0..4 {
+            pool.spawn(Box::new(FootedWaiter {
+                resource: ResourceId::new(3, i),
+                threshold: 1,
+            }));
+        }
+        let mut cx = TestCx::default();
+        pool.poll_ready(&mut cx);
+        assert!(pool.wave_count() >= 1, "waves: {}", pool.wave_count());
+        assert_eq!(pool.max_group_size(), 1, "disjoint footprints");
+        assert_eq!(pool.poll_count(), 4, "barrier merge kept the totals");
+        assert_eq!(pool.wasted_poll_count(), 4);
+        // Default-footprint engines serialize: an exclusive engine in the
+        // round makes singleton waves.
+        pool.spawn(Box::new(SignallingCountdown { left: 2 }));
+        cx.total = 1;
+        cx.signals.push(ResourceId::new(3, 0));
+        pool.poll_ready(&mut cx);
+        assert!(pool.max_group_size() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spinning")]
+    fn wave_scheduler_detects_spinning_engine() {
+        struct Spin;
+        impl Engine<TestCx> for Spin {
+            fn progress(&mut self, _: &mut TestCx) -> Poll {
+                Poll::Progressed
+            }
+        }
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_workers(8);
         pool.spawn(Box::new(Spin));
         pool.poll_ready(&mut TestCx::default());
     }

@@ -1,0 +1,292 @@
+//! Deterministic worker pool for the parallel simulation paths.
+//!
+//! The paper's service executes its engines on "a pool of runtimes, each
+//! corresponding to a kernel thread". Under virtual time the scheduler
+//! must stay byte-deterministic, so parallelism is only admitted where it
+//! is *invisible*: batches of pure jobs whose results are merged back in
+//! job-index order ([`Workers::run`]), and engines that progress against
+//! a shared immutable context and hand their world-effects back as data
+//! for a slot-ordered merge ([`ParSet`]). Both shapes produce bit-identical
+//! results at any worker count — including 1, which runs inline on the
+//! calling thread with no pool at all.
+//!
+//! The max-min component solves in `mccs-netsim` ride [`Workers::run`]
+//! (each connected component is an independent pure allocation problem);
+//! the runtime pool in [`crate::engine`] uses the same worker count to
+//! wave-partition its ready set (see `crate::conflict`).
+
+use crate::engine::Poll;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count from the `MCCS_SIM_WORKERS` environment variable
+/// (absent, empty or unparsable = 1 = every parallel path sequential).
+/// Read once per pool by [`crate::RuntimePool`] and `mccs-netsim`.
+pub fn workers_from_env() -> usize {
+    std::env::var("MCCS_SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// A fixed-size worker pool executing batches of independent jobs with a
+/// deterministic, index-ordered merge.
+///
+/// `Workers` is intentionally stateless between batches (threads are
+/// scoped per batch): virtual-time simulations call it at step
+/// boundaries, where predictable teardown beats keeping idle threads
+/// parked, and scoped threads let jobs borrow the caller's data without
+/// `'static` bounds.
+#[derive(Clone, Debug)]
+pub struct Workers {
+    n: usize,
+}
+
+impl Workers {
+    /// A pool of `n` workers. `n == 0` is clamped to 1; `n == 1` means
+    /// every batch runs inline on the calling thread (bit-for-bit the
+    /// sequential path, trivially).
+    pub fn new(n: usize) -> Self {
+        Workers { n: n.max(1) }
+    }
+
+    /// Worker count.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Run `jobs` invocations of `f` (by job index) and return the results
+    /// in job-index order. `f` must be a pure function of its index and
+    /// captured state: results are merged by index, so the outcome is
+    /// independent of which worker ran which job and in what order.
+    pub fn run<T, F>(&self, jobs: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.n == 1 || jobs <= 1 {
+            return (0..jobs).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(jobs));
+        let threads = self.n.min(jobs);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let out = f(i);
+                    done.lock().expect("worker poisoned").push((i, out));
+                });
+            }
+        });
+        let mut done = done.into_inner().expect("worker poisoned");
+        done.sort_by_key(|&(i, _)| i);
+        assert_eq!(done.len(), jobs, "every job must report exactly once");
+        done.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+/// An engine that can progress on a worker thread: it reads the shared
+/// context immutably, mutates only itself, and returns the effects it
+/// wants applied to the context as data. The caller applies effects in
+/// slot order, so a parallel wave is observably identical to polling the
+/// same engines sequentially — the deterministic-merge half of the
+/// parallel-executor contract (the conflict partition in
+/// [`crate::conflict`] is the other half).
+pub trait ParEngine<Cx: ?Sized, E>: Send {
+    /// Advance against the shared context; effects are returned, not
+    /// applied.
+    fn progress_par(&mut self, cx: &Cx) -> (Poll, Vec<E>);
+
+    /// Diagnostic label.
+    fn name(&self) -> String {
+        "par-engine".to_owned()
+    }
+}
+
+/// A set of [`ParEngine`]s driven in waves: every live engine progresses
+/// concurrently against `&Cx`, then the buffered effects are applied in
+/// slot order on the calling thread. Wall-clock parallel, byte-identical
+/// to the sequential schedule at any worker count.
+pub struct ParSet<Cx: ?Sized, E> {
+    engines: Vec<Option<Box<dyn ParEngine<Cx, E>>>>,
+}
+
+impl<Cx: ?Sized, E> Default for ParSet<Cx, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Cx: ?Sized, E> ParSet<Cx, E> {
+    /// An empty set.
+    pub fn new() -> Self {
+        ParSet {
+            engines: Vec::new(),
+        }
+    }
+
+    /// Add an engine; returns its slot index.
+    pub fn spawn(&mut self, engine: Box<dyn ParEngine<Cx, E>>) -> usize {
+        self.engines.push(Some(engine));
+        self.engines.len() - 1
+    }
+
+    /// Live (unfinished) engines.
+    pub fn live(&self) -> usize {
+        self.engines.iter().flatten().count()
+    }
+
+    /// Run one wave: every live engine progresses concurrently on
+    /// `workers`, then effects apply through `apply` in slot order.
+    /// Returns the number of engines that progressed or finished.
+    pub fn wave<F>(&mut self, cx: &mut Cx, workers: &Workers, mut apply: F) -> usize
+    where
+        Cx: Sync,
+        E: Send,
+        F: FnMut(&mut Cx, E),
+    {
+        let slots: Vec<usize> = self
+            .engines
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|_| i))
+            .collect();
+        let results = {
+            // Each job gets exclusive &mut access to exactly one engine
+            // (via its cell) and a shared view of the context.
+            let mut wave: Vec<&mut Box<dyn ParEngine<Cx, E>>> =
+                self.engines.iter_mut().filter_map(|e| e.as_mut()).collect();
+            let shared: &Cx = cx;
+            let cells: Vec<Mutex<&mut Box<dyn ParEngine<Cx, E>>>> =
+                wave.iter_mut().map(|e| Mutex::new(&mut **e)).collect();
+            workers.run(cells.len(), |i| {
+                let mut engine = cells[i].lock().expect("engine cell poisoned");
+                engine.progress_par(shared)
+            })
+        };
+        let mut moved = 0;
+        for (slot, (poll, effects)) in slots.into_iter().zip(results) {
+            for e in effects {
+                apply(cx, e);
+            }
+            match poll {
+                Poll::Progressed => moved += 1,
+                Poll::Idle => {}
+                Poll::Finished => {
+                    self.engines[slot] = None;
+                    moved += 1;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Drive waves until one makes no progress.
+    pub fn run_to_quiescence<F>(&mut self, cx: &mut Cx, workers: &Workers, mut apply: F) -> usize
+    where
+        Cx: Sync,
+        E: Send,
+        F: FnMut(&mut Cx, E),
+    {
+        let mut waves = 0;
+        while self.wave(cx, workers, &mut apply) > 0 {
+            waves += 1;
+        }
+        waves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let w = Workers::new(4);
+        // Jobs deliberately finish out of order (higher index = less work).
+        let out = w.run(64, |i| {
+            let mut acc = 0u64;
+            for k in 0..(64 - i as u64) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+
+    #[test]
+    fn worker_count_is_invisible_in_results() {
+        let job = |i: usize| -> u64 {
+            let mut h = i as u64 ^ 0x9e3779b97f4a7c15;
+            for _ in 0..100 {
+                h = h.wrapping_mul(0xbf58476d1ce4e5b9) ^ (h >> 27);
+            }
+            h
+        };
+        let seq = Workers::new(1).run(97, job);
+        for n in [2, 3, 8] {
+            assert_eq!(seq, Workers::new(n).run(97, job), "workers={n}");
+        }
+    }
+
+    #[test]
+    fn zero_and_empty_edge_cases() {
+        assert_eq!(Workers::new(0).count(), 1);
+        let w = Workers::new(4);
+        assert!(w.run(0, |_| 0u8).is_empty());
+        assert_eq!(w.run(1, |i| i), vec![0]);
+    }
+
+    /// A compute-heavy counter engine: hashes in progress_par, emits its
+    /// contribution as an effect for the slot-ordered merge.
+    struct Hasher {
+        id: u64,
+        left: u32,
+    }
+
+    impl ParEngine<Vec<u64>, u64> for Hasher {
+        fn progress_par(&mut self, log: &Vec<u64>) -> (Poll, Vec<u64>) {
+            if self.left == 0 {
+                return (Poll::Finished, Vec::new());
+            }
+            self.left -= 1;
+            // Read the shared context immutably; fold in our own id.
+            let mut h = self.id ^ log.len() as u64;
+            for _ in 0..2_000 {
+                h = h.wrapping_mul(6364136223846793005).wrapping_add(self.id);
+            }
+            (Poll::Progressed, vec![h])
+        }
+    }
+
+    fn drive(workers: usize) -> Vec<u64> {
+        let mut set: ParSet<Vec<u64>, u64> = ParSet::new();
+        for id in 0..24 {
+            set.spawn(Box::new(Hasher {
+                id,
+                left: 1 + (id % 5) as u32,
+            }));
+        }
+        let mut log: Vec<u64> = Vec::new();
+        let w = Workers::new(workers);
+        set.run_to_quiescence(&mut log, &w, |log, e| log.push(e));
+        assert_eq!(set.live(), 0);
+        log
+    }
+
+    #[test]
+    fn parallel_waves_match_sequential_byte_for_byte() {
+        let seq = drive(1);
+        assert!(!seq.is_empty());
+        for n in [2, 8] {
+            assert_eq!(seq, drive(n), "workers={n}");
+        }
+    }
+}

@@ -30,6 +30,13 @@ impl AppEngine {
 }
 
 impl Engine<World> for AppEngine {
+    // No `plan` implementation, deliberately: the app engine's step is
+    // dominated by driving an opaque `Box<dyn AppProgram>` through its
+    // session — tenant code the engine cannot inspect, whose every call
+    // both reads and mutates program state (and draws from the
+    // endpoint's RNG for IPC latency sampling). There is no pure read
+    // phase to hoist, so the engine stays on the in-place path and the
+    // pool spawns it `Local` rather than `Par`.
     fn progress(&mut self, w: &mut World) -> Poll {
         let ep = &mut w.endpoints[self.endpoint];
         let gpu = ep.gpu;

@@ -162,6 +162,13 @@ pub struct ServiceConfig {
     /// the pool only changes wall-clock. Defaults to `MCCS_SIM_WORKERS`
     /// (or 1 when unset).
     pub sim_workers: usize,
+    /// Event-loop shards for the per-rack scheduler split (ready set,
+    /// waiter tables, timer heaps, world event queue). `0` = auto: one
+    /// shard per rack plus the shared shard 0. `1` is the single-queue
+    /// oracle. Any count is digest-identical by construction — sharding
+    /// only changes step cost. Defaults to `MCCS_SIM_SHARDS` /
+    /// `MCCS_SIM_SHARDED=0` (auto when unset).
+    pub sim_shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -180,6 +187,7 @@ impl Default for ServiceConfig {
             controller_checkpoint_interval: Nanos::from_millis(5),
             health_channel_capacity: crate::health::DEFAULT_HEALTH_CHANNEL_CAPACITY,
             sim_workers: mccs_sim::par::workers_from_env(),
+            sim_shards: mccs_sim::par::shards_from_env().unwrap_or(0),
         }
     }
 }

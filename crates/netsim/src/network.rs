@@ -32,7 +32,6 @@ use crate::maxmin::{
 };
 use mccs_sim::{Bandwidth, Bytes, Nanos, Workers};
 use mccs_topology::{LinkId, Route, RouteId, Topology};
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
@@ -177,10 +176,12 @@ pub struct Network {
     /// completion index of the incremental path. Entries are invalidated
     /// lazily: a pushed entry goes stale when its flow leaves or its
     /// prediction is superseded (generation mismatch), and stale heads
-    /// are popped on the next peek. `RefCell` because
+    /// are popped on the next peek. A `Mutex` (never contended — the
+    /// simulator is single-writer) because
     /// [`next_completion_time`](Network::next_completion_time) is a
-    /// `&self` query that must be able to discard stale heads.
-    completions: RefCell<BinaryHeap<Reverse<(Nanos, FlowId, u64)>>>,
+    /// `&self` query that must be able to discard stale heads, and the
+    /// network must stay `Sync` for the concurrent engine plan phase.
+    completions: std::sync::Mutex<BinaryHeap<Reverse<(Nanos, FlowId, u64)>>>,
     /// Per-link fault state. `None` (the default) means the whole fabric
     /// is healthy and no fault bookkeeping runs at all — the zero-overhead
     /// guarantee for fault-free simulations.
@@ -406,7 +407,7 @@ impl Network {
             incremental: std::env::var_os("MCCS_NETSIM_ORACLE").is_none(),
             racks,
             hierarchical: std::env::var_os("MCCS_NETSIM_GLOBAL_SOLVE").is_none(),
-            completions: RefCell::new(BinaryHeap::new()),
+            completions: std::sync::Mutex::new(BinaryHeap::new()),
             link_faults: None,
             solver: NetSolver::default(),
             workers: Workers::new(mccs_sim::par::workers_from_env()),
@@ -448,7 +449,7 @@ impl Network {
         if enabled && !self.incremental {
             // Rebuild the completion index from the current predictions
             // (no entries were pushed while the oracle path ran).
-            let heap = self.completions.get_mut();
+            let heap = self.completions.get_mut().expect("completion heap lock");
             heap.clear();
             self.flows.for_each_ordered(|id, f| {
                 if let (true, Some(t)) = (f.active(), f.predicted) {
@@ -825,7 +826,7 @@ impl Network {
             });
             return min;
         }
-        let mut heap = self.completions.borrow_mut();
+        let mut heap = self.completions.lock().expect("completion heap lock");
         while let Some(&Reverse((t, id, gen))) = heap.peek() {
             if self
                 .flows
@@ -914,7 +915,7 @@ impl Network {
             // are discarded for free on the way. Cost is O(due · log F),
             // not O(F).
             let flows = &self.flows;
-            let heap = self.completions.get_mut();
+            let heap = self.completions.get_mut().expect("completion heap lock");
             let mut due = Vec::new();
             while let Some(&Reverse((t, id, gen))) = heap.peek() {
                 if t > clock {
@@ -1221,7 +1222,10 @@ impl Network {
         let gen = f.gen;
         if indexed {
             if let Some(t) = p {
-                self.completions.get_mut().push(Reverse((t, id, gen)));
+                self.completions
+                    .get_mut()
+                    .expect("completion heap lock")
+                    .push(Reverse((t, id, gen)));
             }
         }
     }

@@ -36,7 +36,9 @@
 //! crate stays agnostic of what engines act upon.
 
 use crate::conflict::{partition, Footprint};
+use crate::par::Workers;
 use crate::waker::{ResourceId, Wake, WakeSource};
+use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::fmt;
@@ -62,6 +64,27 @@ pub enum Poll {
     Finished,
 }
 
+/// The read-phase result of a plan-capable engine: whatever the engine
+/// precomputed against the frozen world view, boxed for transport across
+/// worker threads. Plans are *free to drop* — [`Engine::progress_planned`]
+/// falls back to a plain [`Engine::progress`] when the plan is gone or
+/// stale — which is what makes the concurrent plan phase unconditionally
+/// sound: any doubt about a plan's validity is resolved by discarding it.
+pub struct EnginePlan(pub Box<dyn Any + Send>);
+
+impl EnginePlan {
+    /// Box a plan value.
+    pub fn new<T: Any + Send>(value: T) -> Self {
+        EnginePlan(Box::new(value))
+    }
+
+    /// Recover the typed plan (None if the type does not match — treat
+    /// as a dropped plan and recompute).
+    pub fn downcast<T: Any>(self) -> Option<Box<T>> {
+        self.0.downcast().ok()
+    }
+}
+
 /// An asynchronously progressing component of the system.
 ///
 /// `progress` must be non-blocking: do at most a bounded amount of work and
@@ -76,6 +99,40 @@ pub enum Poll {
 pub trait Engine<Cx: ?Sized> {
     /// Advance the engine's state machine as far as currently possible.
     fn progress(&mut self, cx: &mut Cx) -> Poll;
+
+    /// Read phase of the buffered-effect protocol: precompute against a
+    /// *frozen* world view whatever `progress` would derive from it —
+    /// decoded queue heads, validation verdicts, derived schedules —
+    /// and return it as an [`EnginePlan`]. Called by the wave scheduler
+    /// on worker threads while other plans run concurrently, so it must
+    /// only read (a) resources in this engine's declared [`Footprint`]
+    /// and (b) state that is immutable for the duration of a scheduler
+    /// round (topology, configuration, the virtual clock). It must not
+    /// draw from shared RNGs or bump shared sequence counters: all
+    /// world-global mutation belongs to the commit phase.
+    ///
+    /// The contract: for any context `cx` that agrees with the plan-time
+    /// context on the engine's footprint,
+    /// `progress_planned(cx, plan(cx₀))` must be observably identical to
+    /// `progress(cx)`. The conflict partition guarantees that agreement
+    /// within a wave; engines joining a round mid-sweep void outstanding
+    /// plans conservatively.
+    ///
+    /// The default — `None` — keeps the engine on the in-place path.
+    fn plan(&self, cx: &Cx) -> Option<EnginePlan> {
+        let _ = cx;
+        None
+    }
+
+    /// Commit phase: apply a previously computed plan. Runs on the
+    /// scheduler thread in exact slot order (the deterministic merge),
+    /// with full mutable access — RNG draws, sequence numbers and queue
+    /// mutation all happen here. The default discards the plan and
+    /// re-runs `progress`, which is always correct.
+    fn progress_planned(&mut self, cx: &mut Cx, plan: EnginePlan) -> Poll {
+        drop(plan);
+        self.progress(cx)
+    }
 
     /// What must happen for this engine to be worth polling again, asked
     /// immediately after `progress` returns [`Poll::Idle`]. The default —
@@ -110,11 +167,45 @@ pub trait Engine<Cx: ?Sized> {
     }
 }
 
+/// How an engine was handed to the pool: plain boxes run everything
+/// in place on the scheduler thread; `Par` boxes additionally promise
+/// `Send + Sync`, making them eligible for the concurrent plan phase
+/// (their `plan` may be invoked from worker threads against the frozen
+/// context).
+enum EngineBox<Cx: ?Sized> {
+    Local(Box<dyn Engine<Cx>>),
+    Par(Box<dyn Engine<Cx> + Send + Sync>),
+}
+
+impl<Cx: ?Sized> EngineBox<Cx> {
+    fn get(&self) -> &dyn Engine<Cx> {
+        match self {
+            EngineBox::Local(e) => &**e,
+            EngineBox::Par(e) => &**e,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut dyn Engine<Cx> {
+        match self {
+            EngineBox::Local(e) => &mut **e,
+            EngineBox::Par(e) => &mut **e,
+        }
+    }
+
+    /// The thread-safe view, if this engine is plan-capable.
+    fn par(&self) -> Option<&(dyn Engine<Cx> + Send + Sync)> {
+        match self {
+            EngineBox::Local(_) => None,
+            EngineBox::Par(e) => Some(&**e),
+        }
+    }
+}
+
 struct Slot<Cx: ?Sized> {
     id: EngineId,
     /// `None` once finished (the engine is dropped; the slot stays so
     /// indices held by the wake bookkeeping remain stable).
-    engine: Option<Box<dyn Engine<Cx>>>,
+    engine: Option<EngineBox<Cx>>,
     finished: bool,
     /// Bumped every (re-)park and unpark; a timer whose recorded epoch no
     /// longer matches is stale and discarded lazily.
@@ -135,6 +226,11 @@ struct Slot<Cx: ?Sized> {
 /// Matches the naive scheduler's pass limit: there, a spinning engine is
 /// polled once per pass for `pass_limit` passes.
 const SPIN_LIMIT: u32 = 100_000;
+
+/// Minimum plan-capable members in a wave before the plan phase pays for
+/// a thread dispatch; smaller batches plan inline on the scheduler
+/// thread (identical results either way).
+const PLAN_DISPATCH_MIN: usize = 4;
 
 use crate::par::workers_from_env;
 
@@ -216,6 +312,148 @@ impl WaiterTable {
         }
         self.spill.clear();
     }
+
+    /// Drain every `(resource, waiters)` registration, for shard-count
+    /// changes that must redistribute live state.
+    fn drain_all(&mut self) -> Vec<(ResourceId, Vec<usize>)> {
+        let mut out = Vec::new();
+        for (kind, lists) in &mut self.kinds {
+            for (index, list) in lists.iter_mut().enumerate() {
+                if !list.is_empty() {
+                    out.push((ResourceId::new(*kind, index as u32), std::mem::take(list)));
+                }
+            }
+        }
+        for (raw, list) in self.spill.drain() {
+            out.push((ResourceId(raw), list));
+        }
+        // Spill iteration is hash-ordered; sort so redistribution is
+        // deterministic regardless of map internals.
+        out.sort_by_key(|(r, _)| r.0);
+        out
+    }
+}
+
+/// Shard attribution for the sharded event loop: which per-rack shard a
+/// slot or a resource belongs to. Built by the embedder from its
+/// topology's rack buckets (shard 0 doubles as the shared/global bucket
+/// and the default for everything unattributed). Assignments are stored
+/// raw and clamped at lookup, so lowering the shard count never loses
+/// or corrupts an attribution.
+struct ShardMap {
+    shards: usize,
+    /// slot index → shard.
+    of_slot: Vec<u32>,
+    /// `(kind, index → shard)` dense per-kind tables, first-use order.
+    kinds: Vec<(u32, Vec<u32>)>,
+}
+
+impl ShardMap {
+    fn new() -> Self {
+        ShardMap {
+            shards: 1,
+            of_slot: Vec::new(),
+            kinds: Vec::new(),
+        }
+    }
+
+    fn clamp(&self, shard: u32) -> usize {
+        let s = shard as usize;
+        if s < self.shards {
+            s
+        } else {
+            0
+        }
+    }
+
+    fn slot_shard(&self, slot: usize) -> usize {
+        self.clamp(self.of_slot.get(slot).copied().unwrap_or(0))
+    }
+
+    fn resource_shard(&self, r: ResourceId) -> usize {
+        let index = r.index() as usize;
+        for (kind, table) in &self.kinds {
+            if *kind == r.kind() {
+                return self.clamp(table.get(index).copied().unwrap_or(0));
+            }
+        }
+        0
+    }
+
+    fn assign_slot(&mut self, slot: usize, shard: usize) {
+        if self.of_slot.len() <= slot {
+            self.of_slot.resize(slot + 1, 0);
+        }
+        self.of_slot[slot] = shard as u32;
+    }
+
+    fn assign_resource(&mut self, kind: u32, index: u32, shard: usize) {
+        let pos = match self.kinds.iter().position(|(k, _)| *k == kind) {
+            Some(p) => p,
+            None => {
+                self.kinds.push((kind, Vec::new()));
+                self.kinds.len() - 1
+            }
+        };
+        let table = &mut self.kinds[pos].1;
+        let index = index as usize;
+        if table.len() <= index {
+            table.resize(index + 1, 0);
+        }
+        table[index] = shard as u32;
+    }
+}
+
+/// A slot set split into per-shard ordered sets. Iteration and drains
+/// fold the shards back into ascending slot order (via the caller's
+/// `BTreeSet`), so shard attribution affects only *where* membership is
+/// stored — never the order engines execute in. That is the sharded
+/// event loop's determinism argument in one sentence.
+struct SlotSet {
+    shards: Vec<BTreeSet<usize>>,
+}
+
+impl SlotSet {
+    fn new(n: usize) -> Self {
+        SlotSet {
+            shards: (0..n.max(1)).map(|_| BTreeSet::new()).collect(),
+        }
+    }
+
+    fn insert(&mut self, shard: usize, idx: usize) -> bool {
+        self.shards[shard].insert(idx)
+    }
+
+    fn remove(&mut self, shard: usize, idx: usize) -> bool {
+        self.shards[shard].remove(&idx)
+    }
+
+    fn drain_into(&mut self, out: &mut BTreeSet<usize>) {
+        for shard in &mut self.shards {
+            out.extend(std::mem::take(shard));
+        }
+    }
+
+    fn extend_into(&self, out: &mut BTreeSet<usize>) {
+        for shard in &self.shards {
+            out.extend(shard.iter().copied());
+        }
+    }
+
+    fn take_all(&mut self) -> Vec<usize> {
+        let mut all: Vec<usize> = Vec::new();
+        for shard in &mut self.shards {
+            all.extend(std::mem::take(shard));
+        }
+        all.sort_unstable();
+        all
+    }
+
+    fn clear(&mut self) {
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
 }
 
 /// A pool of runtimes executing engines cooperatively.
@@ -249,29 +487,65 @@ pub struct RuntimePool<Cx: ?Sized> {
     waves: u64,
     /// Largest conflict group observed in any wave.
     max_group: u64,
+    /// Commits that consumed a concurrently computed plan (workers > 1
+    /// with plan-capable engines only; digest-excluded like every
+    /// scheduler gauge).
+    planned_polls: u64,
+    /// Plans voided before commit — by a mid-sweep joiner, or computed
+    /// for an engine that never reached its commit.
+    dropped_plans: u64,
     /// Monotone scheduler-call stamp (lazily resets per-slot spin guards).
     call_seq: u64,
-    /// Engines to poll in the next round/call, ordered by slot index.
-    ready: BTreeSet<usize>,
+    /// Shard attribution for slots and resources (1 shard = the global
+    /// single-queue oracle, selected by `MCCS_SIM_SHARDED=0`).
+    shard_map: ShardMap,
+    /// Engines to poll in the next round/call, split per shard; rounds
+    /// re-merge the shards into ascending slot order.
+    ready: SlotSet,
     /// Slots parked with [`Wake::Any`]; polled once per round like the
     /// naive scheduler would.
-    any_parked: BTreeSet<usize>,
-    /// resource id → slots registered on it (dense per-kind tables).
-    waiters: WaiterTable,
-    /// (deadline, park epoch, slot) min-heap; stale epochs discarded lazily.
-    timers: BinaryHeap<Reverse<(crate::Nanos, u64, usize)>>,
+    any_parked: SlotSet,
+    /// resource id → slots registered on it, one table per shard
+    /// (routed by the *resource's* shard, since cross-rack waits are
+    /// legal: a slot in rack A may register on rack B's table).
+    waiters: Vec<WaiterTable>,
+    /// Per-shard (deadline, park epoch, slot) min-heaps, routed by the
+    /// slot's shard; stale epochs discarded lazily. Timer release scans
+    /// every shard head, so a deadline parked on one shard can never be
+    /// masked by another shard's quiet heap.
+    timers: Vec<BinaryHeap<Reverse<(crate::Nanos, u64, usize)>>>,
     /// Scratch for draining context signals without reallocating.
     signal_scratch: Vec<ResourceId>,
+    /// Per-shard signal mailboxes: drained context signals are routed to
+    /// their resource's shard, then the mailboxes drain in ascending
+    /// shard order — the deterministic epoch boundary for cross-shard
+    /// effects. (Wake delivery is order-insensitive — sets dedupe and
+    /// each waiter wakes at most once — so the re-ordering relative to
+    /// the raw signal stream is unobservable; with 1 shard the mailbox
+    /// preserves the raw stream exactly.)
+    mailboxes: Vec<Vec<ResourceId>>,
     /// Slots that returned [`Poll::Progressed`] in the current pass/round
     /// (diagnostics for the spin panic).
     round_progressed: Vec<usize>,
     /// Wave-scheduler scratch: slot → dense conflict-group ordinal for
-    /// the current round (workers > 1 only).
+    /// the current round (workers > 1 only; membership gates the plan
+    /// dispatch — mid-sweep joiners are absent and void the wave's
+    /// outstanding plans).
     group_of: HashMap<usize, usize>,
-    /// Per-group `[polls, wasted]` tallies for the current round, folded
-    /// into the pool counters at the wave barrier. The final entry is
-    /// the catch-all for engines woken into the round mid-sweep.
-    group_tally: Vec<[u64; 2]>,
+    /// Wave-scheduler scratch: per wave, `(first slot, plan-capable
+    /// singleton-group members)` — the unit the concurrent plan phase
+    /// dispatches when the sweep reaches the wave.
+    wave_sets: Vec<(usize, Vec<usize>)>,
+    /// Per-shard `[polls, wasted]` tallies for the in-flight round,
+    /// merged into the totals in ascending shard order at the wave
+    /// barrier (workers > 1) or at the end of the scheduler call — every
+    /// poll is attributed to its engine's home shard regardless of which
+    /// scheduler path retired it, so `per_shard_polls` always sums to
+    /// the totals.
+    shard_tally: Vec<[u64; 2]>,
+    /// Cumulative per-shard `[polls, wasted]` (diagnostics; the merged
+    /// totals live in `polls`/`wasted_polls`).
+    shard_totals: Vec<[u64; 2]>,
 }
 
 impl<Cx: ?Sized> Default for RuntimePool<Cx> {
@@ -297,15 +571,141 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             workers: workers_from_env(),
             waves: 0,
             max_group: 0,
+            planned_polls: 0,
+            dropped_plans: 0,
             call_seq: 0,
-            ready: BTreeSet::new(),
-            any_parked: BTreeSet::new(),
-            waiters: WaiterTable::default(),
-            timers: BinaryHeap::new(),
+            shard_map: ShardMap::new(),
+            ready: SlotSet::new(1),
+            any_parked: SlotSet::new(1),
+            waiters: vec![WaiterTable::default()],
+            timers: vec![BinaryHeap::new()],
             signal_scratch: Vec::new(),
+            mailboxes: vec![Vec::new()],
             round_progressed: Vec::new(),
             group_of: HashMap::new(),
-            group_tally: Vec::new(),
+            wave_sets: Vec::new(),
+            shard_tally: vec![[0, 0]],
+            shard_totals: vec![[0, 0]],
+        }
+    }
+
+    /// Number of event-loop shards (1 = the global single-queue oracle).
+    pub fn shards(&self) -> usize {
+        self.shard_map.shards
+    }
+
+    /// Re-shard the pool's event loop into `n` per-rack shards,
+    /// redistributing any live ready/parked/timer/waiter state by the
+    /// current attribution. Observable behaviour is identical at every
+    /// count by construction: shards only split *storage*; rounds
+    /// re-merge everything into global slot order.
+    pub fn set_shards(&mut self, n: usize) {
+        let n = n.max(1);
+        if n == self.shard_map.shards {
+            return;
+        }
+        self.shard_map.shards = n;
+        // Ready/parked sets: collect and re-insert under the new map.
+        let ready = self.ready.take_all();
+        let parked = self.any_parked.take_all();
+        self.ready = SlotSet::new(n);
+        self.any_parked = SlotSet::new(n);
+        for idx in ready {
+            self.ready.insert(self.shard_map.slot_shard(idx), idx);
+        }
+        for idx in parked {
+            self.any_parked.insert(self.shard_map.slot_shard(idx), idx);
+        }
+        // Timers: route each live entry to its slot's shard.
+        let mut entries: Vec<Reverse<(crate::Nanos, u64, usize)>> = Vec::new();
+        for heap in &mut self.timers {
+            entries.extend(heap.drain());
+        }
+        entries.sort();
+        self.timers = (0..n).map(|_| BinaryHeap::new()).collect();
+        for e in entries {
+            let Reverse((_, _, idx)) = e;
+            self.timers[self.shard_map.slot_shard(idx)].push(e);
+        }
+        // Waiters: route each registration to its resource's shard.
+        let mut regs: Vec<(ResourceId, Vec<usize>)> = Vec::new();
+        for table in &mut self.waiters {
+            regs.extend(table.drain_all());
+        }
+        regs.sort_by_key(|(r, _)| r.0);
+        self.waiters = (0..n).map(|_| WaiterTable::default()).collect();
+        for (r, slots) in regs {
+            let shard = self.shard_map.resource_shard(r);
+            for slot in slots {
+                self.waiters[shard].push(r, slot);
+            }
+        }
+        self.mailboxes = (0..n).map(|_| Vec::new()).collect();
+        self.shard_tally = vec![[0, 0]; n];
+        self.shard_totals = vec![[0, 0]; n];
+    }
+
+    /// Attribute an engine to a shard (its rack bucket). Safe at any
+    /// time: enqueued ready/parked membership and pending timers follow
+    /// the slot to its new shard.
+    pub fn assign_engine_shard(&mut self, id: EngineId, shard: usize) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() || self.slots[idx].id != id {
+            return;
+        }
+        let shard = if shard < self.shard_map.shards {
+            shard
+        } else {
+            0
+        };
+        let old = self.shard_map.slot_shard(idx);
+        if old == shard {
+            self.shard_map.assign_slot(idx, shard);
+            return;
+        }
+        self.shard_map.assign_slot(idx, shard);
+        if self.ready.remove(old, idx) {
+            self.ready.insert(shard, idx);
+        }
+        if self.any_parked.remove(old, idx) {
+            self.any_parked.insert(shard, idx);
+        }
+        // Move any live timer entries for this slot.
+        let moved: Vec<_> = {
+            let heap = &mut self.timers[old];
+            let mut keep = BinaryHeap::with_capacity(heap.len());
+            let mut moved = Vec::new();
+            for e in heap.drain() {
+                if e.0 .2 == idx {
+                    moved.push(e);
+                } else {
+                    keep.push(e);
+                }
+            }
+            *heap = keep;
+            moved
+        };
+        for e in moved {
+            self.timers[shard].push(e);
+        }
+    }
+
+    /// Attribute a resource `(kind, index)` to a shard. Live waiter
+    /// registrations on the resource move with it.
+    pub fn set_resource_shard(&mut self, kind: u32, index: u32, shard: usize) {
+        let shard = if shard < self.shard_map.shards {
+            shard
+        } else {
+            0
+        };
+        let r = ResourceId::new(kind, index);
+        let old = self.shard_map.resource_shard(r);
+        self.shard_map.assign_resource(kind, index, shard);
+        if old != shard {
+            let waiting = self.waiters[old].take(r);
+            for slot in waiting {
+                self.waiters[shard].push(r, slot);
+            }
         }
     }
 
@@ -318,17 +718,25 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         }
         self.naive = naive;
         if !naive {
+            let mut readied = Vec::new();
             for (i, slot) in self.slots.iter_mut().enumerate() {
                 if !slot.finished {
                     slot.park_epoch += 1;
                     slot.registered.clear();
                     slot.parked_any = false;
-                    self.ready.insert(i);
+                    readied.push(i);
                 }
             }
+            for i in readied {
+                self.ready.insert(self.shard_map.slot_shard(i), i);
+            }
             self.any_parked.clear();
-            self.waiters.clear();
-            self.timers.clear();
+            for table in &mut self.waiters {
+                table.clear();
+            }
+            for heap in &mut self.timers {
+                heap.clear();
+            }
         }
     }
 
@@ -340,9 +748,24 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     /// Add an engine; returns its id. The engine is polled starting with
     /// the next scheduler call.
     pub fn spawn(&mut self, engine: Box<dyn Engine<Cx>>) -> EngineId {
+        self.spawn_slot(EngineBox::Local(engine))
+    }
+
+    /// Add a thread-safe engine, eligible for the concurrent plan phase:
+    /// when the wave scheduler runs with workers > 1, this engine's
+    /// [`Engine::plan`] may execute on a worker thread against the
+    /// frozen context, concurrently with the plans of every other
+    /// non-conflicting engine in its wave. Commit order (and therefore
+    /// every observable effect) is unchanged.
+    pub fn spawn_par(&mut self, engine: Box<dyn Engine<Cx> + Send + Sync>) -> EngineId {
+        self.spawn_slot(EngineBox::Par(engine))
+    }
+
+    fn spawn_slot(&mut self, engine: EngineBox<Cx>) -> EngineId {
         let id = EngineId(self.next_id);
         self.next_id += 1;
         let index = self.slots.len();
+        debug_assert_eq!(index, id.0 as usize, "slot index tracks engine id");
         self.slots.push(Slot {
             id,
             engine: Some(engine),
@@ -354,7 +777,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             call_polls: 0,
         });
         self.live += 1;
-        self.ready.insert(index);
+        self.ready.insert(self.shard_map.slot_shard(index), index);
         id
     }
 
@@ -402,11 +825,32 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         self.max_group
     }
 
+    /// Commits that consumed a concurrently computed plan.
+    pub fn planned_poll_count(&self) -> u64 {
+        self.planned_polls
+    }
+
+    /// Plans voided before their commit (mid-sweep joiners, unreached
+    /// commits).
+    pub fn dropped_plan_count(&self) -> u64 {
+        self.dropped_plans
+    }
+
+    /// Cumulative `[polls, wasted]` per shard — the per-shard tallies
+    /// whose ascending-shard merge produces [`Self::poll_count`] /
+    /// [`Self::wasted_poll_count`]. Wave-partitioned rounds tally per
+    /// conflict group instead (a finer partition) and merge at the wave
+    /// barrier, so under workers > 1 the per-shard view only covers the
+    /// sequential rounds.
+    pub fn per_shard_polls(&self) -> Vec<(u64, u64)> {
+        self.shard_totals.iter().map(|t| (t[0], t[1])).collect()
+    }
+
     /// Drive the selected scheduler until the pool is quiescent. Returns
     /// the number of engines that finished during this call.
     pub fn poll(&mut self, cx: &mut Cx) -> usize
     where
-        Cx: WakeSource,
+        Cx: WakeSource + Sync,
     {
         if self.naive {
             // The oracle ignores wake signals; drain them so the context's
@@ -446,13 +890,20 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                 if slot.finished {
                     continue;
                 }
-                self.polls += 1;
-                match slot.engine.as_mut().expect("live engine").progress(cx) {
+                let shard = self.shard_map.slot_shard(i);
+                self.shard_tally[shard][0] += 1;
+                match slot
+                    .engine
+                    .as_mut()
+                    .expect("live engine")
+                    .get_mut()
+                    .progress(cx)
+                {
                     Poll::Progressed => {
                         any_progress = true;
                         self.round_progressed.push(i);
                     }
-                    Poll::Idle => self.wasted_polls += 1,
+                    Poll::Idle => self.shard_tally[shard][1] += 1,
                     Poll::Finished => {
                         slot.finished = true;
                         slot.engine = None;
@@ -463,6 +914,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                 }
             }
             if !any_progress {
+                self.merge_shard_tallies();
                 break;
             }
             passes += 1;
@@ -472,9 +924,10 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                     .iter()
                     .map(|&i| {
                         let s = &self.slots[i];
+                        let shard = self.shard_map.slot_shard(i);
                         match &s.engine {
-                            Some(e) => format!("{} {}", s.id, e.name()),
-                            None => format!("{} <finished>", s.id),
+                            Some(e) => format!("{} {} (shard {shard})", s.id, e.get().name()),
+                            None => format!("{} <finished> (shard {shard})", s.id),
                         }
                     })
                     .collect();
@@ -494,18 +947,26 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     /// Returns the number of engines that finished during this call.
     pub fn poll_ready(&mut self, cx: &mut Cx) -> usize
     where
-        Cx: WakeSource,
+        Cx: WakeSource + Sync,
     {
         self.call_seq += 1;
         let now = cx.now();
-        // Release timers that have come due.
-        while let Some(&Reverse((t, epoch, idx))) = self.timers.peek() {
-            if t > now {
-                break;
-            }
-            self.timers.pop();
-            if !self.slots[idx].finished && self.slots[idx].park_epoch == epoch {
-                self.wake(idx, None, None);
+        // Release timers that have come due, scanning every shard's heap
+        // head: a deadline parked on a quiet shard wakes exactly like one
+        // on a busy shard (release order across shards is irrelevant —
+        // woken slots land in the ready sets, which re-merge into slot
+        // order).
+        for shard in 0..self.timers.len() {
+            loop {
+                let due = match self.timers[shard].peek() {
+                    Some(&Reverse((t, epoch, idx))) if t <= now => (epoch, idx),
+                    _ => break,
+                };
+                self.timers[shard].pop();
+                let (epoch, idx) = due;
+                if !self.slots[idx].finished && self.slots[idx].park_epoch == epoch {
+                    self.wake(idx, None, None);
+                }
             }
         }
         // Absorb signals raised since the last scheduler call.
@@ -515,8 +976,11 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         loop {
             // Round set: explicitly readied engines plus every Any-parked
             // engine (the naive scheduler polls those each pass too).
-            let mut round = std::mem::take(&mut self.ready);
-            round.extend(self.any_parked.iter().copied());
+            // Shards merge back into one ascending-slot set here — the
+            // facade's global order is re-established at every round.
+            let mut round: BTreeSet<usize> = BTreeSet::new();
+            self.ready.drain_into(&mut round);
+            self.any_parked.extend_into(&mut round);
             if round.is_empty() {
                 break;
             }
@@ -524,15 +988,22 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             self.round_progressed.clear();
             // With workers configured, partition the round into conflict
             // waves: groups whose declared footprints are pairwise
-            // disjoint, eligible to run on separate workers. Engine
+            // disjoint, eligible to run on separate workers. Commit
             // bodies still execute in slot order below — the
             // deterministic merge that keeps every digest byte-identical
-            // to the sequential sweep — while per-group counters
-            // accumulate apart and fold in at the wave barrier.
+            // to the sequential sweep — but plan-capable singleton
+            // groups run their read phase concurrently on the worker
+            // pool when the sweep reaches their wave, and per-group
+            // counters accumulate apart and fold in at the wave barrier.
             let wave_stats = self.workers > 1;
             if wave_stats {
                 self.partition_round(&round, cx);
             }
+            // Plans computed for the in-flight wave, keyed by slot; the
+            // cursor through `wave_sets` advances as the sweep reaches
+            // each wave's first member.
+            let mut wave_plans: HashMap<usize, EnginePlan> = HashMap::new();
+            let mut next_wave = 0usize;
             // Sweep in slot order with a monotone cursor, exactly like a
             // naive pass restricted to ready engines. Engines woken during
             // the sweep join this round if their slot is still ahead of
@@ -544,10 +1015,43 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                 if self.slots[idx].finished {
                     continue;
                 }
+                if wave_stats {
+                    if self.group_of.contains_key(&idx) {
+                        // Entering a new wave: every earlier slot has
+                        // retired, so the context now *is* the frozen
+                        // view the wave's plans will read. Plan-capable
+                        // singleton groups of the wave run their read
+                        // phase here, concurrently when there are
+                        // enough of them to pay for the dispatch.
+                        while next_wave < self.wave_sets.len() && idx >= self.wave_sets[next_wave].0
+                        {
+                            let members = std::mem::take(&mut self.wave_sets[next_wave].1);
+                            next_wave += 1;
+                            let todo: Vec<usize> = members
+                                .into_iter()
+                                .filter(|&m| {
+                                    (m == idx || round.contains(&m)) && !self.slots[m].finished
+                                })
+                                .collect();
+                            if !todo.is_empty() {
+                                self.plan_wave(cx, &todo, &mut wave_plans);
+                            }
+                        }
+                    } else if !wave_plans.is_empty() {
+                        // A mid-sweep joiner is about to commit effects
+                        // the outstanding plans did not see. Plans are
+                        // free to drop — void them all (conservative but
+                        // always sound); the affected engines fall back
+                        // to the in-place path.
+                        self.dropped_plans += wave_plans.len() as u64;
+                        wave_plans.clear();
+                    }
+                }
                 // The engine is about to run: whatever parked state it held
                 // is consumed (it re-declares on its next Idle).
                 self.clear_registrations(idx);
-                self.any_parked.remove(&idx);
+                let home = self.shard_map.slot_shard(idx);
+                self.any_parked.remove(home, idx);
                 {
                     let slot = &mut self.slots[idx];
                     slot.park_epoch += 1;
@@ -559,29 +1063,20 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                     slot.call_polls += 1;
                 }
                 let over_limit = self.slots[idx].call_polls > SPIN_LIMIT;
-                // Counter home: the slot's conflict group when the wave
-                // partition is active (merged at the barrier), the pool
-                // totals directly otherwise. Mid-sweep joiners missing
-                // from the partition tally to the serial catch-all.
-                let tally = if wave_stats {
-                    Some(
-                        self.group_of
-                            .get(&idx)
-                            .copied()
-                            .unwrap_or(self.group_tally.len() - 1),
-                    )
-                } else {
-                    None
-                };
-                match tally {
-                    Some(g) => self.group_tally[g][0] += 1,
-                    None => self.polls += 1,
+                // Every poll tallies to its engine's home shard; the
+                // buffer merges into the totals in ascending shard order
+                // at the wave barrier (wave mode) or at call end, so the
+                // per-shard breakdown always sums to the pool counters.
+                self.shard_tally[home][0] += 1;
+                let plan = wave_plans.remove(&idx);
+                if plan.is_some() {
+                    self.planned_polls += 1;
                 }
-                let poll = self.slots[idx]
-                    .engine
-                    .as_mut()
-                    .expect("live engine")
-                    .progress(cx);
+                let engine = self.slots[idx].engine.as_mut().expect("live engine");
+                let poll = match plan {
+                    Some(plan) => engine.get_mut().progress_planned(cx, plan),
+                    None => engine.get_mut().progress(cx),
+                };
                 match poll {
                     Poll::Progressed => {
                         progressed_any = true;
@@ -591,13 +1086,10 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                         self.absorb_signals(cx, cursor, Some(&mut round));
                         // A progressing engine is re-polled next round,
                         // like the naive scheduler's next pass.
-                        self.ready.insert(idx);
+                        self.ready.insert(home, idx);
                     }
                     Poll::Idle => {
-                        match tally {
-                            Some(g) => self.group_tally[g][1] += 1,
-                            None => self.wasted_polls += 1,
-                        }
+                        self.shard_tally[home][1] += 1;
                         self.park(idx, cx);
                     }
                     Poll::Finished => {
@@ -616,23 +1108,30 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                         .iter()
                         .map(|&i| {
                             let s = &self.slots[i];
+                            let shard = self.shard_map.slot_shard(i);
                             match &s.engine {
-                                Some(e) => format!("{} {}", s.id, e.name()),
-                                None => format!("{} <finished>", s.id),
+                                Some(e) => format!("{} {} (shard {shard})", s.id, e.get().name()),
+                                None => format!("{} <finished> (shard {shard})", s.id),
                             }
                         })
                         .collect();
                     panic!(
                         "engine pool failed to quiesce after {SPIN_LIMIT} polls of one \
-                         engine in a single scheduler call; an engine is spinning \
-                         (always reporting progress); recent progress from: {spinners:?}"
+                         engine in a single scheduler call (slot {idx}, shard {home}); \
+                         an engine is spinning (always reporting progress); \
+                         recent progress from: {spinners:?}"
                     );
                 }
             }
+            // Plans whose commit never arrived (their engine finished or
+            // was superseded mid-round) are discarded, never replayed.
+            if !wave_plans.is_empty() {
+                self.dropped_plans += wave_plans.len() as u64;
+            }
             if wave_stats {
                 // The wave barrier: every group has retired, fold the
-                // per-group counters into the pool totals.
-                self.merge_wave_tallies();
+                // per-shard counters into the pool totals.
+                self.merge_shard_tallies();
             }
             if !progressed_any {
                 // A full round of pure idles — the naive scheduler would
@@ -641,7 +1140,55 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                 break;
             }
         }
+        self.merge_shard_tallies();
         finished_now
+    }
+
+    /// Run the read phase for a wave's plan-capable singleton groups:
+    /// every member's `plan` is called against the frozen context, on
+    /// the worker pool when the batch is large enough to amortize the
+    /// dispatch, inline otherwise (bit-identical either way — plans are
+    /// pure reads merged by slot).
+    fn plan_wave(&self, cx: &Cx, members: &[usize], out: &mut HashMap<usize, EnginePlan>)
+    where
+        Cx: Sync,
+    {
+        let jobs: Vec<(usize, &(dyn Engine<Cx> + Send + Sync))> = members
+            .iter()
+            .filter_map(|&m| {
+                self.slots[m]
+                    .engine
+                    .as_ref()
+                    .and_then(EngineBox::par)
+                    .map(|e| (m, e))
+            })
+            .collect();
+        let plans: Vec<Option<EnginePlan>> = if self.workers > 1 && jobs.len() >= PLAN_DISPATCH_MIN
+        {
+            let shared: &Cx = cx;
+            let jobs_ref = &jobs;
+            Workers::new(self.workers).run(jobs.len(), move |i| jobs_ref[i].1.plan(shared))
+        } else {
+            jobs.iter().map(|(_, e)| e.plan(cx)).collect()
+        };
+        for ((m, _), plan) in jobs.iter().zip(plans) {
+            if let Some(plan) = plan {
+                out.insert(*m, plan);
+            }
+        }
+    }
+
+    /// Fold the per-shard sequential tallies into the pool totals, in
+    /// ascending shard order (the deterministic merge the satellite
+    /// counters rely on).
+    fn merge_shard_tallies(&mut self) {
+        for (shard, tally) in self.shard_tally.iter_mut().enumerate() {
+            let [polls, wasted] = std::mem::take(tally);
+            self.polls += polls;
+            self.wasted_polls += wasted;
+            self.shard_totals[shard][0] += polls;
+            self.shard_totals[shard][1] += wasted;
+        }
     }
 
     /// Build the conflict-wave partition of a round snapshot: query each
@@ -650,7 +1197,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     /// slot→group map the sweep tallies against.
     fn partition_round(&mut self, round: &BTreeSet<usize>, cx: &Cx) {
         self.group_of.clear();
-        self.group_tally.clear();
+        self.wave_sets.clear();
         let entries: Vec<(usize, Footprint)> = round
             .iter()
             .filter(|&&i| !self.slots[i].finished)
@@ -659,6 +1206,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                     .engine
                     .as_ref()
                     .expect("live engine")
+                    .get()
                     .footprint(cx);
                 (i, fp)
             })
@@ -666,24 +1214,35 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         for wave in partition(&entries) {
             self.waves += 1;
             self.max_group = self.max_group.max(wave.max_group() as u64);
-            for group in wave.groups {
-                let ordinal = self.group_tally.len();
+            // Plan-capable members of this wave: singleton groups (a
+            // multi-member group self-conflicts — its members see each
+            // other's commits, so only the first could soundly plan and
+            // the bookkeeping is not worth one plan) whose engine was
+            // spawned thread-safe.
+            let mut plannable: Vec<usize> = Vec::new();
+            let mut first = usize::MAX;
+            for group in &wave.groups {
+                first = first.min(group[0]);
+                if group.len() == 1 {
+                    let s = group[0];
+                    if self.slots[s]
+                        .engine
+                        .as_ref()
+                        .is_some_and(|e| e.par().is_some())
+                    {
+                        plannable.push(s);
+                    }
+                }
+            }
+            plannable.sort_unstable();
+            for (ordinal, group) in wave.groups.into_iter().enumerate() {
                 for slot in group {
                     self.group_of.insert(slot, ordinal);
                 }
-                self.group_tally.push([0, 0]);
             }
-        }
-        // Serial catch-all for engines woken into the round mid-sweep.
-        self.group_tally.push([0, 0]);
-    }
-
-    /// Fold the round's per-group counters into the pool totals (called
-    /// at the wave barrier, once per round).
-    fn merge_wave_tallies(&mut self) {
-        for [polls, wasted] in self.group_tally.drain(..) {
-            self.polls += polls;
-            self.wasted_polls += wasted;
+            if first != usize::MAX {
+                self.wave_sets.push((first, plannable));
+            }
         }
     }
 
@@ -697,11 +1256,13 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
             .engine
             .as_ref()
             .expect("live engine")
+            .get()
             .wake_when(cx);
+        let home = self.shard_map.slot_shard(idx);
         match wake {
             Wake::Any => {
                 self.slots[idx].parked_any = true;
-                self.any_parked.insert(idx);
+                self.any_parked.insert(home, idx);
             }
             Wake::On {
                 resources,
@@ -713,17 +1274,23 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                         // would simply poll again next pass, so stay ready
                         // (the round loop still terminates — a round of
                         // pure idles exits regardless of the ready set).
-                        self.ready.insert(idx);
+                        self.ready.insert(home, idx);
                         return;
                     }
                     Some(d) => {
+                        // Timers ride the *slot's* shard; release scans
+                        // every shard head, so a cross-shard wait (rack-A
+                        // engine, rack-B deadline setter) cannot be masked.
                         let epoch = self.slots[idx].park_epoch;
-                        self.timers.push(Reverse((d, epoch, idx)));
+                        self.timers[home].push(Reverse((d, epoch, idx)));
                     }
                     None => {}
                 }
                 for r in &resources {
-                    self.waiters.push(*r, idx);
+                    // Registrations ride the *resource's* shard: a slot in
+                    // rack A waiting on rack B's queue registers in rack
+                    // B's table, where the signal will arrive.
+                    self.waiters[self.shard_map.resource_shard(*r)].push(*r, idx);
                 }
                 self.slots[idx].registered = resources;
             }
@@ -745,13 +1312,41 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         let mut sigs = std::mem::take(&mut self.signal_scratch);
         sigs.clear();
         cx.drain_signals(&mut sigs);
-        for r in &sigs {
-            let list = self.waiters.take(*r);
-            for idx in list {
-                if self.slots[idx].finished || self.slots[idx].registered.is_empty() {
-                    continue;
+        if self.shard_map.shards > 1 {
+            // Cross-shard mailbox: route each signal to its resource's
+            // shard, then drain the mailboxes in ascending shard order —
+            // the deterministic epoch boundary for inter-rack effects.
+            // The reorder relative to the raw signal stream is
+            // unobservable: waiter lists are taken whole, each waiter
+            // wakes at most once (`registered` empties on the first
+            // hit), and woken slots re-merge into slot order before any
+            // engine runs.
+            for r in sigs.drain(..) {
+                self.mailboxes[self.shard_map.resource_shard(r)].push(r);
+            }
+            for shard in 0..self.mailboxes.len() {
+                let mut batch = std::mem::take(&mut self.mailboxes[shard]);
+                for r in batch.drain(..) {
+                    let list = self.waiters[shard].take(r);
+                    for idx in list {
+                        if self.slots[idx].finished || self.slots[idx].registered.is_empty() {
+                            continue;
+                        }
+                        self.wake(idx, cursor, round.as_deref_mut());
+                    }
                 }
-                self.wake(idx, cursor, round.as_deref_mut());
+                // Hand the (emptied) buffer back for reuse.
+                self.mailboxes[shard] = batch;
+            }
+        } else {
+            for r in &sigs {
+                let list = self.waiters[0].take(*r);
+                for idx in list {
+                    if self.slots[idx].finished || self.slots[idx].registered.is_empty() {
+                        continue;
+                    }
+                    self.wake(idx, cursor, round.as_deref_mut());
+                }
             }
         }
         self.signal_scratch = sigs;
@@ -761,11 +1356,12 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     /// its epoch (invalidating any timer), and queue it for polling.
     fn wake(&mut self, idx: usize, cursor: Option<usize>, round: Option<&mut BTreeSet<usize>>) {
         self.clear_registrations(idx);
+        let home = self.shard_map.slot_shard(idx);
         let slot = &mut self.slots[idx];
         slot.park_epoch += 1;
         if slot.parked_any {
             slot.parked_any = false;
-            self.any_parked.remove(&idx);
+            self.any_parked.remove(home, idx);
         }
         self.wakes += 1;
         match (cursor, round) {
@@ -773,7 +1369,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
                 round.insert(idx);
             }
             _ => {
-                self.ready.insert(idx);
+                self.ready.insert(home, idx);
             }
         }
     }
@@ -782,7 +1378,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
     fn clear_registrations(&mut self, idx: usize) {
         let regs = std::mem::take(&mut self.slots[idx].registered);
         for r in &regs {
-            self.waiters.remove_slot(*r, idx);
+            self.waiters[self.shard_map.resource_shard(*r)].remove_slot(*r, idx);
         }
     }
 
@@ -791,7 +1387,7 @@ impl<Cx: ?Sized> RuntimePool<Cx> {
         self.slots
             .iter()
             .filter(|s| !s.finished)
-            .map(|s| (s.id, s.engine.as_ref().expect("live engine").name()))
+            .map(|s| (s.id, s.engine.as_ref().expect("live engine").get().name()))
             .collect()
     }
 }
@@ -1290,6 +1886,318 @@ mod tests {
         pool.set_workers(8);
         pool.spawn(Box::new(Spin));
         pool.poll_ready(&mut TestCx::default());
+    }
+
+    // ---- sharded event loop ------------------------------------------------
+
+    /// Interleaved waiter/countdown workload under a shard count, with
+    /// every engine and the shared resource attributed round-robin.
+    fn run_interleaved_sharded(shards: usize) -> (u32, u64, u64, u64) {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_shards(shards);
+        let mut ids = Vec::new();
+        for t in [2, 5, 1, 4, 3] {
+            ids.push(pool.spawn(Box::new(ResourceWaiter::on_a(
+                t,
+                std::rc::Rc::new(std::cell::Cell::new(0)),
+            ))));
+        }
+        ids.push(pool.spawn(Box::new(SignallingCountdown { left: 5 })));
+        for (i, id) in ids.iter().enumerate() {
+            pool.assign_engine_shard(*id, i % shards);
+        }
+        pool.set_resource_shard(RES_A.kind(), RES_A.index(), 2 % shards);
+        let mut cx = TestCx::default();
+        pool.poll(&mut cx);
+        assert_eq!(pool.live(), 0, "shards={shards}");
+        (
+            cx.total,
+            pool.poll_count(),
+            pool.wasted_poll_count(),
+            pool.wake_count(),
+        )
+    }
+
+    #[test]
+    fn shard_count_is_observably_invisible() {
+        let global = run_interleaved_sharded(1);
+        for n in [2, 4, 16] {
+            assert_eq!(global, run_interleaved_sharded(n), "shards={n}");
+        }
+    }
+
+    #[test]
+    fn per_shard_tallies_merge_to_the_totals() {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_shards(3);
+        let a = pool.spawn(Box::new(SignallingCountdown { left: 4 }));
+        let b = pool.spawn(Box::new(ResourceWaiter::on_a(
+            4,
+            std::rc::Rc::new(std::cell::Cell::new(0)),
+        )));
+        pool.assign_engine_shard(a, 1);
+        pool.assign_engine_shard(b, 2);
+        let mut cx = TestCx::default();
+        pool.poll(&mut cx);
+        let per_shard = pool.per_shard_polls();
+        assert_eq!(per_shard.len(), 3);
+        let polls: u64 = per_shard.iter().map(|t| t.0).sum();
+        let wasted: u64 = per_shard.iter().map(|t| t.1).sum();
+        assert_eq!(polls, pool.poll_count(), "shard tallies cover every poll");
+        assert_eq!(wasted, pool.wasted_poll_count());
+        assert!(per_shard[1].0 > 0, "countdown polled on its shard");
+        assert!(per_shard[2].0 > 0, "waiter polled on its shard");
+    }
+
+    #[test]
+    fn cross_shard_timer_deadline_is_not_masked() {
+        // An engine attributed to a quiet shard parks on a deadline while
+        // another shard stays busy: the release scan over every shard
+        // head must wake it exactly on time.
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_shards(4);
+        let sleeper = pool.spawn(Box::new(DeadlineWaiter {
+            at: Nanos::from_micros(10),
+        }));
+        let busy = pool.spawn(Box::new(SignallingCountdown { left: 2 }));
+        pool.assign_engine_shard(sleeper, 3);
+        pool.assign_engine_shard(busy, 1);
+        let mut cx = TestCx::default();
+        assert_eq!(
+            pool.poll_ready(&mut cx),
+            1,
+            "countdown finishes, sleeper parks"
+        );
+        cx.now = Nanos::from_micros(5);
+        assert_eq!(pool.poll_ready(&mut cx), 0, "deadline not due yet");
+        // Re-attribute the parked sleeper: its timer entry must follow.
+        pool.assign_engine_shard(sleeper, 2);
+        cx.now = Nanos::from_micros(10);
+        assert_eq!(pool.poll_ready(&mut cx), 1, "cross-shard deadline fired");
+        assert_eq!(pool.live(), 0);
+    }
+
+    #[test]
+    fn resharding_a_parked_pool_preserves_wakes() {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        let polls = std::rc::Rc::new(std::cell::Cell::new(0));
+        let w = pool.spawn(Box::new(ResourceWaiter::on_a(1, polls.clone())));
+        let mut cx = TestCx::default();
+        pool.poll_ready(&mut cx);
+        assert_eq!(polls.get(), 1, "parked under 1 shard");
+        // Re-shard with live waiter registrations outstanding, and move
+        // both the engine and the resource to non-default shards.
+        pool.set_shards(4);
+        pool.assign_engine_shard(w, 1);
+        pool.set_resource_shard(RES_A.kind(), RES_A.index(), 3);
+        pool.poll_ready(&mut cx);
+        assert_eq!(polls.get(), 1, "still parked after the reshard");
+        cx.total = 1;
+        cx.signals.push(RES_A);
+        assert_eq!(pool.poll_ready(&mut cx), 1, "signal found the moved table");
+        assert_eq!(polls.get(), 2);
+    }
+
+    #[test]
+    fn wake_driven_spin_panic_names_the_shard() {
+        struct Spin;
+        impl Engine<TestCx> for Spin {
+            fn progress(&mut self, _: &mut TestCx) -> Poll {
+                Poll::Progressed
+            }
+            fn name(&self) -> String {
+                "spinner-under-test".to_owned()
+            }
+        }
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_shards(4);
+        let id = pool.spawn(Box::new(Spin));
+        pool.assign_engine_shard(id, 2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.poll_ready(&mut TestCx::default());
+        }))
+        .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("spinning"), "panic was: {msg}");
+        assert!(msg.contains("shard 2"), "panic must name the shard: {msg}");
+        assert!(msg.contains("spinner-under-test"), "panic was: {msg}");
+    }
+
+    // ---- plan/commit (buffered-effect protocol) ----------------------------
+
+    /// Counts down through the plan/commit protocol: `plan` snapshots the
+    /// frozen per-engine state, `progress_planned` checks the snapshot
+    /// still holds and commits exactly what `progress` would.
+    struct PlannedCountdown {
+        left: u32,
+        resource: ResourceId,
+    }
+
+    impl Engine<TestCx> for PlannedCountdown {
+        fn progress(&mut self, cx: &mut TestCx) -> Poll {
+            if self.left == 0 {
+                return Poll::Finished;
+            }
+            self.left -= 1;
+            cx.total += 1;
+            Poll::Progressed
+        }
+        fn plan(&self, cx: &TestCx) -> Option<EnginePlan> {
+            Some(EnginePlan::new((self.left, cx.now)))
+        }
+        fn progress_planned(&mut self, cx: &mut TestCx, plan: EnginePlan) -> Poll {
+            let snap = plan.downcast::<(u32, Nanos)>().expect("typed plan");
+            assert_eq!(snap.0, self.left, "plan read the frozen view");
+            assert_eq!(snap.1, cx.now, "clock immutable within the round");
+            self.progress(cx)
+        }
+        fn footprint(&self, _: &TestCx) -> Footprint {
+            Footprint::Resources(vec![self.resource])
+        }
+        fn name(&self) -> String {
+            "planned-countdown".to_owned()
+        }
+    }
+
+    fn run_planned(workers: usize) -> (u32, u64, u64, u64) {
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_workers(workers);
+        // Five disjoint plan-capable engines: singleton groups in one
+        // wave, enough to cross the thread-dispatch threshold.
+        for i in 0..5 {
+            pool.spawn_par(Box::new(PlannedCountdown {
+                left: 3,
+                resource: ResourceId::new(3, i),
+            }));
+        }
+        let mut cx = TestCx::default();
+        pool.poll(&mut cx);
+        assert_eq!(pool.live(), 0, "workers={workers}");
+        if workers > 1 {
+            assert!(
+                pool.planned_poll_count() > 0,
+                "plan-capable singletons must take the planned path"
+            );
+        } else {
+            assert_eq!(pool.planned_poll_count(), 0, "sequential sweep never plans");
+        }
+        (
+            cx.total,
+            pool.poll_count(),
+            pool.wasted_poll_count(),
+            pool.wake_count(),
+        )
+    }
+
+    #[test]
+    fn planned_commits_are_observably_identical() {
+        let seq = run_planned(1);
+        for n in [2, 8] {
+            assert_eq!(seq, run_planned(n), "workers={n}");
+        }
+    }
+
+    #[test]
+    fn mid_sweep_joiner_voids_outstanding_plans() {
+        /// Progresses twice; signals RES_W on the second step.
+        struct LateSignaller {
+            left: u32,
+        }
+        const RES_W: ResourceId = ResourceId::new(4, 0);
+        impl Engine<TestCx> for LateSignaller {
+            fn progress(&mut self, cx: &mut TestCx) -> Poll {
+                if self.left == 0 {
+                    return Poll::Finished;
+                }
+                self.left -= 1;
+                cx.total += 1;
+                if self.left == 0 {
+                    cx.signals.push(RES_W);
+                }
+                Poll::Progressed
+            }
+        }
+        let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+        pool.set_naive(false);
+        pool.set_workers(8);
+        // Slot 0: exclusive signaller (wave of its own). Slots 1-2 and
+        // 4-5: plan-capable singletons. Slot 3: a waiter that parks in
+        // round 1 and is signalled back *mid-sweep* in round 2, landing
+        // between committed and still-planned wave members.
+        pool.spawn(Box::new(LateSignaller { left: 2 }));
+        for i in 0..2 {
+            pool.spawn_par(Box::new(PlannedCountdown {
+                left: 3,
+                resource: ResourceId::new(3, i),
+            }));
+        }
+        pool.spawn(Box::new(ResourceWaiter {
+            threshold: 5,
+            resource: RES_W,
+            polls: std::rc::Rc::new(std::cell::Cell::new(0)),
+        }));
+        for i in 2..4 {
+            pool.spawn_par(Box::new(PlannedCountdown {
+                left: 3,
+                resource: ResourceId::new(3, i),
+            }));
+        }
+        let mut cx = TestCx::default();
+        pool.poll(&mut cx);
+        assert_eq!(pool.live(), 0);
+        assert!(
+            pool.dropped_plan_count() >= 2,
+            "the joiner must void the not-yet-committed plans (dropped {})",
+            pool.dropped_plan_count()
+        );
+        assert!(pool.planned_poll_count() > 0);
+        // Parity: the identical workload at workers=1 observes the same
+        // totals — voided plans fall back to the in-place path.
+        let seq = {
+            let mut pool: RuntimePool<TestCx> = RuntimePool::new();
+            pool.set_naive(false);
+            pool.spawn(Box::new(LateSignaller { left: 2 }));
+            for i in 0..2 {
+                pool.spawn_par(Box::new(PlannedCountdown {
+                    left: 3,
+                    resource: ResourceId::new(3, i),
+                }));
+            }
+            pool.spawn(Box::new(ResourceWaiter {
+                threshold: 5,
+                resource: RES_W,
+                polls: std::rc::Rc::new(std::cell::Cell::new(0)),
+            }));
+            for i in 2..4 {
+                pool.spawn_par(Box::new(PlannedCountdown {
+                    left: 3,
+                    resource: ResourceId::new(3, i),
+                }));
+            }
+            let mut cx = TestCx::default();
+            pool.poll(&mut cx);
+            (
+                cx.total,
+                pool.poll_count(),
+                pool.wasted_poll_count(),
+                pool.wake_count(),
+            )
+        };
+        assert_eq!(
+            seq,
+            (
+                cx.total,
+                pool.poll_count(),
+                pool.wasted_poll_count(),
+                pool.wake_count()
+            )
+        );
     }
 
     #[test]

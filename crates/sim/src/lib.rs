@@ -47,8 +47,8 @@ pub mod units;
 pub mod waker;
 
 pub use conflict::{partition, Footprint, Wave};
-pub use engine::{Engine, EngineId, Poll, RuntimePool};
-pub use event::EventQueue;
+pub use engine::{Engine, EngineId, EnginePlan, Poll, RuntimePool};
+pub use event::{EventQueue, ShardedEventQueue};
 pub use par::Workers;
 pub use rng::Rng;
 pub use stats::Summary;

@@ -16,18 +16,87 @@
 //! wave-partition its ready set (see `crate::conflict`).
 
 use crate::engine::Poll;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Times an environment knob held an out-of-range value (`0`) that was
+/// clamped into range. Deliberately a process-wide gauge, not a panic:
+/// `MCCS_SIM_WORKERS=0` or `MCCS_SIM_SHARDS=0` is a configuration
+/// mistake, but a recoverable one — the clamp keeps the run valid and
+/// the counter keeps the mistake visible to harnesses and tests.
+static ENV_CLAMP_WARNINGS: AtomicU64 = AtomicU64::new(0);
+
+/// How many environment-knob values have been clamped so far in this
+/// process (see [`parse_workers`] / [`parse_shards`]).
+pub fn env_clamp_warnings() -> u64 {
+    ENV_CLAMP_WARNINGS.load(Ordering::Relaxed)
+}
+
+/// Parse a count knob: absent/empty/unparsable falls back to `default`
+/// silently (the knob was not set to anything meaningful), but an
+/// *explicit* `0` is an out-of-range request — it clamps to 1 and
+/// returns `clamped = true` so the caller can warn.
+fn parse_count(raw: Option<&str>, default: usize) -> (usize, bool) {
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(0) => (1, true),
+        Some(n) => (n, false),
+        None => (default, false),
+    }
+}
+
+/// Parse a `MCCS_SIM_WORKERS`-style value. Pure and testable; the
+/// process-wide readers below layer the warning counter on top.
+pub fn parse_workers(raw: Option<&str>) -> (usize, bool) {
+    parse_count(raw, 1)
+}
+
+/// Parse a `MCCS_SIM_SHARDS`-style value. `0` is *not* the auto
+/// sentinel here — auto is expressed by leaving the variable unset —
+/// so an explicit `0` clamps to 1 (the global single-shard oracle)
+/// with a warning, the same validation [`parse_workers`] applies.
+pub fn parse_shards(raw: Option<&str>) -> (Option<usize>, bool) {
+    match raw {
+        None => (None, false),
+        some => {
+            let (n, clamped) = parse_count(some, 1);
+            (Some(n), clamped)
+        }
+    }
+}
+
+fn note_clamp(var: &str, value: usize) {
+    ENV_CLAMP_WARNINGS.fetch_add(1, Ordering::Relaxed);
+    eprintln!("warning: {var}=0 is out of range; clamped to {value}");
+}
+
 /// Worker count from the `MCCS_SIM_WORKERS` environment variable
-/// (absent, empty or unparsable = 1 = every parallel path sequential).
+/// (absent, empty or unparsable = 1 = every parallel path sequential;
+/// an explicit `0` clamps to 1 and bumps [`env_clamp_warnings`]).
 /// Read once per pool by [`crate::RuntimePool`] and `mccs-netsim`.
 pub fn workers_from_env() -> usize {
-    std::env::var("MCCS_SIM_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .unwrap_or(1)
-        .max(1)
+    let raw = std::env::var("MCCS_SIM_WORKERS").ok();
+    let (n, clamped) = parse_workers(raw.as_deref());
+    if clamped {
+        note_clamp("MCCS_SIM_WORKERS", n);
+    }
+    n
+}
+
+/// Shard-count request from the environment: `MCCS_SIM_SHARDED=0`
+/// forces the global single-shard oracle, `MCCS_SIM_SHARDS=n` pins an
+/// explicit count (0 clamps to 1 with a warning, like the worker knob),
+/// and neither being set returns `None` — the embedder picks its
+/// topology-derived default (one shard per rack bucket).
+pub fn shards_from_env() -> Option<usize> {
+    if std::env::var_os("MCCS_SIM_SHARDED").is_some_and(|v| v == "0") {
+        return Some(1);
+    }
+    let raw = std::env::var("MCCS_SIM_SHARDS").ok();
+    let (n, clamped) = parse_shards(raw.as_deref());
+    if clamped {
+        note_clamp("MCCS_SIM_SHARDS", 1);
+    }
+    n
 }
 
 /// A fixed-size worker pool executing batches of independent jobs with a
@@ -242,6 +311,25 @@ mod tests {
         let w = Workers::new(4);
         assert!(w.run(0, |_| 0u8).is_empty());
         assert_eq!(w.run(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn worker_knob_clamps_zero_with_a_warning() {
+        // Absent / empty / garbage fall back silently; an explicit 0 is
+        // a real (out-of-range) request and must be flagged.
+        assert_eq!(parse_workers(None), (1, false));
+        assert_eq!(parse_workers(Some("")), (1, false));
+        assert_eq!(parse_workers(Some("eight")), (1, false));
+        assert_eq!(parse_workers(Some(" 8 ")), (8, false));
+        assert_eq!(parse_workers(Some("0")), (1, true));
+    }
+
+    #[test]
+    fn shard_knob_gets_the_same_validation() {
+        assert_eq!(parse_shards(None), (None, false));
+        assert_eq!(parse_shards(Some("4")), (Some(4), false));
+        assert_eq!(parse_shards(Some("0")), (Some(1), true));
+        assert_eq!(parse_shards(Some("")), (Some(1), false));
     }
 
     /// A compute-heavy counter engine: hashes in progress_par, emits its
